@@ -1,0 +1,37 @@
+// Ablation (§4.2): what does LGP buy?
+//
+// Compares OSP with plain LGP, without any correction (stale unimportant
+// parameters until the ICS lands), and with the EMA-LGP variant the paper
+// evaluated and rejected (extra state, no accuracy gain).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace osp;
+  std::cout << "# Ablation: LGP variants (accuracy / throughput)\n";
+  util::Table table({"workload", "variant", "best metric", "samples/s",
+                     "mean BST (s)"});
+  const std::vector<runtime::WorkloadSpec> workloads = {
+      models::resnet50_cifar10(), models::inceptionv3_cifar100()};
+  for (const auto& spec : workloads) {
+    struct Variant {
+      std::string label;
+      core::OspOptions opts;
+    };
+    std::vector<Variant> variants(3);
+    variants[0].label = "LGP (paper default)";
+    variants[1].label = "no correction";
+    variants[1].opts.enable_lgp = false;
+    variants[2].label = "EMA-LGP";
+    variants[2].opts.use_ema_lgp = true;
+    for (const auto& variant : variants) {
+      core::OspSync osp(variant.opts);
+      const auto r = bench::run_one(spec, osp, bench::paper_config());
+      table.add_row({spec.name, variant.label,
+                     util::Table::fmt(100.0 * r.best_metric, 2) + "%",
+                     util::Table::fmt(r.throughput, 1),
+                     util::Table::fmt(r.mean_bst_s, 3)});
+    }
+  }
+  bench::emit(table, "ablation_lgp");
+  return 0;
+}

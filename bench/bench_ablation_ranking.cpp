@@ -1,0 +1,38 @@
+// Ablation (§4.1.1): gradient-importance ranking schemes under an equal
+// ICS budget — density-normalized PGP (default), the paper's literal Eq. 4
+// sum, gradient magnitude, and random. The sum variant shows why density
+// normalization matters: large layers monopolize the "important" set and
+// the ICS budget goes unused (higher BST at the same budget).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace osp;
+  std::cout << "# Ablation: importance ranking (fixed 60% ICS budget)\n";
+  util::Table table({"ranking", "best metric", "samples/s", "mean BST (s)"});
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = bench::paper_config();
+
+  struct Variant {
+    std::string label;
+    core::OspOptions::Ranking ranking;
+  };
+  const std::vector<Variant> variants = {
+      {"PGP density (default)", core::OspOptions::Ranking::kPgp},
+      {"PGP sum (Eq. 4 literal)", core::OspOptions::Ranking::kPgpSum},
+      {"gradient magnitude", core::OspOptions::Ranking::kMagnitude},
+      {"random", core::OspOptions::Ranking::kRandom},
+  };
+  for (const auto& variant : variants) {
+    core::OspOptions opts;
+    opts.ranking = variant.ranking;
+    opts.fixed_budget_fraction = 0.6;
+    core::OspSync osp(opts);
+    const auto r = bench::run_one(spec, osp, cfg);
+    table.add_row({variant.label,
+                   util::Table::fmt(100.0 * r.best_metric, 2) + "%",
+                   util::Table::fmt(r.throughput, 1),
+                   util::Table::fmt(r.mean_bst_s, 3)});
+  }
+  bench::emit(table, "ablation_ranking");
+  return 0;
+}

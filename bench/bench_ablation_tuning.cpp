@@ -1,0 +1,38 @@
+// Ablation (§4.1.2): Algorithm 1's loss-driven S(Gᵘ) ramp vs fixed splits.
+//
+// Fixed 0 % is BSP (§4.3's degradation); fixed 80 % is the cap; the
+// schedule should track the best fixed split's throughput while protecting
+// early-training accuracy.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace osp;
+  std::cout << "# Ablation: S(G^u) tuning — Algorithm 1 vs fixed budgets\n";
+  util::Table table({"budget", "best metric", "samples/s", "mean BST (s)",
+                     "final ICS budget (MB)"});
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = bench::paper_config();
+
+  {
+    core::OspSync osp;  // Algorithm 1
+    const auto r = bench::run_one(spec, osp, cfg);
+    table.add_row({"Algorithm 1",
+                   util::Table::fmt(100.0 * r.best_metric, 2) + "%",
+                   util::Table::fmt(r.throughput, 1),
+                   util::Table::fmt(r.mean_bst_s, 3),
+                   util::Table::fmt(osp.current_ics_budget() / 1e6, 1)});
+  }
+  for (double fixed : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    core::OspOptions opts;
+    opts.fixed_budget_fraction = fixed;
+    core::OspSync osp(opts);
+    const auto r = bench::run_one(spec, osp, cfg);
+    table.add_row({"fixed " + util::Table::fmt(100.0 * fixed, 0) + "%",
+                   util::Table::fmt(100.0 * r.best_metric, 2) + "%",
+                   util::Table::fmt(r.throughput, 1),
+                   util::Table::fmt(r.mean_bst_s, 3),
+                   util::Table::fmt(osp.current_ics_budget() / 1e6, 1)});
+  }
+  bench::emit(table, "ablation_tuning");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared configuration and helpers for the figure/table benches.
+//
+// Every bench prints an aligned text table with the same rows/series the
+// paper reports, and writes a CSV next to the binary (bench_out/) for
+// plotting. Epoch counts and the repetition seed can be overridden through
+// environment variables so a quick smoke pass is possible:
+//   OSP_BENCH_EPOCHS=4 ./build/bench/bench_fig6a_throughput
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/osp_sync.hpp"
+#include "models/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "sync/asp.hpp"
+#include "sync/bsp.hpp"
+#include "sync/r2sp.hpp"
+#include "sync/ssp.hpp"
+#include "util/table.hpp"
+
+namespace osp::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// The testbed configuration of §5.1.1: 8 workers + standalone PS behind a
+/// 10 Gbit/s ToR, Tesla T4-class compute, mild compute jitter.
+inline runtime::EngineConfig paper_config(
+    std::size_t workers = 8,
+    std::size_t epochs = env_size("OSP_BENCH_EPOCHS", 30)) {
+  runtime::EngineConfig cfg;
+  cfg.num_workers = workers;
+  cfg.max_epochs = epochs;
+  cfg.seed = 20230807;  // ICPP'23 conference date
+  cfg.straggler_jitter = 0.05;
+  return cfg;
+}
+
+struct NamedSync {
+  std::string label;
+  std::function<std::unique_ptr<runtime::SyncModel>()> make;
+};
+
+/// The paper's comparison set in its presentation order (§5.1.3).
+inline std::vector<NamedSync> paper_baselines() {
+  return {
+      {"ASP", [] { return std::make_unique<sync::AspSync>(); }},
+      {"BSP", [] { return std::make_unique<sync::BspSync>(); }},
+      {"R2SP", [] { return std::make_unique<sync::R2spSync>(); }},
+      {"OSP", [] { return std::make_unique<core::OspSync>(); }},
+  };
+}
+
+inline runtime::RunResult run_one(const runtime::WorkloadSpec& spec,
+                                  runtime::SyncModel& sync,
+                                  const runtime::EngineConfig& cfg) {
+  runtime::Engine engine(spec, cfg, sync);
+  return engine.run();
+}
+
+/// Print the table and also drop a CSV under bench_out/.
+inline void emit(const util::Table& table, const std::string& name) {
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (!ec) {
+    const std::string path = "bench_out/" + name + ".csv";
+    if (table.write_csv(path)) {
+      std::cout << "(csv: " << path << ")\n";
+    }
+  }
+  std::cout << std::endl;
+}
+
+/// The paper reports BERT throughput as QAs per 10 seconds (§5.2).
+inline double display_throughput(const runtime::WorkloadSpec& spec,
+                                 double samples_per_s) {
+  return spec.is_qa ? samples_per_s * 10.0 : samples_per_s;
+}
+
+inline std::string throughput_unit(const runtime::WorkloadSpec& spec) {
+  return spec.is_qa ? "QAs/10s" : "images/s";
+}
+
+}  // namespace osp::bench

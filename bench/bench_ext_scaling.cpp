@@ -1,0 +1,58 @@
+// Extension (§6.1): scaling — more workers, and multiple parameter servers.
+//
+// Part 1: with a single PS, growing the worker count shrinks Eq. 5's
+// U_max = b·T_C/(N·(1+lr)) and saturates the PS links/update loop — the
+// effect motivating the paper's multi-PS future work.
+// Part 2: the implemented multi-PS sharding (BytePS-style): blocks are
+// byte-balanced across P servers, every PS aggregates and steps its own
+// shard, and OSP's ICS capacity scales with P.
+#include "bench_common.hpp"
+
+#include "sync/sharded_bsp.hpp"
+
+int main() {
+  using namespace osp;
+  const auto spec = models::resnet50_cifar10();
+  const std::size_t epochs = bench::env_size("OSP_BENCH_EPOCHS", 12);
+
+  std::cout << "# Ext (§6.1a): worker scaling with a single PS\n";
+  util::Table workers_table({"workers", "BSP tput", "ASP tput", "OSP tput",
+                             "OSP steady BST (s)", "U_max (MB)"});
+  for (std::size_t workers : {4, 8, 16, 32}) {
+    const auto cfg = bench::paper_config(workers, epochs);
+    sync::BspSync bsp;
+    sync::AspSync asp;
+    core::OspSync osp;
+    const auto rb = bench::run_one(spec, bsp, cfg);
+    const auto ra = bench::run_one(spec, asp, cfg);
+    const auto ro = bench::run_one(spec, osp, cfg);
+    workers_table.add_row({std::to_string(workers),
+                           util::Table::fmt(rb.throughput, 1),
+                           util::Table::fmt(ra.throughput, 1),
+                           util::Table::fmt(ro.steady_throughput, 1),
+                           util::Table::fmt(ro.steady_bst_s, 3),
+                           util::Table::fmt(osp.u_max() / 1e6, 1)});
+  }
+  bench::emit(workers_table, "ext_scaling_workers");
+
+  std::cout << "# Ext (§6.1b): multi-PS sharding, 16 workers\n";
+  util::Table ps_table({"PSes", "BSP(xP) tput", "BSP(xP) BST",
+                        "OSP(xP) tput", "OSP(xP) steady BST",
+                        "OSP U_max (MB)"});
+  for (std::size_t ps : {1, 2, 4}) {
+    auto cfg = bench::paper_config(16, epochs);
+    cfg.cluster.num_ps = ps;
+    sync::ShardedBspSync bsp;
+    core::OspSync osp;
+    const auto rb = bench::run_one(spec, bsp, cfg);
+    const auto ro = bench::run_one(spec, osp, cfg);
+    ps_table.add_row({std::to_string(ps),
+                      util::Table::fmt(rb.throughput, 1),
+                      util::Table::fmt(rb.mean_bst_s, 3),
+                      util::Table::fmt(ro.steady_throughput, 1),
+                      util::Table::fmt(ro.steady_bst_s, 3),
+                      util::Table::fmt(osp.u_max() / 1e6, 1)});
+  }
+  bench::emit(ps_table, "ext_scaling_multips");
+  return 0;
+}

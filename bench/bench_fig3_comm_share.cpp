@@ -1,0 +1,34 @@
+// Figure 3: the communication share of training grows as DDL scales.
+//
+// The paper trains ResNet50 with PS-based BSP on 1/2/4/8 machines and shows
+// that adding nodes does not shrink training time proportionally because
+// the communication fraction expands. We reproduce the series: per-node
+// count, iteration time decomposition (compute vs synchronization), the
+// communication share, and the speedup over 1 worker vs the ideal.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace osp;
+  std::cout << "# Fig. 3: communication share vs cluster size "
+               "(ResNet50, BSP)\n";
+  util::Table table({"workers", "BCT (s)", "BST (s)", "comm share",
+                     "samples/s", "speedup", "ideal"});
+  const auto spec = models::resnet50_cifar10();
+  double base_throughput = 0.0;
+  for (std::size_t workers : {1, 2, 4, 8}) {
+    sync::BspSync bsp;
+    const auto cfg = bench::paper_config(
+        workers, bench::env_size("OSP_BENCH_EPOCHS", 6));
+    const auto r = bench::run_one(spec, bsp, cfg);
+    if (workers == 1) base_throughput = r.throughput;
+    const double share = r.mean_bst_s / (r.mean_bst_s + r.mean_bct_s);
+    table.add_row({std::to_string(workers), util::Table::fmt(r.mean_bct_s, 3),
+                   util::Table::fmt(r.mean_bst_s, 3),
+                   util::Table::fmt(100.0 * share, 1) + "%",
+                   util::Table::fmt(r.throughput, 1),
+                   util::Table::fmt(r.throughput / base_throughput, 2) + "x",
+                   std::to_string(workers) + ".00x"});
+  }
+  bench::emit(table, "fig3_comm_share");
+  return 0;
+}

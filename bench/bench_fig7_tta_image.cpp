@@ -1,0 +1,61 @@
+// Figure 7: time-to-accuracy curves on the image classification tasks.
+//
+// For each image workload the bench prints the accuracy reached by fixed
+// virtual-time checkpoints for all four sync models (the figure's series),
+// plus the full curves as CSV. The paper's shape: OSP's curve dominates —
+// its throughput advantage translates into faster convergence with no
+// accuracy loss (§5.3).
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// Accuracy of the latest eval at or before `t` (0 before the first).
+double metric_at(const std::vector<osp::runtime::EvalPoint>& curve,
+                 double t) {
+  double value = 0.0;
+  for (const auto& p : curve) {
+    if (p.time_s <= t) value = p.metric;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  using namespace osp;
+  const std::vector<runtime::WorkloadSpec> workloads = {
+      models::resnet50_cifar10(), models::vgg16_cifar10(),
+      models::inceptionv3_cifar100(), models::resnet101_imagenet()};
+  for (const auto& spec : workloads) {
+    std::cout << "# Fig. 7: time-to-accuracy, " << spec.name << "\n";
+    auto cfg = bench::paper_config();
+    cfg.eval_every_samples = spec.train->size() / 2;  // 2 points per epoch
+
+    std::vector<runtime::RunResult> results;
+    double horizon = 0.0;
+    for (const auto& named : bench::paper_baselines()) {
+      auto sync = named.make();
+      results.push_back(bench::run_one(spec, *sync, cfg));
+      horizon = std::max(horizon, results.back().total_time_s);
+    }
+
+    util::Table table({"time (s)", "ASP", "BSP", "R2SP", "OSP"});
+    constexpr int kPoints = 12;
+    for (int i = 1; i <= kPoints; ++i) {
+      const double t = horizon * i / kPoints;
+      std::vector<std::string> row = {util::Table::fmt(t, 1)};
+      for (const auto& r : results) {
+        row.push_back(util::Table::fmt(100.0 * metric_at(r.curve, t), 1) +
+                      "%");
+      }
+      table.add_row(std::move(row));
+    }
+    std::string slug = spec.model_name;
+    std::transform(slug.begin(), slug.end(), slug.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    bench::emit(table, "fig7_tta_" + slug);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 8: time-to-F1 curve on the NLP fine-tuning task (BERTbase proxy
+// on synthetic SQuAD). The paper: OSP holds a (smaller) advantage on NLP.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace {
+double metric_at(const std::vector<osp::runtime::EvalPoint>& curve,
+                 double t) {
+  double value = 0.0;
+  for (const auto& p : curve) {
+    if (p.time_s <= t) value = p.metric;
+  }
+  return value;
+}
+}  // namespace
+
+int main() {
+  using namespace osp;
+  const auto spec = models::bertbase_squad();
+  std::cout << "# Fig. 8: time-to-F1, " << spec.name << "\n";
+  auto cfg = bench::paper_config();
+  cfg.eval_every_samples = spec.train->size() / 2;
+
+  std::vector<runtime::RunResult> results;
+  double horizon = 0.0;
+  for (const auto& named : bench::paper_baselines()) {
+    auto sync = named.make();
+    results.push_back(bench::run_one(spec, *sync, cfg));
+    horizon = std::max(horizon, results.back().total_time_s);
+  }
+
+  util::Table table({"time (s)", "ASP F1", "BSP F1", "R2SP F1", "OSP F1"});
+  constexpr int kPoints = 12;
+  for (int i = 1; i <= kPoints; ++i) {
+    const double t = horizon * i / kPoints;
+    std::vector<std::string> row = {util::Table::fmt(t, 1)};
+    for (const auto& r : results) {
+      row.push_back(util::Table::fmt(100.0 * metric_at(r.curve, t), 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, "fig8_tta_bert");
+  return 0;
+}

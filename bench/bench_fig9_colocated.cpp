@@ -1,0 +1,39 @@
+// Figure 9 / §5.4: batch computation time under co-located PS.
+//
+// Three scenarios per workload: BSP with a standalone PS, OSP-S (standalone
+// PS), and OSP-C (co-located PS, where worker 0 also computes the GIB).
+// Expected shape: OSP-S ≈ BSP (no worker-side overhead), OSP-C adds a
+// bounded overhead — lowest for InceptionV3 (~3 %), highest for VGG16
+// (~8 %).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace osp;
+  std::cout << "# Fig. 9: batch computation time (BCT) with co-located PS\n";
+  util::Table table({"workload", "BSP (s)", "OSP-S (s)", "OSP-C (s)",
+                     "OSP-S vs BSP", "OSP-C vs BSP"});
+  const std::size_t epochs = bench::env_size("OSP_BENCH_EPOCHS", 8);
+  for (const auto& spec : models::paper_workloads()) {
+    const auto standalone = bench::paper_config(8, epochs);
+    auto colocated = standalone;
+    colocated.cluster.colocated_ps = true;
+
+    sync::BspSync bsp;
+    const double bct_bsp = bench::run_one(spec, bsp, standalone).mean_bct_s;
+
+    core::OspSync osp_s;
+    const double bct_s = bench::run_one(spec, osp_s, standalone).mean_bct_s;
+
+    core::OspOptions colo_opts;
+    colo_opts.colocated_ps = true;
+    core::OspSync osp_c(colo_opts);
+    const double bct_c = bench::run_one(spec, osp_c, colocated).mean_bct_s;
+
+    table.add_row({spec.name, util::Table::fmt(bct_bsp, 3),
+                   util::Table::fmt(bct_s, 3), util::Table::fmt(bct_c, 3),
+                   util::Table::fmt(100.0 * (bct_s / bct_bsp - 1.0), 1) + "%",
+                   util::Table::fmt(100.0 * (bct_c / bct_bsp - 1.0), 1) + "%"});
+  }
+  bench::emit(table, "fig9_colocated_bct");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark): the discrete-event core and the
+// max-min fair-share network model — event throughput, rate recomputation
+// under churn, and an end-to-end incast round.
+#include <benchmark/benchmark.h>
+
+#include "core/gib.hpp"
+#include "core/pgp.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace osp;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_NetworkFlowChurn(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Network net(sim);
+    const sim::LinkId l = net.add_link(1e9);
+    for (std::size_t f = 0; f < flows; ++f) {
+      net.start_flow({l}, 1e6 * static_cast<double>(f + 1), nullptr);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(net.bytes_delivered());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows));
+}
+BENCHMARK(BM_NetworkFlowChurn)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_IncastRound(benchmark::State& state) {
+  // One BSP-style round: 8 pushes into the PS + 8 responses.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::ClusterConfig cfg;
+    cfg.num_workers = 8;
+    sim::Cluster cluster(sim, cfg);
+    int arrived = 0;
+    for (std::size_t w = 0; w < 8; ++w) {
+      cluster.network().start_flow(cluster.route_to_ps(w), 100e6,
+                                   [&arrived] { ++arrived; });
+    }
+    sim.run();
+    for (std::size_t w = 0; w < 8; ++w) {
+      cluster.network().start_flow(cluster.route_from_ps(w), 100e6,
+                                   [&arrived] { ++arrived; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(arrived);
+  }
+}
+BENCHMARK(BM_IncastRound);
+
+void BM_PgpRanking(benchmark::State& state) {
+  // PGP importance + sort over a model-sized flat vector.
+  const auto params_count = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> params(params_count), grads(params_count);
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  for (float& v : grads) v = static_cast<float>(rng.normal());
+  std::vector<nn::LayerBlockInfo> blocks;
+  const std::size_t block_size = params_count / 16;
+  for (std::size_t b = 0; b < 16; ++b) {
+    blocks.push_back({"b" + std::to_string(b), b * block_size, block_size});
+  }
+  std::vector<double> bytes(16, static_cast<double>(block_size) * 4.0);
+  for (auto _ : state) {
+    auto imp = core::density_normalize(
+        core::pgp_importance(params, grads, blocks), blocks);
+    auto gib = core::Gib::from_ranking(core::rank_ascending(imp), bytes,
+                                       static_cast<double>(params_count) * 2.0);
+    benchmark::DoNotOptimize(gib.count_important());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params_count));
+}
+BENCHMARK(BM_PgpRanking)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark): tensor kernels on the hot path of
+// the proxy-model training — matmul orientations, conv via im2col, softmax.
+#include <benchmark/benchmark.h>
+
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using osp::tensor::Conv2dGeom;
+using osp::tensor::Tensor;
+
+Tensor random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  osp::util::Rng rng(seed);
+  Tensor t({r, c});
+  for (float& v : t.data()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_matrix(n, n, 1);
+  const Tensor b = random_matrix(n, n, 2);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    osp::tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_matrix(n, n, 3);
+  const Tensor b = random_matrix(n, n, 4);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    osp::tensor::matmul_tn(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_MatmulTn)->Arg(64)->Arg(128);
+
+void BM_MatmulNt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_matrix(n, n, 5);
+  const Tensor b = random_matrix(n, n, 6);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    osp::tensor::matmul_nt(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  Conv2dGeom g{16, side, side, 3, 1, 1};
+  osp::util::Rng rng(7);
+  std::vector<float> image(16 * side * side);
+  for (float& v : image) v = static_cast<float>(rng.normal());
+  Tensor cols({g.patches(), g.patch_len()});
+  for (auto _ : state) {
+    osp::tensor::im2col(image, g, cols);
+    benchmark::DoNotOptimize(cols.raw());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const Tensor x = random_matrix(64, cols, 8);
+  Tensor out({64, cols});
+  for (auto _ : state) {
+    osp::tensor::softmax_rows(x, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every figure/table: one binary per paper figure + ablations,
+# extensions, and google-benchmark micros. OSP_BENCH_EPOCHS trims run length.
+set -u
+cd "$(dirname "$0")"
+: "${OSP_BENCH_EPOCHS:=20}"
+export OSP_BENCH_EPOCHS
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b (OSP_BENCH_EPOCHS=$OSP_BENCH_EPOCHS) =====" >> "$out"
+  "$b" >> "$out" 2>&1
+  echo >> "$out"
+done
+echo "ALL_BENCHES_DONE" >> "$out"

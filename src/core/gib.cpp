@@ -1,0 +1,87 @@
+#include "core/gib.hpp"
+
+#include "util/check.hpp"
+
+namespace osp::core {
+
+Gib Gib::all_important(std::size_t num_layers) {
+  return Gib(num_layers, 1);
+}
+
+Gib Gib::all_unimportant(std::size_t num_layers) {
+  return Gib(num_layers, 0);
+}
+
+Gib Gib::from_ranking(std::span<const std::size_t> ascending_order,
+                      std::span<const double> block_bytes,
+                      double unimportant_budget_bytes) {
+  OSP_CHECK(ascending_order.size() == block_bytes.size(),
+            "ranking/block count mismatch");
+  Gib gib = all_important(block_bytes.size());
+  double used = 0.0;
+  for (std::size_t idx : ascending_order) {
+    OSP_CHECK(idx < block_bytes.size(), "ranking index out of range");
+    if (used + block_bytes[idx] > unimportant_budget_bytes) continue;
+    used += block_bytes[idx];
+    gib.set_important(idx, false);
+  }
+  return gib;
+}
+
+void Gib::set_important(std::size_t i, bool v) {
+  OSP_CHECK(i < bits_.size(), "GIB index out of range");
+  bits_[i] = v ? 1 : 0;
+}
+
+std::size_t Gib::count_important() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : bits_) n += b;
+  return n;
+}
+
+double Gib::important_bytes(std::span<const double> block_bytes) const {
+  OSP_CHECK(block_bytes.size() == bits_.size(), "block count mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0) total += block_bytes[i];
+  }
+  return total;
+}
+
+double Gib::unimportant_bytes(std::span<const double> block_bytes) const {
+  OSP_CHECK(block_bytes.size() == bits_.size(), "block count mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] == 0) total += block_bytes[i];
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> Gib::serialize() const {
+  const auto n = static_cast<std::uint32_t>(bits_.size());
+  std::vector<std::uint8_t> out(4 + (bits_.size() + 7) / 8, 0);
+  out[0] = static_cast<std::uint8_t>(n & 0xff);
+  out[1] = static_cast<std::uint8_t>((n >> 8) & 0xff);
+  out[2] = static_cast<std::uint8_t>((n >> 16) & 0xff);
+  out[3] = static_cast<std::uint8_t>((n >> 24) & 0xff);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0) out[4 + i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+Gib Gib::deserialize(std::span<const std::uint8_t> bytes) {
+  OSP_CHECK(bytes.size() >= 4, "GIB blob too small");
+  const std::uint32_t n = static_cast<std::uint32_t>(bytes[0]) |
+                          (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                          (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                          (static_cast<std::uint32_t>(bytes[3]) << 24);
+  OSP_CHECK(bytes.size() == 4 + (n + 7) / 8, "GIB blob size mismatch");
+  Gib gib = all_unimportant(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((bytes[4 + i / 8] >> (i % 8)) & 1u) gib.set_important(i, true);
+  }
+  return gib;
+}
+
+}  // namespace osp::core

@@ -1,0 +1,60 @@
+// Gradient Importance Bitmap (GIB) — one bit per layer, true = important.
+//
+// The PS computes the GIB asynchronously from the previous iteration's PGP
+// ranking and pushes it to the workers; the worker-side Gradient Splitter
+// then routes each layer's gradient to RS (important) or ICS (unimportant).
+// For models under 1K layers the serialized bitmap is ≤ 1 KB, which is why
+// the paper's Eq. 5 neglects T_PushGIB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace osp::core {
+
+class Gib {
+ public:
+  /// All layers important — OSP degenerates to BSP (§4.3).
+  [[nodiscard]] static Gib all_important(std::size_t num_layers);
+
+  /// All layers unimportant — OSP degenerates to ASP (§4.3).
+  [[nodiscard]] static Gib all_unimportant(std::size_t num_layers);
+
+  /// Greedy fill: walk blocks in `ascending_order` (least important first)
+  /// and mark them unimportant while their cumulative size fits in
+  /// `unimportant_budget_bytes`. `block_bytes[i]` is block i's wire size.
+  [[nodiscard]] static Gib from_ranking(
+      std::span<const std::size_t> ascending_order,
+      std::span<const double> block_bytes, double unimportant_budget_bytes);
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] bool important(std::size_t i) const { return bits_.at(i) != 0; }
+  void set_important(std::size_t i, bool v);
+
+  [[nodiscard]] std::size_t count_important() const;
+  [[nodiscard]] std::size_t count_unimportant() const {
+    return size() - count_important();
+  }
+
+  /// Total wire bytes of the important / unimportant sets.
+  [[nodiscard]] double important_bytes(std::span<const double> block_bytes) const;
+  [[nodiscard]] double unimportant_bytes(std::span<const double> block_bytes) const;
+
+  /// Serialized form: 4-byte little-endian layer count + packed bits.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Gib deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Wire size of the serialized bitmap.
+  [[nodiscard]] std::size_t wire_bytes() const { return 4 + (size() + 7) / 8; }
+
+  [[nodiscard]] bool operator==(const Gib& other) const {
+    return bits_ == other.bits_;
+  }
+
+ private:
+  explicit Gib(std::size_t n, std::uint8_t fill) : bits_(n, fill) {}
+  std::vector<std::uint8_t> bits_;  // 1 = important
+};
+
+}  // namespace osp::core

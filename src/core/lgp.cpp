@@ -1,0 +1,98 @@
+#include "core/lgp.hpp"
+
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::core {
+
+namespace {
+void check_sizes(std::span<const float> a, std::span<const float> b,
+                 const std::vector<nn::LayerBlockInfo>& blocks,
+                 const Gib& gib) {
+  OSP_CHECK(a.size() == b.size(), "flat vector size mismatch");
+  OSP_CHECK(gib.size() == blocks.size(), "GIB/block count mismatch");
+}
+}  // namespace
+
+void lgp_apply_local_step(std::span<float> params,
+                          std::span<const float> local_grad, double lr,
+                          const std::vector<nn::LayerBlockInfo>& blocks,
+                          const Gib& gib) {
+  check_sizes(params, local_grad, blocks, gib);
+  const auto step = static_cast<float>(-lr);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (gib.important(i)) continue;
+    const nn::LayerBlockInfo& b = blocks[i];
+    util::axpy(step, local_grad.subspan(b.offset, b.numel),
+               params.subspan(b.offset, b.numel));
+  }
+}
+
+void lgp_correct_blocks(std::span<float> params,
+                        std::span<const float> authoritative,
+                        const std::vector<nn::LayerBlockInfo>& blocks,
+                        const Gib& gib) {
+  check_sizes(params, authoritative, blocks, gib);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (gib.important(i)) continue;
+    const nn::LayerBlockInfo& b = blocks[i];
+    util::copy(authoritative.subspan(b.offset, b.numel),
+               params.subspan(b.offset, b.numel));
+  }
+}
+
+void copy_important_blocks(std::span<float> params,
+                           std::span<const float> authoritative,
+                           const std::vector<nn::LayerBlockInfo>& blocks,
+                           const Gib& gib) {
+  check_sizes(params, authoritative, blocks, gib);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (!gib.important(i)) continue;
+    const nn::LayerBlockInfo& b = blocks[i];
+    util::copy(authoritative.subspan(b.offset, b.numel),
+               params.subspan(b.offset, b.numel));
+  }
+}
+
+EmaLgp::EmaLgp(std::size_t num_params, double beta, double ema_alpha)
+    : beta_(beta), ema_alpha_(ema_alpha), ema_(num_params, 0.0f) {
+  OSP_CHECK(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+  OSP_CHECK(ema_alpha > 0.0 && ema_alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+void EmaLgp::observe_global(std::span<const float> global_grad) {
+  OSP_CHECK(global_grad.size() == ema_.size(), "gradient size mismatch");
+  if (!has_history_) {
+    util::copy(global_grad, ema_);
+    has_history_ = true;
+    return;
+  }
+  const auto a = static_cast<float>(ema_alpha_);
+  for (std::size_t i = 0; i < ema_.size(); ++i) {
+    ema_[i] = a * global_grad[i] + (1.0f - a) * ema_[i];
+  }
+}
+
+void EmaLgp::apply_local_step(std::span<float> params,
+                              std::span<const float> local_grad, double lr,
+                              const std::vector<nn::LayerBlockInfo>& blocks,
+                              const Gib& gib) const {
+  OSP_CHECK(params.size() == ema_.size(), "params size mismatch");
+  OSP_CHECK(local_grad.size() == ema_.size(), "gradient size mismatch");
+  OSP_CHECK(gib.size() == blocks.size(), "GIB/block count mismatch");
+  // Without history the blend collapses to the plain local step.
+  const float beta = has_history_ ? static_cast<float>(beta_) : 0.0f;
+  const auto step = static_cast<float>(-lr);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (gib.important(i)) continue;
+    const nn::LayerBlockInfo& b = blocks[i];
+    float* p = params.data() + b.offset;
+    const float* g = local_grad.data() + b.offset;
+    const float* e = ema_.data() + b.offset;
+    for (std::size_t j = 0; j < b.numel; ++j) {
+      p[j] += step * (beta * e[j] + (1.0f - beta) * g[j]);
+    }
+  }
+}
+
+}  // namespace osp::core

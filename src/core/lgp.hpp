@@ -1,0 +1,74 @@
+// Local-Gradient-based Parameter correction (LGP) — §4.2, Eq. 6–7.
+//
+// After RS, a worker's unimportant layers have not yet seen the global
+// gradient. Eq. 6: the worker *predicts* them by applying its own local
+// gradient (P_partial), so the next iteration at least trains on the local
+// result instead of stale values. Eq. 7: when the ICS delivers the global
+// result, the locally-predicted contribution is replaced by the global one.
+// With plain SGD steps the Eq. 7 correction is exactly "overwrite the
+// unimportant blocks with the PS's authoritative post-update values", which
+// is how correct_blocks implements it (and which stays exact when the PS
+// optimizer carries momentum the worker cannot reproduce locally).
+//
+// EMA-LGP (§4.2, evaluated and rejected by the paper, kept here for the
+// ablation bench) predicts with a blend of the exponential moving average
+// of past global gradients and the current local gradient.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/gib.hpp"
+#include "nn/registry.hpp"
+
+namespace osp::core {
+
+/// Eq. 6: apply a plain SGD step with the *local* gradient to every
+/// unimportant block: P -= lr·g_local over blocks with gib.important == false.
+void lgp_apply_local_step(std::span<float> params,
+                          std::span<const float> local_grad, double lr,
+                          const std::vector<nn::LayerBlockInfo>& blocks,
+                          const Gib& gib);
+
+/// Eq. 7 (net effect): overwrite every unimportant block of `params` with
+/// the authoritative global values delivered by the ICS.
+void lgp_correct_blocks(std::span<float> params,
+                        std::span<const float> authoritative,
+                        const std::vector<nn::LayerBlockInfo>& blocks,
+                        const Gib& gib);
+
+/// Copy *important* blocks from `authoritative` (the RS response).
+void copy_important_blocks(std::span<float> params,
+                           std::span<const float> authoritative,
+                           const std::vector<nn::LayerBlockInfo>& blocks,
+                           const Gib& gib);
+
+/// EMA-LGP: predict unimportant blocks with β·EMA(global grads) +
+/// (1−β)·g_local instead of g_local alone.
+class EmaLgp {
+ public:
+  /// `num_params` is the flat vector length; `beta` the blend toward the
+  /// global-gradient EMA; `ema_alpha` the EMA smoothing factor.
+  EmaLgp(std::size_t num_params, double beta, double ema_alpha);
+
+  /// Fold a freshly-aggregated global gradient into the EMA.
+  void observe_global(std::span<const float> global_grad);
+
+  /// Eq. 6 with the blended gradient estimate.
+  void apply_local_step(std::span<float> params,
+                        std::span<const float> local_grad, double lr,
+                        const std::vector<nn::LayerBlockInfo>& blocks,
+                        const Gib& gib) const;
+
+  [[nodiscard]] std::span<const float> ema() const { return ema_; }
+  [[nodiscard]] bool has_history() const { return has_history_; }
+
+ private:
+  double beta_;
+  double ema_alpha_;
+  std::vector<float> ema_;
+  bool has_history_ = false;
+};
+
+}  // namespace osp::core

@@ -1,0 +1,302 @@
+#include "core/osp_sync.hpp"
+
+#include <algorithm>
+
+#include "core/pgp.hpp"
+#include "sync/sharding.hpp"
+#include "sync/transfer.hpp"
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::core {
+
+namespace {
+std::vector<bool> mask_from_gib(const Gib& gib, bool important_set) {
+  std::vector<bool> mask(gib.size());
+  for (std::size_t i = 0; i < gib.size(); ++i) {
+    mask[i] = gib.important(i) == important_set;
+  }
+  return mask;
+}
+}  // namespace
+
+OspSync::OspSync(OspOptions options)
+    : options_(options), rng_(options.seed), gib_(Gib::all_important(0)) {}
+
+std::string OspSync::name() const {
+  std::string n = options_.colocated_ps ? "OSP-C" : "OSP";
+  if (!options_.enable_lgp) n += "(no-LGP)";
+  if (options_.use_ema_lgp) n += "(EMA)";
+  if (options_.ranking == OspOptions::Ranking::kPgpSum) n += "(sum)";
+  if (options_.ranking == OspOptions::Ranking::kMagnitude) n += "(mag)";
+  if (options_.ranking == OspOptions::Ranking::kRandom) n += "(rand)";
+  if (options_.fixed_budget_fraction >= 0.0) {
+    n += "(fixed=" +
+         std::to_string(
+             static_cast<int>(options_.fixed_budget_fraction * 100)) +
+         "%)";
+  }
+  if (num_ps_ > 1) n += "(x" + std::to_string(num_ps_) + "PS)";
+  return n;
+}
+
+void OspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  gib_ = Gib::all_important(eng.num_blocks());
+  num_ps_ = eng.cluster().num_ps();
+  block_to_ps_ =
+      sync::assign_blocks_to_shards(eng.all_block_bytes(), num_ps_);
+
+  IcsBudgetParams p;
+  // §6.1: with P parameter servers the ICS drains through P independent
+  // ingress links, so the Eq. 5 capacity term scales by P.
+  p.bandwidth_bytes_per_s =
+      sim::gbps_to_bytes_per_sec(eng.cluster().config().link_gbps) *
+      static_cast<double>(num_ps_);
+  p.loss_rate = eng.cluster().config().loss_rate;
+  p.incast_alpha = eng.cluster().config().incast_alpha;
+  p.compute_time_s = eng.base_compute_time();
+  p.num_workers = eng.num_workers();
+  p.model_bytes = eng.model_bytes();
+  p.cap_fraction = options_.cap_fraction;
+  tuner_ = std::make_unique<SguTuner>(ics_upper_bound(p));
+
+  if (options_.fixed_budget_fraction >= 0.0) {
+    ics_budget_ = std::min(options_.fixed_budget_fraction,
+                           options_.cap_fraction) *
+                  eng.model_bytes();
+  } else {
+    ics_budget_ = 0.0;  // Algorithm 1 line 9
+  }
+
+  if (options_.use_ema_lgp) {
+    ema_lgp_ = std::make_unique<EmaLgp>(eng.global_params().size(),
+                                        options_.ema_beta,
+                                        options_.ema_alpha);
+  }
+  if (options_.colocated_ps) {
+    OSP_CHECK(eng.cluster().config().colocated_ps,
+              "OSP-C needs a co-located cluster configuration");
+    eng.set_worker_compute_overhead(0, eng.spec().gib_overhead_fraction);
+  }
+  rs_arrived_ = 0;
+  round_ = 0;
+  rs_pending_.assign(eng.num_workers(), 0);
+  ics_inflight_.clear();
+  last_ics_applied_.assign(eng.num_workers(), 0);
+  ics_rounds_completed_ = 0;
+}
+
+double OspSync::u_max() const { return tuner_->u_max(); }
+
+double OspSync::ps_bytes(const Gib& gib, std::size_t ps,
+                         bool important) const {
+  const auto& bytes = eng().all_block_bytes();
+  double total = 0.0;
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    if (block_to_ps_[b] == ps && gib.important(b) == important) {
+      total += bytes[b];
+    }
+  }
+  return total;
+}
+
+Gib OspSync::restrict_to_ps(const Gib& gib, std::size_t ps,
+                            bool want_important,
+                            bool encode_as_important) const {
+  Gib out = encode_as_important ? Gib::all_unimportant(gib.size())
+                                : Gib::all_important(gib.size());
+  for (std::size_t b = 0; b < gib.size(); ++b) {
+    const bool selected =
+        block_to_ps_[b] == ps && gib.important(b) == want_important;
+    if (selected) out.set_important(b, encode_as_important);
+  }
+  return out;
+}
+
+void OspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    const double bytes = ps_bytes(gib_, p, /*important=*/true);
+    sync::transfer(e, e.cluster().route_to_ps(worker, p), bytes,
+                   [this] { on_rs_push_arrived(); });
+  }
+}
+
+void OspSync::on_rs_push_arrived() {
+  ++rs_arrived_;
+  if (rs_arrived_ == eng().num_workers() * num_ps_) {
+    rs_arrived_ = 0;
+    rs_aggregate();
+  }
+}
+
+void OspSync::rs_aggregate() {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+
+  // Aggregate the round's *full* gradients once; the unimportant part is
+  // exactly what the workers' ICS pushes will deliver, so the snapshot
+  // keeps the numerics identical while the bytes flow on the virtual wire.
+  agg_.assign(e.global_params().size(), 0.0f);
+  for (std::size_t w = 0; w < n; ++w) {
+    util::axpy(static_cast<float>(e.worker_weight(w)),
+               e.worker_gradient(w), agg_);
+  }
+  if (ema_lgp_ != nullptr) ema_lgp_->observe_global(agg_);
+
+  // (b) Step the important blocks of the global model.
+  e.apply_global_step_blocks(agg_, mask_from_gib(gib_, true));
+
+  // (c) Asynchronous GIB calculation for the next round.
+  const Gib round_gib = gib_;
+  gib_ = compute_next_gib();
+
+  const double lr = e.current_lr();
+  const std::uint64_t this_round = ++round_;
+  for (std::size_t w = 0; w < n; ++w) rs_pending_[w] = num_ps_;
+
+  // (d) Per PS shard: the optimizer application over that shard's RS bytes
+  // (one job on the shard's serial queue — accumulation streams with the
+  // incast arrivals, PGP/sort is the asynchronous GIB calculation of §4.4),
+  // then the RS responses carrying the shard's updated important blocks +
+  // the new GIB.
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    const double important = ps_bytes(round_gib, p, /*important=*/true);
+    const double response_bytes =
+        important + static_cast<double>(gib_.wire_bytes());
+    e.ps_submit(
+        e.ps_apply_delay(important, 3.0),
+        [this, p, response_bytes, round_gib, lr] {
+          runtime::Engine& en = eng();
+          for (std::size_t w = 0; w < en.num_workers(); ++w) {
+            sync::transfer(
+                en, en.cluster().route_from_ps(w, p), response_bytes,
+                [this, w, p, round_gib, lr] {
+                  runtime::Engine& e2 = eng();
+                  // Install this shard's important blocks (the restricted
+                  // view encodes the selection as its important set).
+                  copy_important_blocks(
+                      e2.worker_params(w), e2.global_params(), e2.blocks(),
+                      restrict_to_ps(round_gib, p, /*want_important=*/true,
+                                     /*encode_as_important=*/true));
+                  OSP_CHECK(rs_pending_[w] > 0, "unexpected RS response");
+                  if (--rs_pending_[w] > 0) return;
+                  // Last shard delivered: LGP prediction + next iteration.
+                  if (options_.enable_lgp) {
+                    if (ema_lgp_ != nullptr) {
+                      ema_lgp_->apply_local_step(e2.worker_params(w),
+                                                 e2.worker_gradient(w), lr,
+                                                 e2.blocks(), round_gib);
+                    } else {
+                      lgp_apply_local_step(e2.worker_params(w),
+                                           e2.worker_gradient(w), lr,
+                                           e2.blocks(), round_gib);
+                    }
+                  }
+                  e2.finish_sync(w);
+                });
+          }
+        },
+        p);
+  }
+  start_ics_round(this_round, round_gib);
+}
+
+Gib OspSync::compute_next_gib() {
+  runtime::Engine& e = eng();
+  if (ics_budget_ <= 0.0) return Gib::all_important(e.num_blocks());
+  std::vector<double> importance;
+  switch (options_.ranking) {
+    case OspOptions::Ranking::kPgp:
+      importance = density_normalize(
+          pgp_importance(e.global_params(), agg_, e.blocks()), e.blocks());
+      break;
+    case OspOptions::Ranking::kPgpSum:
+      importance = pgp_importance(e.global_params(), agg_, e.blocks());
+      break;
+    case OspOptions::Ranking::kMagnitude:
+      importance = magnitude_importance(agg_, e.blocks());
+      break;
+    case OspOptions::Ranking::kRandom:
+      importance.resize(e.num_blocks());
+      for (double& v : importance) v = rng_.uniform();
+      break;
+  }
+  return Gib::from_ranking(rank_ascending(importance), e.all_block_bytes(),
+                           ics_budget_);
+}
+
+void OspSync::start_ics_round(std::uint64_t round, const Gib& gib) {
+  runtime::Engine& e = eng();
+  if (gib.count_unimportant() == 0) return;
+  IcsRound state;
+  state.round = round;
+  state.gib = gib;
+  state.grad = agg_;  // snapshot: workers' buffers get reused next round
+  state.arrived.assign(num_ps_, 0);
+  ics_inflight_.push_back(std::move(state));
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    const double push_bytes = ps_bytes(gib, p, /*important=*/false);
+    if (push_bytes <= 0.0) continue;
+    for (std::size_t w = 0; w < e.num_workers(); ++w) {
+      sync::transfer(e, e.cluster().route_to_ps(w, p), push_bytes,
+                     [this, round, p] { on_ics_push_arrived(round, p); });
+    }
+  }
+}
+
+void OspSync::on_ics_push_arrived(std::uint64_t round, std::size_t ps) {
+  runtime::Engine& e = eng();
+  auto it = std::find_if(
+      ics_inflight_.begin(), ics_inflight_.end(),
+      [round](const IcsRound& r) { return r.round == round; });
+  OSP_CHECK(it != ics_inflight_.end(), "ICS push for unknown round");
+  if (++it->arrived[ps] < e.num_workers()) return;
+
+  // All of this shard's unimportant gradients arrived: step its blocks and
+  // send the corrected values back (Eq. 7 on the worker side).
+  const Gib shard_view =
+      restrict_to_ps(it->gib, ps, /*want_important=*/false,
+                     /*encode_as_important=*/false);
+  e.apply_global_step_blocks(it->grad, mask_from_gib(shard_view, false));
+
+  const double response_bytes = ps_bytes(it->gib, ps, /*important=*/false);
+  // A round completes when every shard that carries ICS bytes has arrived.
+  bool all_done = true;
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (ps_bytes(it->gib, p, false) > 0.0 &&
+        it->arrived[p] < e.num_workers()) {
+      all_done = false;
+    }
+  }
+  if (all_done) {
+    ++ics_rounds_completed_;
+    ics_inflight_.erase(it);
+  }
+
+  e.ps_submit(
+      e.ps_apply_delay(response_bytes, 3.0),
+      [this, round, ps, shard_view, response_bytes] {
+        runtime::Engine& en = eng();
+        for (std::size_t w = 0; w < en.num_workers(); ++w) {
+          sync::transfer(en, en.cluster().route_from_ps(w, ps),
+                         response_bytes, [this, w, round, shard_view] {
+                           if (round < last_ics_applied_[w]) return;  // stale
+                           runtime::Engine& e2 = eng();
+                           lgp_correct_blocks(e2.worker_params(w),
+                                              e2.global_params(),
+                                              e2.blocks(), shard_view);
+                           last_ics_applied_[w] = round;
+                         });
+        }
+      },
+      ps);
+}
+
+void OspSync::on_epoch_complete(std::size_t epoch, double mean_loss) {
+  if (options_.fixed_budget_fraction >= 0.0) return;  // ablation: fixed
+  ics_budget_ = tuner_->on_epoch_loss(epoch, mean_loss);
+}
+
+}  // namespace osp::core

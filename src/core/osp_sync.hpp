@@ -1,0 +1,142 @@
+// Overlapped Synchronization Parallel — the paper's contribution (§3–§4).
+//
+// Per iteration:
+//   1. RS (Routine Synchronization): every worker pushes the *important*
+//      gradient blocks (selected by the GIB the PS computed last round).
+//      When all N pushes arrive the PS (a) averages the full gradients,
+//      (b) steps the important blocks of the global model, (c) computes the
+//      next GIB from PGP on the fresh aggregate (asynchronous GIB
+//      calculation — zero worker-side cost), and (d) answers each worker
+//      with the updated important blocks + the new GIB.
+//   2. On the RS response a worker overwrites its important blocks, applies
+//      LGP's local prediction to the unimportant blocks (Eq. 6), and starts
+//      the next iteration immediately.
+//   3. ICS (In-Computation Synchronization): while the workers compute,
+//      the unimportant gradients travel to the PS; when all arrive the PS
+//      steps the unimportant blocks and sends the corrected values back;
+//      the worker replaces its LGP prediction with the global result
+//      (Eq. 7).
+//
+// The ICS byte budget follows Algorithm 1 (ramp from 0 to U_max as the loss
+// falls), so early training behaves like BSP (budget 0 ⇒ GIB all-important,
+// §4.3's degradation) and later training overlaps up to 80 % of the model.
+//
+// Multi-PS (§6.1): when the cluster has P > 1 parameter servers, layer
+// blocks are byte-balanced across them; each RS/ICS exchange becomes P
+// parallel per-shard flows, each PS aggregates and steps only its own
+// blocks on its own serial update queue, and Eq. 5's bound scales with the
+// P-fold aggregate ingress capacity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/gib.hpp"
+#include "core/lgp.hpp"
+#include "core/tuning.hpp"
+#include "runtime/sync_model.hpp"
+#include "util/rng.hpp"
+
+namespace osp::core {
+
+struct OspOptions {
+  /// Apply LGP's Eq. 6 local prediction (off = train on stale values until
+  /// the ICS lands — the ablation case).
+  bool enable_lgp = true;
+  /// Use the EMA-LGP variant instead of plain LGP (§4.2; the paper found no
+  /// benefit — reproduced by bench_ablation_lgp).
+  bool use_ema_lgp = false;
+  double ema_beta = 0.5;
+  double ema_alpha = 0.125;
+
+  /// Gradient-importance ranking. kPgp is density-normalized PGP (the
+  /// default, see pgp.hpp); kPgpSum is the paper's literal Eq. 4 sum;
+  /// kMagnitude/kRandom are ablations.
+  enum class Ranking { kPgp, kPgpSum, kMagnitude, kRandom } ranking =
+      Ranking::kPgp;
+
+  /// < 0: Algorithm 1 schedule. Otherwise a fixed ICS budget as a fraction
+  /// of the model size (ablation; 0 degrades to BSP, ≥ cap to capped-ASP).
+  double fixed_budget_fraction = -1.0;
+
+  /// The Eq. 5 cap: U_max never exceeds this fraction of the model.
+  double cap_fraction = 0.8;
+
+  /// Account the GIB computation on worker 0 (co-located PS, §4.4/§5.4).
+  /// The engine's cluster should also be configured co-located.
+  bool colocated_ps = false;
+
+  std::uint64_t seed = 7;  ///< for Ranking::kRandom
+};
+
+class OspSync : public runtime::SyncModel {
+ public:
+  explicit OspSync(OspOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+  void on_epoch_complete(std::size_t epoch, double mean_loss) override;
+
+  /// Introspection for tests/benches.
+  [[nodiscard]] const Gib& current_gib() const { return gib_; }
+  [[nodiscard]] double current_ics_budget() const { return ics_budget_; }
+  [[nodiscard]] double u_max() const;
+  [[nodiscard]] std::size_t ics_rounds_completed() const {
+    return ics_rounds_completed_;
+  }
+  [[nodiscard]] std::size_t num_ps() const { return num_ps_; }
+
+ private:
+  void on_rs_push_arrived();
+  void rs_aggregate();
+  Gib compute_next_gib();
+  void start_ics_round(std::uint64_t round, const Gib& gib);
+  void on_ics_push_arrived(std::uint64_t round, std::size_t ps);
+
+  /// Bytes of blocks owned by PS `ps` that are important/unimportant under
+  /// `gib`.
+  [[nodiscard]] double ps_bytes(const Gib& gib, std::size_t ps,
+                                bool important) const;
+  /// A Gib view selecting blocks with (gib state == want_important) AND
+  /// owner == ps. With encode_as_important=true the selection becomes the
+  /// view's *important* set (for copy_important_blocks); with false it
+  /// becomes the *unimportant* set (for the LGP helpers, which operate on
+  /// unimportant blocks). Unselected blocks land in the opposite set and
+  /// are therefore untouched by the corresponding helper.
+  [[nodiscard]] Gib restrict_to_ps(const Gib& gib, std::size_t ps,
+                                   bool want_important,
+                                   bool encode_as_important) const;
+
+  OspOptions options_;
+  util::Rng rng_;
+
+  Gib gib_;                    ///< split used by the current round
+  std::unique_ptr<SguTuner> tuner_;
+  double ics_budget_ = 0.0;    ///< bytes allowed into ICS
+  std::unique_ptr<EmaLgp> ema_lgp_;
+
+  std::size_t num_ps_ = 1;
+  std::vector<std::size_t> block_to_ps_;
+
+  std::vector<float> agg_;     ///< mean of this round's full gradients
+  std::size_t rs_arrived_ = 0;
+  std::uint64_t round_ = 0;
+  std::vector<std::size_t> rs_pending_;  ///< per-worker RS responses awaited
+
+  // ICS round state (rounds are tagged so late ICS traffic never clobbers
+  // newer data).
+  struct IcsRound {
+    std::uint64_t round = 0;
+    Gib gib = Gib::all_important(0);
+    std::vector<float> grad;             ///< snapshot of the aggregate
+    std::vector<std::size_t> arrived;    ///< per-PS push count
+  };
+  std::vector<IcsRound> ics_inflight_;
+  std::vector<std::uint64_t> last_ics_applied_;  ///< per worker
+  std::size_t ics_rounds_completed_ = 0;
+};
+
+}  // namespace osp::core

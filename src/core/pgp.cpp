@@ -1,0 +1,60 @@
+#include "core/pgp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::core {
+
+std::vector<double> pgp_importance(
+    std::span<const float> params, std::span<const float> grads,
+    const std::vector<nn::LayerBlockInfo>& blocks) {
+  OSP_CHECK(params.size() == grads.size(), "params/grads size mismatch");
+  std::vector<double> out;
+  out.reserve(blocks.size());
+  for (const nn::LayerBlockInfo& b : blocks) {
+    OSP_CHECK(b.offset + b.numel <= params.size(), "block out of range");
+    out.push_back(util::abs_prod_sum(params.subspan(b.offset, b.numel),
+                                     grads.subspan(b.offset, b.numel)));
+  }
+  return out;
+}
+
+std::vector<std::size_t> rank_ascending(std::span<const double> importance) {
+  std::vector<std::size_t> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return importance[a] < importance[b];
+                   });
+  return order;
+}
+
+std::vector<double> density_normalize(
+    std::span<const double> importance,
+    const std::vector<nn::LayerBlockInfo>& blocks) {
+  OSP_CHECK(importance.size() == blocks.size(),
+            "importance/block count mismatch");
+  std::vector<double> out(importance.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    OSP_CHECK(blocks[i].numel > 0, "empty block");
+    out[i] = importance[i] / static_cast<double>(blocks[i].numel);
+  }
+  return out;
+}
+
+std::vector<double> magnitude_importance(
+    std::span<const float> grads,
+    const std::vector<nn::LayerBlockInfo>& blocks) {
+  std::vector<double> out;
+  out.reserve(blocks.size());
+  for (const nn::LayerBlockInfo& b : blocks) {
+    OSP_CHECK(b.offset + b.numel <= grads.size(), "block out of range");
+    out.push_back(util::l1_norm(grads.subspan(b.offset, b.numel)));
+  }
+  return out;
+}
+
+}  // namespace osp::core

@@ -1,0 +1,50 @@
+// Parameter-Gradient Production (PGP) — the paper's gradient-importance
+// measure (§4.1.1).
+//
+// From Eq. 1–3, the importance of parameter k is D_k = (g_k·P_k)², which the
+// paper simplifies to I_k = |g_k·P_k| and aggregates per layer (Eq. 4):
+//   I^l = Σ_{j∈l} |g_j·P_j|
+// The PS computes this ranking from the previous iteration's global
+// parameters and aggregated gradients, so the workers incur no extra
+// computation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/registry.hpp"
+
+namespace osp::core {
+
+/// Per-block PGP importance I^l over flat parameter/gradient vectors
+/// partitioned by `blocks`. params and grads must both cover the full flat
+/// vector (blocks' offsets/sizes index into them).
+[[nodiscard]] std::vector<double> pgp_importance(
+    std::span<const float> params, std::span<const float> grads,
+    const std::vector<nn::LayerBlockInfo>& blocks);
+
+/// Block indices sorted by ascending importance (least important first —
+/// the order in which blocks are moved into the ICS set). Ties break by
+/// block index for determinism.
+[[nodiscard]] std::vector<std::size_t> rank_ascending(
+    std::span<const double> importance);
+
+/// Alternative rankings used by the ablation benches.
+/// Gradient-magnitude ranking: I^l = Σ|g_j| (ignores parameter values).
+[[nodiscard]] std::vector<double> magnitude_importance(
+    std::span<const float> grads,
+    const std::vector<nn::LayerBlockInfo>& blocks);
+
+/// Per-parameter (density) normalization: I^l / |l|. Eq. 4's plain sum is
+/// size-biased — a large layer outranks a small one even when its
+/// individual parameters matter less — which strands large layers in RS
+/// and caps how much of the ICS budget can actually be packed. Ranking by
+/// importance-per-parameter (the greedy knapsack density heuristic) fixes
+/// the packing while preserving the PGP signal; OSP uses it by default and
+/// bench_ablation_ranking quantifies the difference.
+[[nodiscard]] std::vector<double> density_normalize(
+    std::span<const double> importance,
+    const std::vector<nn::LayerBlockInfo>& blocks);
+
+}  // namespace osp::core

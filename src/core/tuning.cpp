@@ -1,0 +1,52 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace osp::core {
+
+double ics_upper_bound(const IcsBudgetParams& params) {
+  OSP_CHECK(params.bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
+  OSP_CHECK(params.loss_rate >= 0.0 && params.loss_rate < 1.0,
+            "loss rate must be in [0, 1)");
+  OSP_CHECK(params.compute_time_s > 0.0, "compute time must be positive");
+  OSP_CHECK(params.num_workers > 0, "need at least one worker");
+  OSP_CHECK(params.model_bytes > 0.0, "model size must be positive");
+  OSP_CHECK(params.cap_fraction > 0.0 && params.cap_fraction <= 1.0,
+            "cap fraction must be in (0, 1]");
+  OSP_CHECK(params.incast_alpha >= 0.0, "negative incast alpha");
+  // Achieved ingress bandwidth under N synchronized senders.
+  const auto n = static_cast<double>(params.num_workers);
+  const double collapse =
+      n > 1.0 ? 1.0 + params.incast_alpha * (n - 1.0) : 1.0;
+  const double achieved = params.bandwidth_bytes_per_s / collapse;
+  const double bound = achieved * params.compute_time_s /
+                       (n * (1.0 + params.loss_rate));
+  return std::min(bound, params.cap_fraction * params.model_bytes);
+}
+
+SguTuner::SguTuner(double u_max) : u_max_(u_max) {
+  OSP_CHECK(u_max >= 0.0, "U_max must be non-negative");
+}
+
+double SguTuner::on_epoch_loss(std::size_t epoch, double loss) {
+  OSP_CHECK(epoch >= 1, "epochs are 1-based in Algorithm 1");
+  OSP_CHECK(loss >= 0.0, "negative loss");
+  if (epoch == 1 || !initialized_) {
+    reference_loss_ = loss;
+    initialized_ = true;
+    budget_ = 0.0;  // Algorithm 1 line 9: S(Gᵘ)_1 = 0
+    return budget_;
+  }
+  if (reference_loss_ <= 0.0) {
+    // Degenerate reference (already converged at epoch 1): full budget.
+    budget_ = u_max_;
+    return budget_;
+  }
+  const double frac = 1.0 - loss / reference_loss_;
+  budget_ = std::clamp(frac, 0.0, 1.0) * u_max_;
+  return budget_;
+}
+
+}  // namespace osp::core

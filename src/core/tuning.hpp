@@ -1,0 +1,60 @@
+// S(Gᵘ) tuning — Eq. 5's upper bound and Algorithm 1's loss-driven ramp.
+//
+// Eq. 5 derives the ICS budget from the constraint that the overlapped
+// synchronization must finish within the compute window:
+//   T_C ≥ T_ICS = N·S(Gᵘ)·(1+lr)/b'  ⇒  S(Gᵘ) ≤ b'·T_C / (N·(1+lr)) = U_max
+// with b' the achieved (incast-collapsed) ingress bandwidth
+// (the paper prints the (1+lr) factor in the numerator — a typo, since loss
+// retransmissions shrink, not grow, usable capacity; we place it in the
+// denominator and note the deviation in EXPERIMENTS.md). U_max is further
+// capped at 80 % of the model size so OSP never degenerates into ASP.
+//
+// Algorithm 1 then ramps the actual budget from 0 toward U_max as training
+// converges: S(Gᵘ)_i = (1 − loss_i / L) · U_max with L the first epoch's
+// loss, clamped to [0, U_max].
+#pragma once
+
+#include <cstddef>
+
+namespace osp::core {
+
+struct IcsBudgetParams {
+  double bandwidth_bytes_per_s = 0.0;  ///< access-link bandwidth b
+  double loss_rate = 0.0;              ///< network loss rate lr
+  double compute_time_s = 0.0;         ///< per-iteration compute time T_C
+  std::size_t num_workers = 0;         ///< N
+  double model_bytes = 0.0;            ///< total model wire size
+  double cap_fraction = 0.8;           ///< the 80 % degeneration guard
+  /// Incast goodput-collapse coefficient of the PS ingress. Eq. 5's b is
+  /// the link's nominal "quality"; with N synchronized ICS senders the
+  /// *achieved* ingress bandwidth is b/(1+α(N−1)), and sizing the budget
+  /// against the nominal rate makes the ICS overrun the compute window and
+  /// congest the next RS. We therefore size against the achieved rate.
+  double incast_alpha = 0.0;
+};
+
+/// U_max of Eq. 5 with the 80 % model-size cap applied.
+[[nodiscard]] double ics_upper_bound(const IcsBudgetParams& params);
+
+/// Algorithm 1: the per-epoch S(Gᵘ) schedule.
+class SguTuner {
+ public:
+  explicit SguTuner(double u_max);
+
+  /// Report epoch `epoch`'s (1-based) training loss; returns the ICS budget
+  /// S(Gᵘ) in bytes for that epoch. Epoch 1 fixes the reference loss L and
+  /// returns 0 (all gradients synchronized in RS).
+  double on_epoch_loss(std::size_t epoch, double loss);
+
+  [[nodiscard]] double u_max() const { return u_max_; }
+  [[nodiscard]] double current_budget() const { return budget_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+ private:
+  double u_max_;
+  double reference_loss_ = 0.0;  ///< L = loss_1
+  double budget_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace osp::core

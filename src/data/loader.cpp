@@ -1,0 +1,49 @@
+#include "data/loader.hpp"
+
+#include "util/check.hpp"
+
+namespace osp::data {
+
+std::vector<std::size_t> shard_indices(std::size_t dataset_size,
+                                       std::size_t worker,
+                                       std::size_t num_workers) {
+  OSP_CHECK(num_workers > 0, "need at least one worker");
+  OSP_CHECK(worker < num_workers, "worker id out of range");
+  const std::size_t begin = worker * dataset_size / num_workers;
+  const std::size_t end = (worker + 1) * dataset_size / num_workers;
+  std::vector<std::size_t> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(i);
+  return out;
+}
+
+ShardLoader::ShardLoader(const Dataset& dataset, std::size_t worker,
+                         std::size_t num_workers, std::size_t batch_size,
+                         std::uint64_t seed)
+    : dataset_(&dataset),
+      indices_(shard_indices(dataset.size(), worker, num_workers)),
+      batch_size_(batch_size),
+      seed_(seed),
+      worker_(worker) {
+  OSP_CHECK(batch_size > 0, "batch size must be positive");
+  OSP_CHECK(indices_.size() >= batch_size,
+            "shard smaller than one batch — increase dataset size");
+}
+
+std::size_t ShardLoader::batches_per_epoch() const {
+  return indices_.size() / batch_size_;
+}
+
+Batch ShardLoader::batch(std::size_t epoch, std::size_t batch) const {
+  OSP_CHECK(batch < batches_per_epoch(), "batch index out of range");
+  // Epoch-specific shuffle of the shard, derived from (seed, worker, epoch).
+  std::vector<std::size_t> order = indices_;
+  util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (worker_ + 1)) ^
+                (0xbf58476d1ce4e5b9ULL * (epoch + 1)));
+  rng.shuffle(order);
+  const std::size_t begin = batch * batch_size_;
+  return dataset_->make_batch(
+      std::span<const std::size_t>{order}.subspan(begin, batch_size_));
+}
+
+}  // namespace osp::data

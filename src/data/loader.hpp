@@ -1,0 +1,53 @@
+// Sharding and shuffled batch iteration.
+//
+// In PS data-parallel training each worker owns a fixed shard of the
+// dataset; the shard is reshuffled at every epoch with the worker's own RNG
+// stream (the paper relies on per-epoch shuffling so no fixed data subset is
+// always trained on stale parameters after LGP, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace osp::data {
+
+/// The examples assigned to one worker: the contiguous range
+/// [w·n/W, (w+1)·n/W). With round-robin class labels (label = idx mod C) a
+/// contiguous range stays class-balanced for any worker count, unlike
+/// interleaved sharding (idx mod W), which aliases with the label cycle
+/// whenever gcd(W, C) > 1 and starves shards of entire classes.
+[[nodiscard]] std::vector<std::size_t> shard_indices(std::size_t dataset_size,
+                                                     std::size_t worker,
+                                                     std::size_t num_workers);
+
+/// Iterates a worker's shard in shuffled minibatches; reshuffles per epoch.
+class ShardLoader {
+ public:
+  ShardLoader(const Dataset& dataset, std::size_t worker,
+              std::size_t num_workers, std::size_t batch_size,
+              std::uint64_t seed);
+
+  /// Number of full batches per epoch (trailing partial batch is dropped,
+  /// matching fixed-batch DDL training).
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+
+  /// Shard size in examples.
+  [[nodiscard]] std::size_t shard_size() const { return indices_.size(); }
+
+  /// Produce the `batch`-th minibatch of epoch `epoch`. Batches within an
+  /// epoch partition the shuffled shard; the shuffle depends only on
+  /// (seed, worker, epoch) so iteration is stateless and reproducible.
+  [[nodiscard]] Batch batch(std::size_t epoch, std::size_t batch) const;
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  std::uint64_t seed_;
+  std::size_t worker_;
+};
+
+}  // namespace osp::data

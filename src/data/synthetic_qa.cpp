@@ -1,0 +1,52 @@
+#include "data/synthetic_qa.hpp"
+
+#include "util/check.hpp"
+
+namespace osp::data {
+
+SyntheticQaDataset::SyntheticQaDataset(const QaDatasetConfig& config)
+    : config_(config) {
+  OSP_CHECK(config.num_examples > 0, "dataset needs examples");
+  OSP_CHECK(config.seq_len >= 2, "sequence too short");
+  OSP_CHECK(config.answer_vocab > 0 && config.answer_vocab < config.vocab,
+            "answer_vocab must be a strict sub-vocabulary");
+  OSP_CHECK(config.max_answer_len >= 1 &&
+                config.max_answer_len <= config.seq_len,
+            "invalid max_answer_len");
+}
+
+Batch SyntheticQaDataset::make_batch(
+    std::span<const std::size_t> indices) const {
+  OSP_CHECK(!indices.empty(), "empty batch request");
+  const std::size_t L = config_.seq_len;
+  Batch batch;
+  batch.inputs = tensor::Tensor({indices.size(), L});
+  batch.starts.reserve(indices.size());
+  batch.ends.reserve(indices.size());
+  util::Rng master(config_.seed);
+  float* out = batch.inputs.raw();
+  const std::size_t ctx_vocab = config_.vocab - config_.answer_vocab;
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t idx = indices[b];
+    OSP_CHECK(idx < config_.num_examples, "example index out of range");
+    util::Rng ex = master.fork(idx + 1);
+    const std::size_t ans_len = 1 + ex.uniform_u64(config_.max_answer_len);
+    const std::size_t start = ex.uniform_u64(L - ans_len + 1);
+    const std::size_t end = start + ans_len - 1;
+    float* seq = out + b * L;
+    for (std::size_t t = 0; t < L; ++t) {
+      std::uint64_t token = 0;
+      if (t >= start && t <= end) {
+        token = ex.uniform_u64(config_.answer_vocab);
+      } else {
+        token = config_.answer_vocab + ex.uniform_u64(ctx_vocab);
+      }
+      seq[t] = static_cast<float>(token);
+    }
+    batch.starts.push_back(static_cast<std::int32_t>(start));
+    batch.ends.push_back(static_cast<std::int32_t>(end));
+  }
+  return batch;
+}
+
+}  // namespace osp::data

@@ -1,0 +1,39 @@
+// Synthetic extractive-QA dataset — the stand-in for SQuAD1.1 fine-tuning.
+//
+// Each example is a token sequence of length seq_len. A contiguous answer
+// span is filled with tokens drawn from a small "answer" sub-vocabulary
+// [0, answer_vocab); the rest of the sequence uses tokens from
+// [answer_vocab, vocab). The model must learn to point at the answer span
+// (start and end positions) — structurally the same pointer task as
+// SQuAD-style heads, and learnable by the attention proxy model.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace osp::data {
+
+struct QaDatasetConfig {
+  std::size_t num_examples = 2048;
+  std::size_t seq_len = 24;
+  std::size_t vocab = 128;
+  std::size_t answer_vocab = 16;  ///< ids < answer_vocab mark answer tokens
+  std::size_t max_answer_len = 4;
+  std::uint64_t seed = 123;
+};
+
+class SyntheticQaDataset : public Dataset {
+ public:
+  explicit SyntheticQaDataset(const QaDatasetConfig& config);
+
+  [[nodiscard]] std::size_t size() const override { return config_.num_examples; }
+  [[nodiscard]] Batch make_batch(
+      std::span<const std::size_t> indices) const override;
+
+  [[nodiscard]] const QaDatasetConfig& config() const { return config_; }
+
+ private:
+  QaDatasetConfig config_;
+};
+
+}  // namespace osp::data

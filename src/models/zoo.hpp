@@ -1,0 +1,38 @@
+// The workload zoo: the paper's five evaluation workloads (§5.1.2), each a
+// WorkloadSpec pairing the real model's timing metadata (parameter bytes,
+// FP+BP FLOPs per sample, the paper's batch size) with a small proxy
+// trainable task (see workload.hpp for why this preserves the experiments'
+// shape). A tiny MLP workload is provided for unit tests.
+#pragma once
+
+#include <vector>
+
+#include "runtime/workload.hpp"
+
+namespace osp::models {
+
+/// ResNet50 on CIFAR-10 (batch 64). 25.6 M params, ~12.3 GFLOPs/sample.
+[[nodiscard]] runtime::WorkloadSpec resnet50_cifar10();
+
+/// VGG16 on CIFAR-10 (batch 64). 138.4 M params — the most
+/// communication-bound workload, where OSP's win is largest.
+[[nodiscard]] runtime::WorkloadSpec vgg16_cifar10();
+
+/// InceptionV3 on CIFAR-100 (batch 64). 23.8 M params.
+[[nodiscard]] runtime::WorkloadSpec inceptionv3_cifar100();
+
+/// ResNet101 on ImageNet1K (batch 64). 44.5 M params.
+[[nodiscard]] runtime::WorkloadSpec resnet101_imagenet();
+
+/// BERTbase fine-tuned on SQuAD1.1 (batch 12). 110 M params; the paper
+/// reports throughput in QAs per 10 s.
+[[nodiscard]] runtime::WorkloadSpec bertbase_squad();
+
+/// All five paper workloads in the paper's presentation order.
+[[nodiscard]] std::vector<runtime::WorkloadSpec> paper_workloads();
+
+/// A minimal fast workload for unit/integration tests: small MLP on a
+/// 4-class Gaussian task, tiny dataset.
+[[nodiscard]] runtime::WorkloadSpec tiny_mlp();
+
+}  // namespace osp::models

@@ -1,0 +1,174 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace osp::nn {
+
+using tensor::Tensor;
+
+SelfAttention::SelfAttention(std::string name, std::size_t dim,
+                             util::Rng& rng)
+    : Layer(std::move(name)),
+      dim_(dim),
+      wq_({dim, dim}),
+      wk_({dim, dim}),
+      wv_({dim, dim}),
+      wo_({dim, dim}),
+      wq_g_({dim, dim}),
+      wk_g_({dim, dim}),
+      wv_g_({dim, dim}),
+      wo_g_({dim, dim}) {
+  OSP_CHECK(dim > 0, "attention dim must be positive");
+  tensor::xavier_uniform(wq_, dim, dim, rng);
+  tensor::xavier_uniform(wk_, dim, dim, rng);
+  tensor::xavier_uniform(wv_, dim, dim, rng);
+  tensor::xavier_uniform(wo_, dim, dim, rng);
+}
+
+namespace {
+/// Copy rows [b*L, (b+1)*L) of a [B*L, D] matrix into out [L, D].
+void slice_rows(const Tensor& m, std::size_t row0, std::size_t rows,
+                Tensor& out) {
+  const std::size_t cols = m.dim(1);
+  const float* src = m.raw() + row0 * cols;
+  float* dst = out.raw();
+  for (std::size_t i = 0; i < rows * cols; ++i) dst[i] = src[i];
+}
+
+void add_rows(Tensor& m, std::size_t row0, const Tensor& delta) {
+  const std::size_t cols = m.dim(1);
+  float* dst = m.raw() + row0 * cols;
+  const float* src = delta.raw();
+  for (std::size_t i = 0; i < delta.numel(); ++i) dst[i] += src[i];
+}
+}  // namespace
+
+Tensor SelfAttention::forward(const Tensor& input, bool /*train*/) {
+  OSP_CHECK(input.rank() == 3 && input.dim(2) == dim_,
+            "SelfAttention expects [B, L, D]");
+  batch_ = input.dim(0);
+  seq_ = input.dim(1);
+  const std::size_t n = batch_ * seq_;
+
+  xf_ = input.reshaped({n, dim_});
+  q_ = Tensor({n, dim_});
+  k_ = Tensor({n, dim_});
+  v_ = Tensor({n, dim_});
+  tensor::matmul_nt(xf_, wq_, q_);
+  tensor::matmul_nt(xf_, wk_, k_);
+  tensor::matmul_nt(xf_, wv_, v_);
+
+  h_ = Tensor({n, dim_});
+  attn_.assign(batch_, Tensor({seq_, seq_}));
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dim_));
+
+  Tensor qb({seq_, dim_}), kb({seq_, dim_}), vb({seq_, dim_});
+  Tensor scores({seq_, seq_}), hb({seq_, dim_});
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const std::size_t r0 = b * seq_;
+    slice_rows(q_, r0, seq_, qb);
+    slice_rows(k_, r0, seq_, kb);
+    slice_rows(v_, r0, seq_, vb);
+    tensor::matmul_nt(qb, kb, scores);  // [L, L]
+    for (float& s : scores.data()) s *= inv_sqrt_d;
+    tensor::softmax_rows(scores, attn_[b]);
+    tensor::matmul(attn_[b], vb, hb);   // [L, D]
+    float* dst = h_.raw() + r0 * dim_;
+    const float* src = hb.raw();
+    for (std::size_t i = 0; i < seq_ * dim_; ++i) dst[i] = src[i];
+  }
+
+  Tensor y({n, dim_});
+  tensor::matmul_nt(h_, wo_, y);  // output projection
+  // Residual connection.
+  const float* px = xf_.raw();
+  float* py = y.raw();
+  for (std::size_t i = 0; i < y.numel(); ++i) py[i] += px[i];
+  return y.reshaped({batch_, seq_, dim_});
+}
+
+Tensor SelfAttention::backward(const Tensor& grad_out) {
+  OSP_CHECK(grad_out.rank() == 3 && grad_out.dim(0) == batch_ &&
+                grad_out.dim(1) == seq_ && grad_out.dim(2) == dim_,
+            "SelfAttention grad mismatch");
+  const std::size_t n = batch_ * seq_;
+  const Tensor gy = grad_out.reshaped({n, dim_});
+
+  // Y = H·Woᵀ + X  →  dH = gy·Wo ; dWo += gyᵀ·H ; dX += gy (residual).
+  Tensor dh({n, dim_});
+  tensor::matmul(gy, wo_, dh);
+  Tensor wo_delta({dim_, dim_});
+  tensor::matmul_tn(gy, h_, wo_delta);
+  for (std::size_t i = 0; i < wo_delta.numel(); ++i) wo_g_[i] += wo_delta[i];
+
+  Tensor dq({n, dim_}), dk({n, dim_}), dv({n, dim_});
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(dim_));
+
+  Tensor dhb({seq_, dim_}), vb({seq_, dim_}), qb({seq_, dim_}),
+      kb({seq_, dim_});
+  Tensor da({seq_, seq_}), ds({seq_, seq_});
+  Tensor dqb({seq_, dim_}), dkb({seq_, dim_}), dvb({seq_, dim_});
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const std::size_t r0 = b * seq_;
+    slice_rows(dh, r0, seq_, dhb);
+    slice_rows(v_, r0, seq_, vb);
+    slice_rows(q_, r0, seq_, qb);
+    slice_rows(k_, r0, seq_, kb);
+    const Tensor& a = attn_[b];
+    // H_b = A·V_b → dA = dH_b·V_bᵀ ; dV_b = Aᵀ·dH_b.
+    tensor::matmul_nt(dhb, vb, da);
+    tensor::matmul_tn(a, dhb, dvb);
+    // Softmax backward per row: ds_ij = a_ij (da_ij − Σ_k da_ik a_ik).
+    for (std::size_t i = 0; i < seq_; ++i) {
+      const float* arow = a.raw() + i * seq_;
+      const float* darow = da.raw() + i * seq_;
+      float dot = 0.0f;
+      for (std::size_t j = 0; j < seq_; ++j) dot += darow[j] * arow[j];
+      float* dsrow = ds.raw() + i * seq_;
+      for (std::size_t j = 0; j < seq_; ++j) {
+        dsrow[j] = arow[j] * (darow[j] - dot) * inv_sqrt_d;
+      }
+    }
+    // S = Q·Kᵀ (scaled) → dQ_b = dS·K_b ; dK_b = dSᵀ·Q_b.
+    tensor::matmul(ds, kb, dqb);
+    tensor::matmul_tn(ds, qb, dkb);
+    add_rows(dq, r0, dqb);
+    add_rows(dk, r0, dkb);
+    add_rows(dv, r0, dvb);
+  }
+
+  // Projections: Q = X·Wqᵀ → dX += dQ·Wq ; dWq += dQᵀ·X (same for K, V).
+  Tensor dx = gy;  // residual path
+  Tensor tmp({n, dim_});
+  Tensor wdelta({dim_, dim_});
+
+  tensor::matmul(dq, wq_, tmp);
+  for (std::size_t i = 0; i < tmp.numel(); ++i) dx[i] += tmp[i];
+  tensor::matmul_tn(dq, xf_, wdelta);
+  for (std::size_t i = 0; i < wdelta.numel(); ++i) wq_g_[i] += wdelta[i];
+
+  tensor::matmul(dk, wk_, tmp);
+  for (std::size_t i = 0; i < tmp.numel(); ++i) dx[i] += tmp[i];
+  tensor::matmul_tn(dk, xf_, wdelta);
+  for (std::size_t i = 0; i < wdelta.numel(); ++i) wk_g_[i] += wdelta[i];
+
+  tensor::matmul(dv, wv_, tmp);
+  for (std::size_t i = 0; i < tmp.numel(); ++i) dx[i] += tmp[i];
+  tensor::matmul_tn(dv, xf_, wdelta);
+  for (std::size_t i = 0; i < wdelta.numel(); ++i) wv_g_[i] += wdelta[i];
+
+  return dx.reshaped({batch_, seq_, dim_});
+}
+
+std::vector<ParamRef> SelfAttention::params() {
+  return {{name() + ".wq", &wq_, &wq_g_},
+          {name() + ".wk", &wk_, &wk_g_},
+          {name() + ".wv", &wv_, &wv_g_},
+          {name() + ".wo", &wo_, &wo_g_}};
+}
+
+}  // namespace osp::nn

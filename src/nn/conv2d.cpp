@@ -1,0 +1,174 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tensor/init.hpp"
+#include "util/check.hpp"
+
+namespace osp::nn {
+
+using tensor::Conv2dGeom;
+using tensor::Tensor;
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t in_h, std::size_t in_w,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               util::Rng& rng)
+    : Layer(std::move(name)),
+      geom_{in_channels, in_h, in_w, kernel, stride, pad},
+      out_channels_(out_channels),
+      weight_({out_channels, geom_.patch_len()}),
+      bias_({out_channels}),
+      wgrad_({out_channels, geom_.patch_len()}),
+      bgrad_({out_channels}) {
+  OSP_CHECK(out_channels > 0, "Conv2d needs positive out_channels");
+  tensor::he_normal(weight_, geom_.patch_len(), rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  OSP_CHECK(input.rank() == 4, "Conv2d expects NCHW input");
+  OSP_CHECK(input.dim(1) == geom_.in_channels && input.dim(2) == geom_.in_h &&
+                input.dim(3) == geom_.in_w,
+            "Conv2d input geometry mismatch");
+  const std::size_t batch = input.dim(0);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  const std::size_t img = geom_.in_channels * geom_.in_h * geom_.in_w;
+
+  input_ = input;
+  cols_.assign(batch, Tensor({oh * ow, geom_.patch_len()}));
+  Tensor out({batch, out_channels_, oh, ow});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    tensor::im2col(input.data().subspan(b * img, img), geom_, cols_[b]);
+    // out[b] = weight · colsᵀ, i.e. per output channel the dot with patches.
+    // Compute as cols[patches, plen] · weightᵀ[plen, out_c] -> [patches, out_c]
+    Tensor prod({oh * ow, out_channels_});
+    tensor::matmul_nt(cols_[b], weight_, prod);
+    // Transpose into NCHW layout with bias.
+    float* po = out.raw() + b * out_channels_ * oh * ow;
+    const float* pp = prod.raw();
+    for (std::size_t p = 0; p < oh * ow; ++p) {
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        po[oc * oh * ow + p] = pp[p * out_channels_ + oc] + bias_[oc];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const std::size_t batch = input_.dim(0);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  OSP_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
+                grad_out.dim(1) == out_channels_ && grad_out.dim(2) == oh &&
+                grad_out.dim(3) == ow,
+            "Conv2d grad shape mismatch");
+  const std::size_t img = geom_.in_channels * geom_.in_h * geom_.in_w;
+  Tensor dx({batch, geom_.in_channels, geom_.in_h, geom_.in_w});
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    // g[b] in [out_c, patches] layout -> [patches, out_c] matrix.
+    Tensor g({oh * ow, out_channels_});
+    const float* pg = grad_out.raw() + b * out_channels_ * oh * ow;
+    float* pgm = g.raw();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t p = 0; p < oh * ow; ++p) {
+        pgm[p * out_channels_ + oc] = pg[oc * oh * ow + p];
+      }
+    }
+    // dW += gᵀ · cols : [out_c, patches]·[patches, plen]
+    Tensor wg({out_channels_, geom_.patch_len()});
+    tensor::matmul_tn(g, cols_[b], wg);
+    for (std::size_t i = 0; i < wg.numel(); ++i) wgrad_[i] += wg[i];
+    // db += per-channel sum of g.
+    tensor::sum_rows(g, bgrad_.data());
+    // dcols = g · W : [patches, out_c]·[out_c, plen]
+    Tensor dcols({oh * ow, geom_.patch_len()});
+    tensor::matmul(g, weight_, dcols);
+    tensor::col2im(dcols, geom_, dx.data().subspan(b * img, img));
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  return {{name() + ".weight", &weight_, &wgrad_},
+          {name() + ".bias", &bias_, &bgrad_}};
+}
+
+MaxPool2d::MaxPool2d(std::string name, std::size_t channels, std::size_t in_h,
+                     std::size_t in_w, std::size_t kernel, std::size_t stride)
+    : Layer(std::move(name)),
+      channels_(channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      kernel_(kernel),
+      stride_(stride),
+      out_h_((in_h - kernel) / stride + 1),
+      out_w_((in_w - kernel) / stride + 1) {
+  OSP_CHECK(kernel > 0 && stride > 0, "MaxPool2d invalid geometry");
+  OSP_CHECK(in_h >= kernel && in_w >= kernel, "pool kernel larger than input");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
+  OSP_CHECK(input.rank() == 4 && input.dim(1) == channels_ &&
+                input.dim(2) == in_h_ && input.dim(3) == in_w_,
+            "MaxPool2d input mismatch");
+  const std::size_t batch = input.dim(0);
+  in_shape_ = input.shape();
+  Tensor out({batch, channels_, out_h_, out_w_});
+  argmax_.assign(out.numel(), 0);
+  const float* pi = input.raw();
+  float* po = out.raw();
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* chan = pi + (b * channels_ + c) * in_h_ * in_w_;
+      const std::size_t chan_base = (b * channels_ + c) * in_h_ * in_w_;
+      for (std::size_t oy = 0; oy < out_h_; ++oy) {
+        for (std::size_t ox = 0; ox < out_w_; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              const float v = chan[iy * in_w_ + ix];
+              if (v > best) {
+                best = v;
+                best_idx = chan_base + iy * in_w_ + ix;
+              }
+            }
+          }
+          po[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  OSP_CHECK(grad_out.numel() == argmax_.size(), "MaxPool2d grad mismatch");
+  Tensor dx(in_shape_);
+  float* pdx = dx.raw();
+  const float* pg = grad_out.raw();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    pdx[argmax_[i]] += pg[i];
+  }
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  OSP_CHECK(input.rank() >= 2, "Flatten expects batched input");
+  in_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace osp::nn

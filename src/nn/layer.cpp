@@ -1,0 +1,11 @@
+#include "nn/layer.hpp"
+
+namespace osp::nn {
+
+void Layer::zero_grad() {
+  for (ParamRef& p : params()) {
+    if (p.grad != nullptr) p.grad->zero();
+  }
+}
+
+}  // namespace osp::nn

@@ -1,0 +1,89 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace osp::nn {
+
+using tensor::Tensor;
+
+namespace {
+/// Cross-entropy of softmax(rows of `logits`) against labels, writing
+/// gradient into grad (same shape) scaled by `grad_scale`.
+double ce_block(const Tensor& logits, std::size_t col0, std::size_t cols,
+                std::span<const std::int32_t> labels, Tensor& grad,
+                double grad_scale) {
+  const std::size_t batch = logits.dim(0);
+  OSP_CHECK(labels.size() == batch, "label count mismatch");
+  double total = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* in = logits.raw() + r * logits.dim(1) + col0;
+    float* g = grad.raw() + r * grad.dim(1) + col0;
+    const auto label = static_cast<std::size_t>(labels[r]);
+    OSP_CHECK(labels[r] >= 0 && label < cols, "label out of range");
+    float mx = in[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      denom += std::exp(static_cast<double>(in[c] - mx));
+    }
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(in[label] - mx) - log_denom);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double p = std::exp(static_cast<double>(in[c] - mx)) / denom;
+      g[c] = static_cast<float>(
+          grad_scale * (p - (c == label ? 1.0 : 0.0)));
+    }
+  }
+  return total / static_cast<double>(batch);
+}
+}  // namespace
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  OSP_CHECK(logits.rank() == 2, "logits must be [batch, classes]");
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  OSP_CHECK(classes > 0, "no classes");
+  LossResult out;
+  out.grad_logits = Tensor({batch, classes});
+  out.loss = ce_block(logits, 0, classes, labels, out.grad_logits,
+                      1.0 / static_cast<double>(batch));
+  return out;
+}
+
+LossResult span_cross_entropy(const Tensor& logits,
+                              std::span<const std::int32_t> starts,
+                              std::span<const std::int32_t> ends) {
+  OSP_CHECK(logits.rank() == 2, "logits must be [batch, 2*seq]");
+  OSP_CHECK(logits.dim(1) % 2 == 0, "span logits must have even width");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t seq = logits.dim(1) / 2;
+  LossResult out;
+  out.grad_logits = Tensor({batch, 2 * seq});
+  // Each head contributes half the loss; gradient scaled accordingly.
+  const double scale = 0.5 / static_cast<double>(batch);
+  const double l_start = ce_block(logits, 0, seq, starts, out.grad_logits, scale);
+  const double l_end = ce_block(logits, seq, seq, ends, out.grad_logits, scale);
+  out.loss = 0.5 * (l_start + l_end);
+  return out;
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  OSP_CHECK(pred.shape() == target.shape(), "MSE shape mismatch");
+  OSP_CHECK(pred.numel() > 0, "MSE of empty tensor");
+  LossResult out;
+  out.grad_logits = Tensor(pred.shape());
+  const auto n = static_cast<double>(pred.numel());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    total += d * d;
+    out.grad_logits[i] = static_cast<float>(2.0 * d / n);
+  }
+  out.loss = total / n;
+  return out;
+}
+
+}  // namespace osp::nn

@@ -1,0 +1,36 @@
+// Loss functions.
+//
+// SoftmaxCrossEntropy fuses softmax with negative log-likelihood (the
+// numerically stable composite) for classification. SpanCrossEntropy handles
+// the QA proxy task: the model emits [batch, 2*seq_len] logits — the first
+// seq_len are start-position logits, the rest end-position logits — and the
+// loss is the mean of the two cross-entropies, matching extractive-QA heads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace osp::nn {
+
+struct LossResult {
+  double loss = 0.0;           ///< mean loss over the batch
+  tensor::Tensor grad_logits;  ///< dL/dlogits, same shape as logits
+};
+
+/// Mean softmax cross-entropy over a batch of [batch, classes] logits.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const tensor::Tensor& logits, std::span<const std::int32_t> labels);
+
+/// Extractive-QA span loss over [batch, 2*seq_len] logits.
+/// starts/ends hold the gold positions in [0, seq_len).
+[[nodiscard]] LossResult span_cross_entropy(
+    const tensor::Tensor& logits, std::span<const std::int32_t> starts,
+    std::span<const std::int32_t> ends);
+
+/// Mean squared error against a target tensor of identical shape.
+[[nodiscard]] LossResult mse_loss(const tensor::Tensor& pred,
+                                  const tensor::Tensor& target);
+
+}  // namespace osp::nn

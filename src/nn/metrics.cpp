@@ -1,0 +1,64 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace osp::nn {
+
+double top1_accuracy(const tensor::Tensor& logits,
+                     std::span<const std::int32_t> labels) {
+  OSP_CHECK(logits.rank() == 2, "logits must be rank-2");
+  const std::size_t batch = logits.dim(0);
+  OSP_CHECK(labels.size() == batch, "label count mismatch");
+  OSP_CHECK(batch > 0, "empty batch");
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    if (argmax(logits.row(r)) == static_cast<std::size_t>(labels[r])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+std::size_t argmax(std::span<const float> xs) {
+  OSP_CHECK(!xs.empty(), "argmax of empty span");
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+double span_f1(std::int32_t pred_start, std::int32_t pred_end,
+               std::int32_t gold_start, std::int32_t gold_end) {
+  if (pred_end < pred_start || gold_end < gold_start) return 0.0;
+  const std::int32_t lo = std::max(pred_start, gold_start);
+  const std::int32_t hi = std::min(pred_end, gold_end);
+  const std::int32_t overlap = hi - lo + 1;
+  if (overlap <= 0) return 0.0;
+  const double pred_len = pred_end - pred_start + 1;
+  const double gold_len = gold_end - gold_start + 1;
+  const double precision = overlap / pred_len;
+  const double recall = overlap / gold_len;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double batch_span_f1(const tensor::Tensor& logits,
+                     std::span<const std::int32_t> gold_starts,
+                     std::span<const std::int32_t> gold_ends) {
+  OSP_CHECK(logits.rank() == 2 && logits.dim(1) % 2 == 0,
+            "span logits must be [batch, 2*seq]");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t seq = logits.dim(1) / 2;
+  OSP_CHECK(gold_starts.size() == batch && gold_ends.size() == batch,
+            "gold span count mismatch");
+  OSP_CHECK(batch > 0, "empty batch");
+  double total = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto row = logits.row(r);
+    const auto ps = static_cast<std::int32_t>(argmax(row.subspan(0, seq)));
+    const auto pe = static_cast<std::int32_t>(argmax(row.subspan(seq, seq)));
+    total += span_f1(ps, std::max(ps, pe), gold_starts[r], gold_ends[r]);
+  }
+  return total / static_cast<double>(batch);
+}
+
+}  // namespace osp::nn

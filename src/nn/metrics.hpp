@@ -1,0 +1,29 @@
+// Evaluation metrics: top-1 accuracy for classification, token-overlap F1
+// for extractive-QA spans (the paper's BERTbase metric, §5.1.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace osp::nn {
+
+/// Fraction of rows whose argmax matches the label.
+[[nodiscard]] double top1_accuracy(const tensor::Tensor& logits,
+                                   std::span<const std::int32_t> labels);
+
+/// Index of the maximum element of a span (first on ties).
+[[nodiscard]] std::size_t argmax(std::span<const float> xs);
+
+/// Token-overlap F1 of a predicted [start, end] span vs the gold span
+/// (SQuAD-style; both ends inclusive). Returns 0 when there is no overlap.
+[[nodiscard]] double span_f1(std::int32_t pred_start, std::int32_t pred_end,
+                             std::int32_t gold_start, std::int32_t gold_end);
+
+/// Mean span F1 over a batch of [batch, 2*seq_len] logits.
+[[nodiscard]] double batch_span_f1(const tensor::Tensor& logits,
+                                   std::span<const std::int32_t> gold_starts,
+                                   std::span<const std::int32_t> gold_ends);
+
+}  // namespace osp::nn

@@ -1,0 +1,67 @@
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osp::nn {
+
+StepLrSchedule::StepLrSchedule(double initial, std::size_t step_epochs,
+                               double factor)
+    : initial_(initial), step_epochs_(step_epochs), factor_(factor) {
+  OSP_CHECK(initial > 0.0, "lr must be positive");
+  OSP_CHECK(step_epochs > 0, "step_epochs must be positive");
+  OSP_CHECK(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+}
+
+double StepLrSchedule::lr(std::size_t epoch) const {
+  const auto steps = static_cast<double>(epoch / step_epochs_);
+  return initial_ * std::pow(factor_, steps);
+}
+
+SgdOptimizer::SgdOptimizer(std::size_t num_params, double momentum,
+                           double weight_decay)
+    : num_params_(num_params),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  OSP_CHECK(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0, 1)");
+  OSP_CHECK(weight_decay >= 0.0, "weight decay must be non-negative");
+  if (momentum_ > 0.0) velocity_.assign(num_params_, 0.0f);
+}
+
+void SgdOptimizer::step(std::span<float> params, std::span<const float> grad,
+                        double lr) {
+  OSP_CHECK(params.size() == num_params_ && grad.size() == num_params_,
+            "optimizer size mismatch");
+  step_range(params, grad, lr, 0);
+}
+
+void SgdOptimizer::step_range(std::span<float> params,
+                              std::span<const float> grad, double lr,
+                              std::size_t offset) {
+  OSP_CHECK(params.size() == grad.size(), "params/grad size mismatch");
+  OSP_CHECK(offset + params.size() <= num_params_, "range out of bounds");
+  const auto flr = static_cast<float>(lr);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto mu = static_cast<float>(momentum_);
+  const std::size_t n = params.size();
+  if (momentum_ > 0.0) {
+    float* vel = velocity_.data() + offset;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float g = grad[i] + wd * params[i];
+      vel[i] = mu * vel[i] + g;
+      params[i] -= flr * vel[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      params[i] -= flr * (grad[i] + wd * params[i]);
+    }
+  }
+}
+
+void SgdOptimizer::reset_state() {
+  std::fill(velocity_.begin(), velocity_.end(), 0.0f);
+}
+
+}  // namespace osp::nn

@@ -1,0 +1,62 @@
+// SGD (with optional momentum) operating on flat float blocks, plus the
+// paper's learning-rate schedule (initial 0.1, halved every 10 epochs,
+// §5.1.3).
+//
+// The optimizer works on spans rather than layers because in PS training the
+// *server* owns the optimizer state and applies aggregated gradients to the
+// flat global parameter vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osp::nn {
+
+/// Step-decay schedule: lr(epoch) = initial * factor^(epoch / step).
+class StepLrSchedule {
+ public:
+  StepLrSchedule(double initial, std::size_t step_epochs, double factor);
+
+  [[nodiscard]] double lr(std::size_t epoch) const;
+
+  /// The paper's configuration: 0.1 halved every 10 epochs.
+  [[nodiscard]] static StepLrSchedule paper_default() {
+    return {0.1, 10, 0.5};
+  }
+
+ private:
+  double initial_;
+  std::size_t step_epochs_;
+  double factor_;
+};
+
+/// SGD with optional momentum over a fixed-size flat parameter vector.
+class SgdOptimizer {
+ public:
+  /// `num_params` fixes the parameter-vector length; momentum 0 disables
+  /// the velocity buffer entirely.
+  SgdOptimizer(std::size_t num_params, double momentum = 0.0,
+               double weight_decay = 0.0);
+
+  /// params -= lr * (grad + wd*params), with momentum folding if enabled.
+  void step(std::span<float> params, std::span<const float> grad, double lr);
+
+  /// Apply to a sub-range [offset, offset+len) of the parameter vector —
+  /// used when a sync stage updates only some layers.
+  void step_range(std::span<float> params, std::span<const float> grad,
+                  double lr, std::size_t offset);
+
+  [[nodiscard]] std::size_t num_params() const { return num_params_; }
+  [[nodiscard]] double momentum() const { return momentum_; }
+
+  void reset_state();
+
+ private:
+  std::size_t num_params_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<float> velocity_;
+};
+
+}  // namespace osp::nn

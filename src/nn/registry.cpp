@@ -1,0 +1,69 @@
+#include "nn/registry.hpp"
+
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::nn {
+
+FlatModel::FlatModel(Sequential& model) : model_(&model) {
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    Layer& layer = model.layer(i);
+    std::vector<ParamRef> ps = layer.params();
+    if (ps.empty()) continue;
+    std::size_t numel = 0;
+    for (const ParamRef& p : ps) numel += p.numel();
+    blocks_.push_back({layer.name(), total_, numel});
+    slots_.push_back({std::move(ps)});
+    total_ += numel;
+  }
+  OSP_CHECK(total_ > 0, "model has no trainable parameters");
+}
+
+void FlatModel::gather_params(std::span<float> out) const {
+  OSP_CHECK(out.size() == total_, "gather_params size mismatch");
+  std::size_t pos = 0;
+  for (const LayerSlot& slot : slots_) {
+    for (const ParamRef& p : slot.tensors) {
+      util::copy(p.value->data(), out.subspan(pos, p.numel()));
+      pos += p.numel();
+    }
+  }
+}
+
+void FlatModel::scatter_params(std::span<const float> in) {
+  OSP_CHECK(in.size() == total_, "scatter_params size mismatch");
+  std::size_t pos = 0;
+  for (LayerSlot& slot : slots_) {
+    for (ParamRef& p : slot.tensors) {
+      util::copy(in.subspan(pos, p.numel()), p.value->data());
+      pos += p.numel();
+    }
+  }
+}
+
+void FlatModel::gather_grads(std::span<float> out) const {
+  OSP_CHECK(out.size() == total_, "gather_grads size mismatch");
+  std::size_t pos = 0;
+  for (const LayerSlot& slot : slots_) {
+    for (const ParamRef& p : slot.tensors) {
+      util::copy(p.grad->data(), out.subspan(pos, p.numel()));
+      pos += p.numel();
+    }
+  }
+}
+
+std::span<float> FlatModel::block_span(std::span<float> flat,
+                                       std::size_t i) const {
+  OSP_CHECK(flat.size() == total_, "block_span buffer size mismatch");
+  const LayerBlockInfo& b = blocks_.at(i);
+  return flat.subspan(b.offset, b.numel);
+}
+
+std::span<const float> FlatModel::block_span(std::span<const float> flat,
+                                             std::size_t i) const {
+  OSP_CHECK(flat.size() == total_, "block_span buffer size mismatch");
+  const LayerBlockInfo& b = blocks_.at(i);
+  return flat.subspan(b.offset, b.numel);
+}
+
+}  // namespace osp::nn

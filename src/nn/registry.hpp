@@ -1,0 +1,71 @@
+// FlatModel: the bridge between the layer stack and the synchronization
+// code.
+//
+// Sync models (BSP/ASP/R²SP/OSP) exchange parameters and gradients as flat
+// float vectors partitioned into per-layer blocks. FlatModel binds a
+// Sequential, enumerates its trainable layers, assigns each a contiguous
+// [offset, offset+numel) block in a flat vector, and provides gather/scatter
+// between the two representations. OSP's GIB operates at exactly this block
+// granularity (paper §4.1.1: importance is computed per layer).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace osp::nn {
+
+/// One trainable layer's slot in the flat parameter vector.
+struct LayerBlockInfo {
+  std::string name;       ///< layer name (e.g. "fc1")
+  std::size_t offset = 0; ///< start index in the flat vector
+  std::size_t numel = 0;  ///< number of float elements
+};
+
+class FlatModel {
+ public:
+  /// Binds (does not own) the model. The model's layer structure must not
+  /// change while the FlatModel is alive.
+  explicit FlatModel(Sequential& model);
+
+  [[nodiscard]] std::size_t total_params() const { return total_; }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] const LayerBlockInfo& block(std::size_t i) const {
+    return blocks_.at(i);
+  }
+  [[nodiscard]] const std::vector<LayerBlockInfo>& blocks() const {
+    return blocks_;
+  }
+
+  /// Copy model parameters into `out` (size must equal total_params()).
+  void gather_params(std::span<float> out) const;
+
+  /// Copy `in` into the model parameters.
+  void scatter_params(std::span<const float> in);
+
+  /// Copy accumulated gradients into `out`.
+  void gather_grads(std::span<float> out) const;
+
+  /// Slice a flat buffer to block `i`'s range.
+  [[nodiscard]] std::span<float> block_span(std::span<float> flat,
+                                            std::size_t i) const;
+  [[nodiscard]] std::span<const float> block_span(std::span<const float> flat,
+                                                  std::size_t i) const;
+
+  [[nodiscard]] Sequential& model() { return *model_; }
+
+ private:
+  Sequential* model_;
+  // One entry per trainable layer; a layer's tensors (weight+bias) share a
+  // block, concatenated in params() order.
+  struct LayerSlot {
+    std::vector<ParamRef> tensors;
+  };
+  std::vector<LayerSlot> slots_;
+  std::vector<LayerBlockInfo> blocks_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace osp::nn

@@ -1,0 +1,28 @@
+// Model checkpointing: save/load a FlatModel's parameters to a small
+// self-describing binary format.
+//
+// Layout (little-endian):
+//   magic "OSPCKPT1" (8 bytes)
+//   u64 block_count
+//   per block: u32 name_len, name bytes, u64 offset, u64 numel
+//   u64 total_params
+//   total_params × f32 parameter data
+// Loading validates the structural header against the live model, so a
+// checkpoint cannot be scattered into a mismatched architecture.
+#pragma once
+
+#include <string>
+
+#include "nn/registry.hpp"
+
+namespace osp::nn {
+
+/// Write the model's current parameters; throws util::CheckError on I/O
+/// failure.
+void save_checkpoint(const FlatModel& model, const std::string& path);
+
+/// Read a checkpoint into the model; throws util::CheckError if the file
+/// is malformed or its block structure does not match.
+void load_checkpoint(FlatModel& model, const std::string& path);
+
+}  // namespace osp::nn

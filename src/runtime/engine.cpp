@@ -1,0 +1,375 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/metrics.hpp"
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::runtime {
+
+Engine::Engine(const WorkloadSpec& spec, const EngineConfig& config,
+               SyncModel& sync)
+    : spec_(&spec), config_(config), sync_(&sync) {
+  OSP_CHECK(config.num_workers > 0, "need at least one worker");
+  OSP_CHECK(config.max_epochs > 0, "need at least one epoch");
+  OSP_CHECK(spec.build_model != nullptr, "workload has no model builder");
+  OSP_CHECK(spec.train != nullptr && spec.eval != nullptr,
+            "workload has no datasets");
+  OSP_CHECK(spec.real_param_bytes > 0.0 && spec.flops_per_sample > 0.0,
+            "workload timing metadata missing");
+
+  // Cluster: the engine forces worker count consistency.
+  sim::ClusterConfig cluster_cfg = config.cluster;
+  cluster_cfg.num_workers = config.num_workers;
+  cluster_ = std::make_unique<sim::Cluster>(sim_, cluster_cfg);
+
+  compute_model_.flops_per_sample = spec.flops_per_sample;
+  compute_model_.node = cluster_cfg.node;
+  compute_model_.straggler_jitter = config.straggler_jitter;
+
+  // Proxy model + flat view. All workers share one scratch replica; their
+  // states live in flat vectors and are scattered in before each use.
+  scratch_model_ = spec.build_model(config.seed);
+  flat_ = std::make_unique<nn::FlatModel>(scratch_model_);
+  const double total = static_cast<double>(flat_->total_params());
+  block_bytes_.reserve(flat_->num_blocks());
+  for (const nn::LayerBlockInfo& b : flat_->blocks()) {
+    block_bytes_.push_back(spec.real_param_bytes *
+                           static_cast<double>(b.numel) / total);
+  }
+
+  global_params_.resize(flat_->total_params());
+  flat_->gather_params(global_params_);
+  optimizer_ = std::make_unique<nn::SgdOptimizer>(flat_->total_params(),
+                                                  config.momentum);
+
+  util::Rng master(config.seed);
+  workers_.resize(config.num_workers);
+  for (std::size_t w = 0; w < config.num_workers; ++w) {
+    WorkerState& ws = workers_[w];
+    ws.params = global_params_;
+    ws.grad.assign(flat_->total_params(), 0.0f);
+    ws.batch_size = spec.batch_size;
+    if (config.balance_batch_to_speed) {
+      // §6.2: batch ∝ speed equalizes compute time across workers.
+      const double scaled = static_cast<double>(spec.batch_size) *
+                            cluster_->speed_factor(w);
+      ws.batch_size = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(scaled)));
+    }
+    ws.loader = std::make_unique<data::ShardLoader>(
+        *spec.train, w, config.num_workers, ws.batch_size,
+        config.seed ^ 0xabcdef12345ULL);
+    ws.rng = master.fork(1000 + w);
+  }
+
+  ps_busy_until_.assign(cluster_cfg.num_ps, 0.0);
+  eval_stride_ = config.eval_every_samples > 0 ? config.eval_every_samples
+                                               : spec.train->size();
+  next_eval_at_samples_ = static_cast<double>(eval_stride_);
+}
+
+Engine::~Engine() = default;
+
+const std::vector<nn::LayerBlockInfo>& Engine::blocks() const {
+  return flat_->blocks();
+}
+
+double Engine::block_bytes(std::size_t i) const {
+  OSP_CHECK(i < block_bytes_.size(), "block index out of range");
+  return block_bytes_[i];
+}
+
+double Engine::base_compute_time() const {
+  return compute_model_.base_batch_time(spec_->batch_size);
+}
+
+double Engine::ps_apply_delay(double bytes, double passes) const {
+  const double rate = config_.cluster.ps_apply_bytes_per_s;
+  if (rate <= 0.0) return 0.0;
+  return passes * bytes / rate;
+}
+
+void Engine::ps_submit(double seconds, std::function<void()> done,
+                       std::size_t ps) {
+  OSP_CHECK(seconds >= 0.0, "negative PS work");
+  OSP_CHECK(done != nullptr, "null completion");
+  OSP_CHECK(ps < ps_busy_until_.size(), "ps id out of range");
+  const double start = std::max(sim_.now(), ps_busy_until_[ps]);
+  ps_busy_until_[ps] = start + seconds;
+  sim_.schedule_at(ps_busy_until_[ps], std::move(done));
+}
+
+std::span<const float> Engine::worker_gradient(std::size_t w) const {
+  return workers_.at(w).grad;
+}
+
+std::span<float> Engine::worker_params(std::size_t w) {
+  return workers_.at(w).params;
+}
+
+std::size_t Engine::worker_iteration(std::size_t w) const {
+  return workers_.at(w).iteration;
+}
+
+std::size_t Engine::worker_epoch(std::size_t w) const {
+  return workers_.at(w).epoch;
+}
+
+std::size_t Engine::min_worker_iteration() const {
+  std::size_t m = workers_[0].iteration;
+  for (const WorkerState& ws : workers_) m = std::min(m, ws.iteration);
+  return m;
+}
+
+std::size_t Engine::batches_per_epoch() const {
+  return workers_[0].loader->batches_per_epoch();
+}
+
+std::size_t Engine::worker_batch(std::size_t w) const {
+  return workers_.at(w).batch_size;
+}
+
+double Engine::worker_weight(std::size_t w) const {
+  double total = 0.0;
+  for (const WorkerState& ws : workers_) {
+    total += static_cast<double>(ws.batch_size);
+  }
+  return static_cast<double>(workers_.at(w).batch_size) / total;
+}
+
+void Engine::set_worker_compute_overhead(std::size_t w, double fraction) {
+  OSP_CHECK(fraction >= 0.0, "overhead fraction must be non-negative");
+  workers_.at(w).compute_overhead = fraction;
+}
+
+void Engine::apply_global_step(std::span<const float> grad, double scale) {
+  if (scale == 1.0) {
+    optimizer_->step(global_params_, grad, current_lr());
+    return;
+  }
+  scaled_grad_.assign(grad.begin(), grad.end());
+  util::scale(scaled_grad_, static_cast<float>(scale));
+  optimizer_->step(global_params_, scaled_grad_, current_lr());
+}
+
+void Engine::apply_global_step_blocks(std::span<const float> grad,
+                                      const std::vector<bool>& block_mask) {
+  OSP_CHECK(block_mask.size() == flat_->num_blocks(),
+            "block mask arity mismatch");
+  OSP_CHECK(grad.size() == global_params_.size(), "gradient size mismatch");
+  const double lr = current_lr();
+  for (std::size_t i = 0; i < block_mask.size(); ++i) {
+    if (!block_mask[i]) continue;
+    const nn::LayerBlockInfo& b = flat_->blocks()[i];
+    optimizer_->step_range(
+        std::span<float>{global_params_}.subspan(b.offset, b.numel),
+        grad.subspan(b.offset, b.numel), lr, b.offset);
+  }
+}
+
+double Engine::current_lr() const {
+  std::size_t min_epoch = workers_[0].epoch;
+  for (const WorkerState& ws : workers_) {
+    min_epoch = std::min(min_epoch, ws.epoch);
+  }
+  return config_.lr_schedule.lr(min_epoch);
+}
+
+RunResult Engine::run() {
+  OSP_CHECK(!ran_, "Engine::run is single-use");
+  ran_ = true;
+  sync_->attach(*this);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) begin_compute(w);
+  if (config_.max_virtual_time_s > 0.0) {
+    sim_.run_until(config_.max_virtual_time_s);
+  } else {
+    sim_.run();
+  }
+  maybe_evaluate(/*force=*/true);
+
+  RunResult result;
+  result.sync_name = sync_->name();
+  result.workload_name = spec_->name;
+  result.total_time_s = sim_.now();
+  result.total_samples = samples_processed_;
+  result.throughput =
+      result.total_time_s > 0.0 ? samples_processed_ / result.total_time_s
+                                : 0.0;
+  result.best_metric = metrics_.best_metric();
+  result.mean_bct_s = metrics_.bct().mean();
+  result.mean_bst_s = metrics_.bst().mean();
+  result.steady_bst_s = metrics_.steady_bst();
+  result.p99_bst_s = metrics_.bst_percentile(0.99);
+  result.curve = metrics_.curve();
+  // Steady-state throughput: samples over the final quarter of the run.
+  result.steady_throughput = result.throughput;
+  if (result.total_time_s > 0.0 && !result.curve.empty()) {
+    const double t0 = 0.75 * result.total_time_s;
+    double samples_at_t0 = 0.0;
+    for (const EvalPoint& p : result.curve) {
+      if (p.time_s <= t0) samples_at_t0 = p.samples;
+    }
+    const double window = result.total_time_s - t0;
+    if (window > 0.0 && samples_at_t0 > 0.0) {
+      result.steady_throughput =
+          (samples_processed_ - samples_at_t0) / window;
+    }
+  }
+  result.epoch_losses = metrics_.epoch_losses();
+  if (!result.curve.empty()) {
+    result.final_loss = result.curve.back().loss;
+  }
+  if (auto hit = metrics_.first_reaching(spec_->target_metric)) {
+    result.time_to_target_s = hit->time_s;
+    result.iters_to_target =
+        hit->samples / static_cast<double>(spec_->batch_size *
+                                           config_.num_workers);
+  }
+  return result;
+}
+
+void Engine::begin_compute(std::size_t w) {
+  WorkerState& ws = workers_[w];
+  if (ws.epoch >= config_.max_epochs) {
+    ws.done = true;
+    stopping_ = std::all_of(workers_.begin(), workers_.end(),
+                            [](const WorkerState& s) { return s.done; });
+    return;
+  }
+  // Gradients are computed against the parameters as of compute start;
+  // sync traffic (e.g. OSP's ICS correction) may update ws.params while
+  // this iteration is in flight without affecting its gradient.
+  ws.snapshot = ws.params;
+  ws.compute_begin_time = sim_.now();
+  const double t = compute_model_.batch_time(ws.batch_size,
+                                             cluster_->speed_factor(w),
+                                             ws.rng) *
+                   (1.0 + ws.compute_overhead);
+  sim_.schedule(t, [this, w, t] { on_compute_done(w, t); });
+}
+
+void Engine::on_compute_done(std::size_t w, double charged_time) {
+  WorkerState& ws = workers_[w];
+  metrics_.record_bct(charged_time);
+  if (config_.record_trace) {
+    trace_.add({ws.compute_begin_time, sim_.now(), w, ws.iteration,
+                TracePhase::kCompute});
+  }
+
+  // Real math: materialize the worker's batch and run FP+BP on its params.
+  const std::size_t bpe = ws.loader->batches_per_epoch();
+  const std::size_t batch_idx = ws.iteration % bpe;
+  const data::Batch batch = ws.loader->batch(ws.epoch, batch_idx);
+
+  flat_->scatter_params(ws.snapshot);
+  scratch_model_.zero_grad();
+  const tensor::Tensor logits = scratch_model_.forward(batch.inputs, true);
+  nn::LossResult loss = spec_->is_qa
+                            ? nn::span_cross_entropy(logits, batch.starts,
+                                                     batch.ends)
+                            : nn::softmax_cross_entropy(logits, batch.labels);
+  scratch_model_.backward(loss.grad_logits);
+  flat_->gather_grads(ws.grad);
+
+  ws.epoch_loss_sum += loss.loss;
+  ws.epoch_loss_count += 1;
+  ws.grad_ready_time = sim_.now();
+  samples_processed_ += static_cast<double>(batch.size());
+  maybe_evaluate(/*force=*/false);
+
+  sync_->on_gradient_ready(w);
+}
+
+void Engine::finish_sync(std::size_t w) {
+  WorkerState& ws = workers_[w];
+  metrics_.record_bst(sim_.now() - ws.grad_ready_time);
+  if (config_.record_trace) {
+    trace_.add({ws.grad_ready_time, sim_.now(), w, ws.iteration,
+                TracePhase::kSync});
+  }
+  ws.iteration += 1;
+  if (ws.iteration % ws.loader->batches_per_epoch() == 0) {
+    complete_epoch(w);
+    ws.epoch += 1;
+  }
+  begin_compute(w);
+}
+
+void Engine::complete_epoch(std::size_t w) {
+  WorkerState& ws = workers_[w];
+  const std::size_t e = ws.epoch;  // 0-based epoch just completed
+  if (epoch_done_counts_.size() <= e) {
+    epoch_done_counts_.resize(e + 1, 0);
+    epoch_loss_sums_.resize(e + 1, 0.0);
+  }
+  const double mean_loss =
+      ws.epoch_loss_count > 0
+          ? ws.epoch_loss_sum / static_cast<double>(ws.epoch_loss_count)
+          : 0.0;
+  ws.epoch_loss_sum = 0.0;
+  ws.epoch_loss_count = 0;
+  epoch_loss_sums_[e] += mean_loss;
+  epoch_done_counts_[e] += 1;
+  if (epoch_done_counts_[e] == config_.num_workers) {
+    const double cluster_loss =
+        epoch_loss_sums_[e] / static_cast<double>(config_.num_workers);
+    metrics_.record_epoch_loss(cluster_loss);
+    sync_->on_epoch_complete(e + 1, cluster_loss);  // 1-based for Alg. 1
+  }
+}
+
+void Engine::maybe_evaluate(bool force) {
+  if (force) {
+    evaluate_now();
+    return;
+  }
+  if (samples_processed_ < next_eval_at_samples_) return;
+  while (next_eval_at_samples_ <= samples_processed_) {
+    next_eval_at_samples_ += static_cast<double>(eval_stride_);
+  }
+  evaluate_now();
+}
+
+void Engine::evaluate_now() {
+  // Evaluate the *global* (PS) parameters — the model a practitioner would
+  // checkpoint.
+  flat_->scatter_params(global_params_);
+  const data::Dataset& ds = *spec_->eval;
+  std::size_t limit = ds.size();
+  if (config_.eval_max_examples > 0) {
+    limit = std::min(limit, config_.eval_max_examples);
+  }
+  const std::size_t bs = spec_->batch_size;
+  double metric_sum = 0.0;
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  std::vector<std::size_t> idx(bs);
+  for (std::size_t start = 0; start + bs <= limit; start += bs) {
+    std::iota(idx.begin(), idx.end(), start);
+    const data::Batch batch = ds.make_batch(idx);
+    const tensor::Tensor logits =
+        scratch_model_.forward(batch.inputs, false);
+    if (spec_->is_qa) {
+      metric_sum += nn::batch_span_f1(logits, batch.starts, batch.ends);
+      loss_sum +=
+          nn::span_cross_entropy(logits, batch.starts, batch.ends).loss;
+    } else {
+      metric_sum += nn::top1_accuracy(logits, batch.labels);
+      loss_sum += nn::softmax_cross_entropy(logits, batch.labels).loss;
+    }
+    ++batches;
+  }
+  OSP_CHECK(batches > 0, "eval set smaller than one batch");
+  EvalPoint point;
+  point.time_s = sim_.now();
+  point.samples = samples_processed_;
+  point.metric = metric_sum / static_cast<double>(batches);
+  point.loss = loss_sum / static_cast<double>(batches);
+  metrics_.record_eval(point);
+}
+
+}  // namespace osp::runtime

@@ -1,0 +1,220 @@
+// The virtual-time training engine.
+//
+// Couples real numerics with simulated time: every worker's gradients are
+// computed for real on the proxy model (so accuracy trajectories genuinely
+// reflect staleness and correction effects), while compute and
+// communication *durations* come from the calibrated compute model and the
+// flow-level network simulator. One Engine drives one (workload, sync
+// model, cluster) experiment to completion and returns a RunResult.
+//
+// Lifecycle per worker w:
+//   begin_compute(w)              [engine]
+//     … virtual compute time …
+//   on_compute_done(w):           [engine]  real FP+BP, gradient gathered
+//   sync->on_gradient_ready(w)    [sync model] virtual-time communication,
+//                                  parameter updates via engine accessors
+//   eng.finish_sync(w)            [sync model] records BST,
+//                                  engine starts the next iteration
+//
+// Epoch bookkeeping: when every worker has finished epoch e the engine
+// reports the mean training loss to the sync model (Algorithm 1's input)
+// and the learning-rate schedule advances on the slowest worker's epoch.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/registry.hpp"
+#include "data/loader.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/sync_model.hpp"
+#include "runtime/workload.hpp"
+#include "sim/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace osp::runtime {
+
+struct EngineConfig {
+  std::size_t num_workers = 8;
+  std::size_t max_epochs = 10;
+  /// Evaluate the global model every this many processed samples
+  /// (0 = once per dataset-size samples).
+  std::size_t eval_every_samples = 0;
+  /// Cap on eval examples per evaluation (0 = whole eval set).
+  std::size_t eval_max_examples = 0;
+  double momentum = 0.0;
+  nn::StepLrSchedule lr_schedule = nn::StepLrSchedule::paper_default();
+  std::uint64_t seed = 1;
+  sim::ClusterConfig cluster;
+  /// One-sided exponential compute jitter coefficient (stragglers).
+  double straggler_jitter = 0.0;
+  /// Safety limit on virtual time (seconds); 0 disables.
+  double max_virtual_time_s = 0.0;
+  /// Record per-worker compute/sync spans (see runtime/trace.hpp).
+  bool record_trace = false;
+  /// §6.2: scale each worker's batch size by its speed factor so
+  /// heterogeneous workers finish compute in near-equal time; aggregation
+  /// then weights each gradient by its sample share (§2.1.1).
+  bool balance_batch_to_speed = false;
+};
+
+class Engine {
+ public:
+  Engine(const WorkloadSpec& spec, const EngineConfig& config,
+         SyncModel& sync);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run the experiment to completion; single use.
+  [[nodiscard]] RunResult run();
+
+  // ---- accessors for sync models ----
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] std::size_t num_workers() const {
+    return config_.num_workers;
+  }
+  [[nodiscard]] const WorkloadSpec& spec() const { return *spec_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Layer blocks of the (proxy) model; wire sizes are scaled to the real
+  /// model via block_bytes().
+  [[nodiscard]] const std::vector<nn::LayerBlockInfo>& blocks() const;
+  [[nodiscard]] std::size_t num_blocks() const { return blocks().size(); }
+  /// Wire bytes of block `i`, scaled so the whole model weighs
+  /// spec().real_param_bytes.
+  [[nodiscard]] double block_bytes(std::size_t i) const;
+  /// All blocks' wire bytes (same scaling).
+  [[nodiscard]] const std::vector<double>& all_block_bytes() const {
+    return block_bytes_;
+  }
+  [[nodiscard]] double model_bytes() const {
+    return spec_->real_param_bytes;
+  }
+
+  /// Jitter-free per-iteration compute time T_C (Eq. 5's input).
+  [[nodiscard]] double base_compute_time() const;
+
+  /// Virtual seconds the PS spends touching `bytes` of gradient/parameter
+  /// data `passes` times (aggregation, optimizer application, PGP). 0 when
+  /// the cluster config disables PS costing.
+  [[nodiscard]] double ps_apply_delay(double bytes,
+                                      double passes = 1.0) const;
+
+  /// Run `done` after PS `ps`'s single-threaded update loop has spent
+  /// `seconds` of work. Jobs are served FIFO per PS: concurrent submissions
+  /// queue behind each other, which is what makes N independent async
+  /// updates per round more expensive at the PS than one aggregated
+  /// OSP/BSP step. With multiple PSes (§6.1) each shard has its own queue.
+  void ps_submit(double seconds, std::function<void()> done,
+                 std::size_t ps = 0);
+
+  // ---- worker state ----
+  [[nodiscard]] std::span<const float> worker_gradient(std::size_t w) const;
+  [[nodiscard]] std::span<float> worker_params(std::size_t w);
+  [[nodiscard]] std::size_t worker_iteration(std::size_t w) const;
+  [[nodiscard]] std::size_t worker_epoch(std::size_t w) const;
+  [[nodiscard]] std::size_t min_worker_iteration() const;
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+  /// Worker w's batch size (== spec().batch_size unless
+  /// balance_batch_to_speed rescaled it).
+  [[nodiscard]] std::size_t worker_batch(std::size_t w) const;
+  /// Worker w's aggregation weight: its batch share of the cluster's
+  /// per-round samples (§2.1.1's dataset-ratio weighting). Uniform 1/N
+  /// for homogeneous batches.
+  [[nodiscard]] double worker_weight(std::size_t w) const;
+  /// Extra per-iteration compute charged to a worker (co-located PS GIB
+  /// computation, §4.4). Fraction of the batch compute time.
+  void set_worker_compute_overhead(std::size_t w, double fraction);
+
+  // ---- parameter server ----
+  [[nodiscard]] std::span<float> global_params() { return global_params_; }
+  [[nodiscard]] std::span<const float> global_params() const {
+    return global_params_;
+  }
+  /// SGD step on the full global vector with the current scheduled LR.
+  /// `scale` multiplies the gradient — async schemes (ASP/SSP/R²SP) apply
+  /// each worker's gradient scaled by 1/N so the per-sample step size
+  /// matches BSP's mean aggregation.
+  void apply_global_step(std::span<const float> grad, double scale = 1.0);
+  /// SGD step restricted to blocks whose GIB importance equals
+  /// `important_set` (OSP's two-stage updates). `grad` is full-length.
+  void apply_global_step_blocks(std::span<const float> grad,
+                                const std::vector<bool>& block_mask);
+  [[nodiscard]] double current_lr() const;
+
+  /// Called by the sync model when worker `w` may start its next iteration.
+  void finish_sync(std::size_t w);
+
+  /// True once the run's stop condition has been reached (workers finished
+  /// their epochs); sync models can early-out housekeeping.
+  [[nodiscard]] bool stopping() const { return stopping_; }
+
+  /// Execution trace (empty unless config().record_trace).
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+
+ private:
+  struct WorkerState {
+    std::vector<float> params;      // flat local parameters (live)
+    std::vector<float> snapshot;    // params as of compute start: gradients
+                                    // are computed against these, so ICS
+                                    // corrections landing mid-compute only
+                                    // affect the *next* iteration (§4.2)
+    std::vector<float> grad;        // flat last gradient
+    std::unique_ptr<data::ShardLoader> loader;
+    std::size_t batch_size = 0;
+    util::Rng rng;                  // jitter stream
+    std::size_t iteration = 0;      // completed iterations
+    std::size_t epoch = 0;          // completed epochs
+    double grad_ready_time = 0.0;
+    double compute_begin_time = 0.0;
+    double epoch_loss_sum = 0.0;
+    std::size_t epoch_loss_count = 0;
+    double compute_overhead = 0.0;
+    bool done = false;
+  };
+
+  void begin_compute(std::size_t w);
+  void on_compute_done(std::size_t w, double charged_time);
+  void maybe_evaluate(bool force);
+  void evaluate_now();
+  void complete_epoch(std::size_t w);
+
+  const WorkloadSpec* spec_;
+  EngineConfig config_;
+  SyncModel* sync_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  sim::ComputeModel compute_model_;
+
+  nn::Sequential scratch_model_;          // shared replica for real math
+  std::unique_ptr<nn::FlatModel> flat_;
+  std::vector<double> block_bytes_;
+
+  std::vector<float> global_params_;
+  std::vector<float> scaled_grad_;  // scratch for scaled async updates
+  std::unique_ptr<nn::SgdOptimizer> optimizer_;
+
+  std::vector<WorkerState> workers_;
+  MetricsRecorder metrics_;
+  TraceRecorder trace_;
+  std::vector<double> ps_busy_until_;
+
+  double samples_processed_ = 0.0;
+  double next_eval_at_samples_ = 0.0;
+  std::size_t eval_stride_ = 0;
+  // Epoch tracking: epoch_done_counts_[e] = workers that completed epoch e.
+  std::vector<std::size_t> epoch_done_counts_;
+  std::vector<double> epoch_loss_sums_;
+  bool stopping_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace osp::runtime

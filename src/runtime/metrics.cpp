@@ -1,0 +1,36 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+
+namespace osp::runtime {
+
+double MetricsRecorder::bst_percentile(double q) const {
+  if (bst_samples_.empty()) return 0.0;
+  return util::percentile(bst_samples_, q);
+}
+
+double MetricsRecorder::steady_bst() const {
+  if (bst_samples_.empty()) return 0.0;
+  const std::size_t start = bst_samples_.size() * 3 / 4;
+  double sum = 0.0;
+  for (std::size_t i = start; i < bst_samples_.size(); ++i) {
+    sum += bst_samples_[i];
+  }
+  return sum / static_cast<double>(bst_samples_.size() - start);
+}
+
+double MetricsRecorder::best_metric() const {
+  double best = 0.0;
+  for (const EvalPoint& p : curve_) best = std::max(best, p.metric);
+  return best;
+}
+
+std::optional<EvalPoint> MetricsRecorder::first_reaching(
+    double target) const {
+  for (const EvalPoint& p : curve_) {
+    if (p.metric >= target) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace osp::runtime

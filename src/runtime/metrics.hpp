@@ -1,0 +1,83 @@
+// Per-run metrics: the five quantities the paper's evaluation reports
+// (§5.1.4) — throughput, best metric (top-1/F1), iterations-to-target,
+// batch synchronization time (BST), and the time-to-accuracy curve — plus
+// batch computation time (BCT) for the co-located-PS experiment (§5.4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace osp::runtime {
+
+struct EvalPoint {
+  double time_s = 0.0;        ///< virtual time of the evaluation
+  double samples = 0.0;       ///< cumulative samples processed
+  double metric = 0.0;        ///< top-1 accuracy or F1
+  double loss = 0.0;          ///< eval loss
+};
+
+class MetricsRecorder {
+ public:
+  void record_bct(double seconds) { bct_.add(seconds); }
+  void record_bst(double seconds) {
+    bst_.add(seconds);
+    bst_samples_.push_back(seconds);
+  }
+  void record_eval(const EvalPoint& point) { curve_.push_back(point); }
+  void record_epoch_loss(double loss) { epoch_losses_.push_back(loss); }
+
+  [[nodiscard]] const util::OnlineStats& bct() const { return bct_; }
+  [[nodiscard]] const util::OnlineStats& bst() const { return bst_; }
+  [[nodiscard]] double bst_percentile(double q) const;
+
+  /// Mean BST over the final quarter of iterations — the steady-state
+  /// value once Algorithm 1's budget has ramped (OSP's early iterations
+  /// intentionally behave like BSP, which dominates the overall mean on
+  /// short runs).
+  [[nodiscard]] double steady_bst() const;
+  [[nodiscard]] const std::vector<EvalPoint>& curve() const { return curve_; }
+  [[nodiscard]] const std::vector<double>& epoch_losses() const {
+    return epoch_losses_;
+  }
+
+  /// Highest metric seen on the curve (0 when never evaluated).
+  [[nodiscard]] double best_metric() const;
+
+  /// First eval point at or above `target`, if any.
+  [[nodiscard]] std::optional<EvalPoint> first_reaching(double target) const;
+
+ private:
+  util::OnlineStats bct_;
+  util::OnlineStats bst_;
+  std::vector<double> bst_samples_;
+  std::vector<EvalPoint> curve_;
+  std::vector<double> epoch_losses_;
+};
+
+/// Summary of one training run, consumed by the benches.
+struct RunResult {
+  std::string sync_name;
+  std::string workload_name;
+  double total_time_s = 0.0;
+  double total_samples = 0.0;
+  double throughput = 0.0;       ///< samples per virtual second
+  double best_metric = 0.0;
+  double final_loss = 0.0;
+  double mean_bct_s = 0.0;
+  double mean_bst_s = 0.0;
+  double steady_bst_s = 0.0;      ///< mean BST over the final quarter
+  double p99_bst_s = 0.0;
+  /// Throughput over the final quarter of virtual time (post-ramp).
+  double steady_throughput = 0.0;
+  /// Global iterations = samples / (batch·workers); counted at the first
+  /// eval point reaching the workload's target metric.
+  std::optional<double> iters_to_target;
+  std::optional<double> time_to_target_s;
+  std::vector<EvalPoint> curve;
+  std::vector<double> epoch_losses;
+};
+
+}  // namespace osp::runtime

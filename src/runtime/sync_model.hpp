@@ -1,0 +1,46 @@
+// The synchronization-model strategy interface.
+//
+// The Engine owns the per-worker compute loop; a SyncModel owns everything
+// between "worker w's gradient is ready" and "worker w may start its next
+// iteration". Implementations schedule virtual-time network transfers
+// through the engine's cluster and apply parameter updates through the
+// engine's PS accessors, then call eng().finish_sync(w).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace osp::runtime {
+
+class Engine;
+
+class SyncModel {
+ public:
+  virtual ~SyncModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the run starts. The default stores the engine.
+  virtual void attach(Engine& eng) { eng_ = &eng; }
+
+  /// Worker `worker` finished FP+BP; its gradient is available via
+  /// eng().worker_gradient(worker). The implementation must eventually call
+  /// eng().finish_sync(worker).
+  virtual void on_gradient_ready(std::size_t worker) = 0;
+
+  /// All workers completed (1-based) epoch `epoch`; `mean_loss` is the mean
+  /// training loss across workers for that epoch. Drives Algorithm 1.
+  virtual void on_epoch_complete(std::size_t epoch, double mean_loss) {
+    (void)epoch;
+    (void)mean_loss;
+  }
+
+ protected:
+  [[nodiscard]] Engine& eng() { return *eng_; }
+  [[nodiscard]] const Engine& eng() const { return *eng_; }
+
+ private:
+  Engine* eng_ = nullptr;
+};
+
+}  // namespace osp::runtime

@@ -1,0 +1,57 @@
+#include "runtime/trace.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace osp::runtime {
+
+namespace {
+const char* phase_name(TracePhase phase) {
+  return phase == TracePhase::kCompute ? "compute" : "sync";
+}
+}  // namespace
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  OSP_CHECK(static_cast<bool>(out), "cannot open trace CSV for writing");
+  out << "worker,iteration,phase,begin_s,end_s\n";
+  for (const TraceSpan& s : spans_) {
+    out << s.worker << ',' << s.iteration << ',' << phase_name(s.phase)
+        << ',' << s.begin_s << ',' << s.end_s << '\n';
+  }
+  OSP_CHECK(static_cast<bool>(out), "trace CSV write failed");
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  OSP_CHECK(static_cast<bool>(out), "cannot open trace JSON for writing");
+  out << "[\n";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    out << "  {\"name\": \"" << phase_name(s.phase)
+        << "\", \"cat\": \"train\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+        << s.worker << ", \"ts\": " << s.begin_s * 1e6
+        << ", \"dur\": " << (s.end_s - s.begin_s) * 1e6
+        << ", \"args\": {\"iteration\": " << s.iteration << "}}";
+    out << (i + 1 < spans_.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  OSP_CHECK(static_cast<bool>(out), "trace JSON write failed");
+}
+
+double TraceRecorder::sync_fraction() const {
+  double compute = 0.0, sync = 0.0;
+  for (const TraceSpan& s : spans_) {
+    const double dur = s.end_s - s.begin_s;
+    if (s.phase == TracePhase::kCompute) {
+      compute += dur;
+    } else {
+      sync += dur;
+    }
+  }
+  const double total = compute + sync;
+  return total > 0.0 ? sync / total : 0.0;
+}
+
+}  // namespace osp::runtime

@@ -1,0 +1,47 @@
+// Execution-trace recording: per-worker compute/sync spans in virtual time.
+//
+// When EngineConfig::record_trace is set, the engine records one span per
+// phase per iteration; the trace can be exported as CSV or in the Chrome
+// tracing JSON format (open chrome://tracing or https://ui.perfetto.dev and
+// load the file to see the overlap structure — OSP's ICS visibly riding the
+// compute spans is the paper's Figure 4, reconstructed from a run).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osp::runtime {
+
+enum class TracePhase : std::uint8_t { kCompute = 0, kSync = 1 };
+
+struct TraceSpan {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  std::size_t worker = 0;
+  std::size_t iteration = 0;
+  TracePhase phase = TracePhase::kCompute;
+};
+
+class TraceRecorder {
+ public:
+  void add(const TraceSpan& span) { spans_.push_back(span); }
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+  void clear() { spans_.clear(); }
+
+  /// CSV: worker,iteration,phase,begin_s,end_s.
+  void write_csv(const std::string& path) const;
+
+  /// Chrome tracing "complete event" JSON (ts/dur in microseconds,
+  /// tid = worker). Throws util::CheckError on I/O failure.
+  void write_chrome_json(const std::string& path) const;
+
+  /// Fraction of summed span time spent in sync (a quick comm-share view).
+  [[nodiscard]] double sync_fraction() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace osp::runtime

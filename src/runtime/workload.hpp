@@ -1,0 +1,46 @@
+// Workload profiles pairing a *proxy* trainable task with the *real* model's
+// timing metadata.
+//
+// The sync algorithms see gradients from the proxy model (small enough to
+// train on one box) but communication sizes and compute times are scaled to
+// the real model the paper trained (ResNet50, VGG16, InceptionV3, ResNet101,
+// BERTbase): a layer covering 10 % of the proxy's parameters contributes
+// 10 % of the real model's bytes on the wire. This keeps the
+// compute:communication ratio — the quantity every throughput experiment
+// depends on — faithful to the testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace osp::runtime {
+
+struct WorkloadSpec {
+  std::string name;          ///< e.g. "ResNet50/CIFAR10"
+  std::string model_name;    ///< paper model whose metadata we use
+  std::string dataset_name;
+
+  // --- timing metadata of the real model ---
+  double real_param_bytes = 0.0;   ///< 4·(parameter count)
+  double flops_per_sample = 0.0;   ///< FP+BP FLOPs per sample
+  std::size_t batch_size = 64;
+  /// Worker-side extra compute when it co-hosts the PS (GIB calc, §5.4);
+  /// calibrated from the paper's Figure 9 (3 %–8 %).
+  double gib_overhead_fraction = 0.05;
+
+  // --- proxy trainable task ---
+  /// Builds a fresh proxy model seeded deterministically.
+  std::function<nn::Sequential(std::uint64_t seed)> build_model;
+  std::shared_ptr<const data::Dataset> train;
+  std::shared_ptr<const data::Dataset> eval;
+  bool is_qa = false;         ///< F1 metric instead of top-1 accuracy
+  double target_metric = 0.9; ///< convergence threshold for iters-to-target
+  std::string throughput_unit = "samples/s";
+};
+
+}  // namespace osp::runtime

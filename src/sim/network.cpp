@@ -1,0 +1,201 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace osp::sim {
+
+LinkId Network::add_link(double bandwidth_bytes_per_s, double latency_s,
+                         double loss_rate, double incast_alpha) {
+  OSP_CHECK(bandwidth_bytes_per_s > 0.0, "link bandwidth must be positive");
+  OSP_CHECK(latency_s >= 0.0, "negative latency");
+  OSP_CHECK(loss_rate >= 0.0 && loss_rate < 1.0, "loss rate must be in [0,1)");
+  OSP_CHECK(incast_alpha >= 0.0, "incast alpha must be non-negative");
+  links_.push_back({bandwidth_bytes_per_s, latency_s, loss_rate, incast_alpha});
+  return links_.size() - 1;
+}
+
+const LinkSpec& Network::link(LinkId id) const {
+  OSP_CHECK(id < links_.size(), "link id out of range");
+  return links_[id];
+}
+
+FlowId Network::start_flow(std::vector<LinkId> route, double bytes,
+                           std::function<void()> on_complete,
+                           double extra_latency_s) {
+  OSP_CHECK(!route.empty(), "flow needs a route");
+  OSP_CHECK(bytes >= 0.0, "negative flow size");
+  OSP_CHECK(extra_latency_s >= 0.0, "negative transfer overhead");
+  double latency = extra_latency_s;
+  double loss_factor = 1.0;
+  for (LinkId id : route) {
+    const LinkSpec& l = link(id);
+    latency += l.latency_s;
+    loss_factor *= 1.0 + l.loss_rate;
+  }
+  advance_to_now();
+  const FlowId id = next_flow_id_++;
+  if (bytes <= 0.0) {
+    // Pure-latency flow: consumes no bandwidth, does not disturb rates.
+    if (on_complete != nullptr) sim_->schedule(latency, std::move(on_complete));
+    return id;
+  }
+  Flow flow;
+  flow.route = std::move(route);
+  flow.payload_bytes = bytes;
+  flow.wire_bytes_remaining = bytes * loss_factor;
+  flow.latency = latency;
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  recompute_rates();
+  schedule_next_completion();
+  return id;
+}
+
+double Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double Network::ideal_transfer_time(const std::vector<LinkId>& route,
+                                    double bytes) const {
+  OSP_CHECK(!route.empty(), "route must be non-empty");
+  double latency = 0.0;
+  double loss_factor = 1.0;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (LinkId id : route) {
+    const LinkSpec& l = link(id);
+    latency += l.latency_s;
+    loss_factor *= 1.0 + l.loss_rate;
+    bottleneck = std::min(bottleneck, l.bandwidth_bps);
+  }
+  return latency + bytes * loss_factor / bottleneck;
+}
+
+void Network::advance_to_now() {
+  const SimTime now = sim_->now();
+  const double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    flow.wire_bytes_remaining =
+        std::max(0.0, flow.wire_bytes_remaining - flow.rate * dt);
+  }
+}
+
+void Network::recompute_rates() {
+  ++epoch_;
+  if (flows_.empty()) return;
+  // Progressive water-filling. Track per-link residual capacity and the
+  // number of still-unfixed flows crossing it. A link's usable capacity
+  // shrinks under incast collapse when many flows converge on it.
+  std::vector<double> residual(links_.size());
+  std::vector<std::size_t> crossing(links_.size(), 0);
+  std::vector<FlowId> unfixed;
+  unfixed.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    unfixed.push_back(id);
+    for (LinkId l : flow.route) ++crossing[l];
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const double k = static_cast<double>(crossing[i]);
+    const double collapse =
+        k > 1.0 ? 1.0 + links_[i].incast_alpha * (k - 1.0) : 1.0;
+    residual[i] = links_[i].bandwidth_bps / collapse;
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(unfixed.begin(), unfixed.end());
+
+  while (!unfixed.empty()) {
+    // Find the most constrained link among those carrying unfixed flows.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (crossing[l] == 0) continue;
+      min_share = std::min(min_share,
+                           residual[l] / static_cast<double>(crossing[l]));
+    }
+    OSP_CHECK(min_share < std::numeric_limits<double>::infinity(),
+              "water-filling found no constrained link");
+    // Fix every unfixed flow that crosses a link achieving min_share.
+    std::vector<FlowId> still_unfixed;
+    still_unfixed.reserve(unfixed.size());
+    for (FlowId id : unfixed) {
+      Flow& flow = flows_.at(id);
+      bool bottlenecked = false;
+      for (LinkId l : flow.route) {
+        const double share =
+            residual[l] / static_cast<double>(crossing[l]);
+        if (share <= min_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        flow.rate = min_share;
+        for (LinkId l : flow.route) {
+          residual[l] -= min_share;
+          --crossing[l];
+        }
+      } else {
+        still_unfixed.push_back(id);
+      }
+    }
+    // Guard against numerical stalls: if nothing was fixed, fix everything
+    // remaining at the current min share.
+    if (still_unfixed.size() == unfixed.size()) {
+      for (FlowId id : unfixed) {
+        Flow& flow = flows_.at(id);
+        flow.rate = min_share;
+        for (LinkId l : flow.route) {
+          residual[l] -= min_share;
+          --crossing[l];
+        }
+      }
+      still_unfixed.clear();
+    }
+    unfixed = std::move(still_unfixed);
+  }
+}
+
+void Network::schedule_next_completion() {
+  if (flows_.empty()) return;
+  // Find the earliest-finishing flow under current rates.
+  double best_dt = std::numeric_limits<double>::infinity();
+  FlowId best_id = 0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0.0) continue;
+    const double dt = flow.wire_bytes_remaining / flow.rate;
+    if (dt < best_dt || (dt == best_dt && id < best_id)) {
+      best_dt = dt;
+      best_id = id;
+    }
+  }
+  OSP_CHECK(best_dt < std::numeric_limits<double>::infinity(),
+            "active flows but none progressing");
+  const std::uint64_t epoch = epoch_;
+  const FlowId id = best_id;
+  sim_->schedule(best_dt, [this, epoch, id] {
+    if (epoch != epoch_) return;  // stale: rates changed since scheduling
+    complete_flow(id);
+  });
+}
+
+void Network::complete_flow(FlowId id) {
+  advance_to_now();
+  auto it = flows_.find(id);
+  OSP_CHECK(it != flows_.end(), "completing unknown flow");
+  const double latency = it->second.latency;
+  auto cb = std::move(it->second.on_complete);
+  bytes_delivered_ += it->second.payload_bytes;
+  flows_.erase(it);
+  // Last byte leaves now; it arrives after the route's propagation delay.
+  if (cb != nullptr) {
+    sim_->schedule(latency, std::move(cb));
+  }
+  recompute_rates();
+  schedule_next_completion();
+}
+
+}  // namespace osp::sim

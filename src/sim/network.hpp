@@ -1,0 +1,108 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Links have capacity (bytes/s), propagation latency, and a loss rate that
+// inflates the bytes on the wire by (1+lr) — the retransmission-overhead
+// treatment matching the capacity term of the paper's Eq. 5. A flow follows
+// a route of links; concurrent flows sharing a link split its capacity by
+// progressive water-filling (max-min fairness). This is what produces the
+// incast effect at the PS ingress link when all workers push simultaneously
+// (BSP), and its absence when pushes are staggered (ASP/R²SP) or overlapped
+// (OSP's ICS).
+//
+// Every topology change (flow start/finish) advances all in-flight flows to
+// the current instant, recomputes rates, and reschedules the next
+// completion. Completion events are invalidated by an epoch counter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace osp::sim {
+
+using LinkId = std::size_t;
+using FlowId = std::uint64_t;
+
+struct LinkSpec {
+  double bandwidth_bps = 1.25e9;  ///< bytes/s (default: 10 Gbit/s)
+  double latency_s = 0.0;
+  double loss_rate = 0.0;
+  /// TCP-incast goodput collapse: with K simultaneous flows the link's
+  /// usable capacity degrades to b / (1 + incast_alpha·(K−1)), modeling
+  /// buffer overflow + retransmission timeouts when synchronized senders
+  /// converge on one port (the paper's §2 incast problem). 0 disables.
+  double incast_alpha = 0.0;
+};
+
+/// Convert a link rate in Gbit/s to bytes/s.
+[[nodiscard]] constexpr double gbps_to_bytes_per_sec(double gbps) {
+  return gbps * 1e9 / 8.0;
+}
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(&sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Add a link; bandwidth in bytes/s.
+  LinkId add_link(double bandwidth_bytes_per_s, double latency_s = 0.0,
+                  double loss_rate = 0.0, double incast_alpha = 0.0);
+
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] const LinkSpec& link(LinkId id) const;
+
+  /// Start a flow of `bytes` along `route`; `on_complete` fires (through the
+  /// simulator) when the last byte arrives. Zero-byte flows complete after
+  /// the route latency alone. `extra_latency_s` models per-transfer software
+  /// overhead (serialization, framing, process-pool handoff). Returns a
+  /// flow id.
+  FlowId start_flow(std::vector<LinkId> route, double bytes,
+                    std::function<void()> on_complete,
+                    double extra_latency_s = 0.0);
+
+  /// Number of flows still in flight.
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Current fair-share rate of a flow (bytes/s); 0 if unknown/finished.
+  [[nodiscard]] double flow_rate(FlowId id) const;
+
+  /// Total bytes delivered since construction (post-loss-inflation wire
+  /// bytes are NOT counted; this is payload).
+  [[nodiscard]] double bytes_delivered() const { return bytes_delivered_; }
+
+  /// Ideal (uncontended) transfer time of `bytes` over a route: the route
+  /// latency plus bytes*(1+lr) at the bottleneck bandwidth.
+  [[nodiscard]] double ideal_transfer_time(const std::vector<LinkId>& route,
+                                           double bytes) const;
+
+ private:
+  struct Flow {
+    std::vector<LinkId> route;
+    double payload_bytes = 0.0;         ///< size as requested by the caller
+    double wire_bytes_remaining = 0.0;  ///< includes (1+lr) inflation
+    double rate = 0.0;                  ///< bytes/s, set by water-filling
+    double latency = 0.0;               ///< route latency to add at the end
+    std::function<void()> on_complete;
+  };
+
+  void advance_to_now();
+  void recompute_rates();
+  void schedule_next_completion();
+  void complete_flow(FlowId id);
+
+  Simulator* sim_;
+  std::vector<LinkSpec> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  std::uint64_t epoch_ = 0;  ///< invalidates stale completion events
+  SimTime last_advance_ = 0.0;
+  double bytes_delivered_ = 0.0;
+};
+
+}  // namespace osp::sim

@@ -1,0 +1,51 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace osp::sim {
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  OSP_CHECK(delay >= 0.0, "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  OSP_CHECK(when >= now_, "cannot schedule into the past");
+  OSP_CHECK(fn != nullptr, "null event");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Copy out, pop, then fire: the handler may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++count;
+    ++processed_;
+  }
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  OSP_CHECK(deadline >= now_, "deadline in the past");
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++count;
+    ++processed_;
+  }
+  now_ = deadline;
+  return count;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace osp::sim

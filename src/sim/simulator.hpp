@@ -1,0 +1,65 @@
+// Discrete-event simulation core.
+//
+// Virtual time is a double in seconds. Events scheduled at equal times fire
+// in schedule order (a monotonically increasing sequence number breaks
+// ties), which keeps every run fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace osp::sim {
+
+using SimTime = double;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the event queue drains. Returns events processed.
+  std::size_t run();
+
+  /// Run until the queue drains or virtual time would exceed `deadline`.
+  /// Events after the deadline remain queued; now() is clamped to deadline.
+  std::size_t run_until(SimTime deadline);
+
+  /// Drop all pending events (used between experiment repetitions).
+  void clear();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace osp::sim

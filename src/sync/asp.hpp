@@ -1,0 +1,20 @@
+// Asynchronous Parallel (§2.1.2).
+//
+// Each worker synchronizes with the PS independently: push its own
+// gradient, the PS applies it immediately (no aggregation, no barrier),
+// then pull the current global parameters. Higher throughput, but workers
+// train on whatever (possibly stale) parameters the PS holds — the source
+// of ASP's accuracy loss.
+#pragma once
+
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+class AspSync : public runtime::SyncModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "ASP"; }
+  void on_gradient_ready(std::size_t worker) override;
+};
+
+}  // namespace osp::sync

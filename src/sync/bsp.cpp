@@ -1,0 +1,49 @@
+#include "sync/bsp.hpp"
+
+#include "sync/transfer.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+void BspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  transfer(e, e.cluster().route_to_ps(worker), e.model_bytes(),
+           [this] { on_push_arrived(); });
+}
+
+void BspSync::on_push_arrived() {
+  ++arrived_;
+  if (arrived_ == eng().num_workers()) {
+    arrived_ = 0;
+    aggregate_and_broadcast();
+  }
+}
+
+void BspSync::aggregate_and_broadcast() {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+  agg_.assign(e.global_params().size(), 0.0f);
+  for (std::size_t w = 0; w < n; ++w) {
+    // §2.1.1: weight by the worker's sample share (uniform 1/N unless
+    // batch balancing rescaled the batches).
+    util::axpy(static_cast<float>(e.worker_weight(w)),
+               e.worker_gradient(w), agg_);
+  }
+  e.apply_global_step(agg_);
+  // PS cost: the final optimizer application (read aggregate, read+write
+  // params = 3 memory passes); per-push accumulation streams with the
+  // incast arrivals and stays off the critical path.
+  e.ps_submit(e.ps_apply_delay(e.model_bytes(), 3.0), [this] {
+    runtime::Engine& en = eng();
+    for (std::size_t w = 0; w < en.num_workers(); ++w) {
+      transfer(en, en.cluster().route_from_ps(w), en.model_bytes(),
+               [this, w] {
+                 runtime::Engine& e2 = eng();
+                 util::copy(e2.global_params(), e2.worker_params(w));
+                 e2.finish_sync(w);
+               });
+    }
+  });
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,28 @@
+// Bulk Synchronous Parallel (§2.1.2).
+//
+// Every iteration: all workers push their full gradient to the PS
+// (simultaneously — the incast), the PS averages them and takes one
+// optimizer step, then broadcasts the updated parameters back; workers
+// resume only after receiving them (global barrier).
+#pragma once
+
+#include <vector>
+
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+class BspSync : public runtime::SyncModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "BSP"; }
+  void on_gradient_ready(std::size_t worker) override;
+
+ private:
+  void on_push_arrived();
+  void aggregate_and_broadcast();
+
+  std::size_t arrived_ = 0;
+  std::vector<float> agg_;
+};
+
+}  // namespace osp::sync

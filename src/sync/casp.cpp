@@ -1,0 +1,72 @@
+#include "sync/casp.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sync/transfer.hpp"
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+std::string CaspSync::name() const {
+  return "CASP(g=" + std::to_string(groups_.size()) + ")";
+}
+
+void CaspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  groups_.clear();
+  group_of_.assign(eng.num_workers(), 0);
+  // Group by identical speed factor (deterministic order by speed).
+  std::map<double, std::vector<std::size_t>> by_speed;
+  for (std::size_t w = 0; w < eng.num_workers(); ++w) {
+    by_speed[eng.cluster().speed_factor(w)].push_back(w);
+  }
+  for (auto& [speed, members] : by_speed) {
+    (void)speed;
+    for (std::size_t w : members) group_of_[w] = groups_.size();
+    groups_.push_back(std::move(members));
+  }
+  arrived_.assign(groups_.size(), 0);
+  agg_.assign(eng.global_params().size(), 0.0f);
+}
+
+void CaspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  const std::size_t group = group_of_[worker];
+  transfer(e, e.cluster().route_to_ps(worker), e.model_bytes(),
+           [this, group] { on_push_arrived(group); });
+}
+
+void CaspSync::on_push_arrived(std::size_t group) {
+  if (++arrived_[group] < groups_[group].size()) return;
+  arrived_[group] = 0;
+  group_aggregate(group);
+}
+
+void CaspSync::group_aggregate(std::size_t group) {
+  runtime::Engine& e = eng();
+  const auto& members = groups_[group];
+  // Mean over the group's gradients, applied ASP-style with the group's
+  // share of the cluster so per-sample step sizes stay calibrated.
+  agg_.assign(e.global_params().size(), 0.0f);
+  const float scale = 1.0f / static_cast<float>(members.size());
+  for (std::size_t w : members) {
+    util::axpy(scale, e.worker_gradient(w), agg_);
+  }
+  e.apply_global_step(agg_, static_cast<double>(members.size()) /
+                                static_cast<double>(e.num_workers()));
+  e.ps_submit(e.ps_apply_delay(e.model_bytes(), 3.0), [this, group] {
+    runtime::Engine& en = eng();
+    for (std::size_t w : groups_[group]) {
+      transfer(en, en.cluster().route_from_ps(w), en.model_bytes(),
+               [this, w] {
+                 runtime::Engine& e2 = eng();
+                 util::copy(e2.global_params(), e2.worker_params(w));
+                 e2.finish_sync(w);
+               });
+    }
+  });
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,210 @@
+#include "sync/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sync/transfer.hpp"
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng) {
+  OSP_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep fraction must be in (0, 1]");
+  const std::size_t n = grad.size();
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(keep_fraction *
+                                               static_cast<double>(n))));
+  if (keep >= n) return n;
+  if (mode == CompressionMode::TopK) {
+    // Threshold at the keep-th largest magnitude.
+    std::vector<float> mags(n);
+    for (std::size_t i = 0; i < n; ++i) mags[i] = std::fabs(grad[i]);
+    std::nth_element(mags.begin(),
+                     mags.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     mags.end(), std::greater<float>());
+    const float threshold = mags[keep - 1];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Keep strictly-above first; elements equal to the threshold fill
+      // remaining slots in index order (deterministic tie handling).
+      if (std::fabs(grad[i]) > threshold) ++kept;
+    }
+    std::size_t slots_at_threshold = keep - kept;
+    kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float m = std::fabs(grad[i]);
+      if (m > threshold) {
+        ++kept;
+      } else if (m == threshold && slots_at_threshold > 0) {
+        --slots_at_threshold;
+        ++kept;
+      } else {
+        grad[i] = 0.0f;
+      }
+    }
+    return kept;
+  }
+  // RandomK: reservoir-free selection via shuffled index prefix.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<bool> kept_mask(n, false);
+  for (std::size_t i = 0; i < keep; ++i) kept_mask[idx[i]] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!kept_mask[i]) grad[i] = 0.0f;
+  }
+  return keep;
+}
+
+CompressedBspSync::CompressedBspSync(CompressionMode mode,
+                                     double keep_fraction, std::uint64_t seed,
+                                     bool error_feedback)
+    : mode_(mode),
+      keep_fraction_(keep_fraction),
+      rng_(seed),
+      error_feedback_(error_feedback) {
+  OSP_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep fraction must be in (0, 1]");
+}
+
+std::string CompressedBspSync::name() const {
+  const char* base = mode_ == CompressionMode::TopK ? "TopK" : "RandomK";
+  std::string n = std::string(base) + "(" +
+                  std::to_string(static_cast<int>(keep_fraction_ * 100)) +
+                  "%)";
+  if (error_feedback_) n += "+EF";
+  return n;
+}
+
+void CompressedBspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  sparse_.assign(eng.num_workers(),
+                 std::vector<float>(eng.global_params().size(), 0.0f));
+  if (error_feedback_) {
+    residual_.assign(eng.num_workers(),
+                     std::vector<float>(eng.global_params().size(), 0.0f));
+  }
+  arrived_ = 0;
+}
+
+void CompressedBspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  auto grad = e.worker_gradient(worker);
+  sparse_[worker].assign(grad.begin(), grad.end());
+  if (error_feedback_) {
+    // Fold the previously dropped mass back in before selecting.
+    util::add(sparse_[worker], residual_[worker], sparse_[worker]);
+    residual_[worker].assign(sparse_[worker].begin(),
+                             sparse_[worker].end());
+  }
+  const std::size_t kept = sparsify(sparse_[worker], mode_, keep_fraction_,
+                                    rng_);
+  if (error_feedback_) {
+    // residual = (grad + residual) − transmitted.
+    util::sub(residual_[worker], sparse_[worker], residual_[worker]);
+  }
+  // Wire format: 4-byte index + 4-byte value per kept element.
+  const double bytes = static_cast<double>(kept) * 8.0;
+  transfer(e, e.cluster().route_to_ps(worker), bytes,
+           [this] { on_push_arrived(); });
+}
+
+void CompressedBspSync::on_push_arrived() {
+  ++arrived_;
+  if (arrived_ == eng().num_workers()) {
+    arrived_ = 0;
+    aggregate_and_broadcast();
+  }
+}
+
+void CompressedBspSync::aggregate_and_broadcast() {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+  agg_.assign(e.global_params().size(), 0.0f);
+  const float scale = 1.0f / static_cast<float>(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    util::axpy(scale, sparse_[w], agg_);
+  }
+  e.apply_global_step(agg_);
+  // The response carries only the touched entries (union support).
+  std::size_t support = 0;
+  for (float v : agg_) support += v != 0.0f ? 1 : 0;
+  const double bytes =
+      std::min(e.model_bytes(), static_cast<double>(support) * 8.0);
+  e.ps_submit(e.ps_apply_delay(bytes, 3.0), [this, bytes] {
+    runtime::Engine& en = eng();
+    for (std::size_t w = 0; w < en.num_workers(); ++w) {
+      transfer(en, en.cluster().route_from_ps(w), bytes, [this, w] {
+        runtime::Engine& e2 = eng();
+        util::copy(e2.global_params(), e2.worker_params(w));
+        e2.finish_sync(w);
+      });
+    }
+  });
+}
+
+float quantize_dequantize_int8(std::span<float> grad) {
+  float max_abs = 0.0f;
+  for (float v : grad) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0.0f) return 0.0f;
+  const float scale = max_abs / 127.0f;
+  const float inv = 1.0f / scale;
+  for (float& v : grad) {
+    const float q = std::round(std::clamp(v * inv, -127.0f, 127.0f));
+    v = q * scale;
+  }
+  return scale;
+}
+
+void QuantizedBspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  dequantized_.assign(eng.num_workers(),
+                      std::vector<float>(eng.global_params().size(), 0.0f));
+  arrived_ = 0;
+}
+
+void QuantizedBspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  auto grad = e.worker_gradient(worker);
+  dequantized_[worker].assign(grad.begin(), grad.end());
+  (void)quantize_dequantize_int8(dequantized_[worker]);
+  // int8 payload + one fp32 scale.
+  const double bytes = e.model_bytes() / 4.0 + 4.0;
+  transfer(e, e.cluster().route_to_ps(worker), bytes,
+           [this] { on_push_arrived(); });
+}
+
+void QuantizedBspSync::on_push_arrived() {
+  ++arrived_;
+  if (arrived_ == eng().num_workers()) {
+    arrived_ = 0;
+    aggregate_and_broadcast();
+  }
+}
+
+void QuantizedBspSync::aggregate_and_broadcast() {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+  agg_.assign(e.global_params().size(), 0.0f);
+  const float scale = 1.0f / static_cast<float>(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    util::axpy(scale, dequantized_[w], agg_);
+  }
+  e.apply_global_step(agg_);
+  const double bytes = e.model_bytes() / 4.0 + 4.0;
+  e.ps_submit(e.ps_apply_delay(e.model_bytes(), 3.0), [this, bytes] {
+    runtime::Engine& en = eng();
+    for (std::size_t w = 0; w < en.num_workers(); ++w) {
+      transfer(en, en.cluster().route_from_ps(w), bytes, [this, w] {
+        runtime::Engine& e2 = eng();
+        util::copy(e2.global_params(), e2.worker_params(w));
+        e2.finish_sync(w);
+      });
+    }
+  });
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,77 @@
+// Gradient-compression baselines: Top-K and Random-K sparsified BSP
+// (§2.2.2, §7). Each worker transmits only a fraction of its gradient
+// elements (as index+value pairs, 8 bytes each); dropped gradients are
+// LOST — no error feedback — which is exactly the accuracy-degradation
+// failure mode the paper contrasts OSP against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sync_model.hpp"
+#include "util/rng.hpp"
+
+namespace osp::sync {
+
+enum class CompressionMode { TopK, RandomK };
+
+/// Sparsify `grad` in place, keeping `keep_fraction` of its elements
+/// (highest |g| for TopK, uniform for RandomK); zeroes the rest. Returns
+/// the number of kept elements.
+std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng);
+
+class CompressedBspSync : public runtime::SyncModel {
+ public:
+  /// `error_feedback` keeps per-worker residual memory (DGC-style): the
+  /// dropped gradient mass is added back into the next iteration's
+  /// gradient before sparsification, which preserves accuracy where plain
+  /// Top-K/Random-K lose it.
+  CompressedBspSync(CompressionMode mode, double keep_fraction,
+                    std::uint64_t seed = 99, bool error_feedback = false);
+
+  [[nodiscard]] std::string name() const override;
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+
+ private:
+  void on_push_arrived();
+  void aggregate_and_broadcast();
+
+  CompressionMode mode_;
+  double keep_fraction_;
+  util::Rng rng_;
+  bool error_feedback_;
+  std::size_t arrived_ = 0;
+  std::vector<std::vector<float>> sparse_;    // per-worker sparsified grads
+  std::vector<std::vector<float>> residual_;  // per-worker error memory
+  std::vector<float> agg_;
+};
+
+/// Symmetric per-tensor int8 quantization: q = round(clamp(g/s)) with
+/// s = max|g|/127. Returns the scale; `grad` is replaced by the
+/// dequantized values (the receiver's view), so quantization noise enters
+/// the training numerics exactly as it would on a real system.
+float quantize_dequantize_int8(std::span<float> grad);
+
+/// 8-bit quantized BSP (§2.2.2 / §7): every gradient travels as int8
+/// (model_bytes/4 on the wire + a 4-byte scale) — bounded 4× communication
+/// reduction, small quantization noise, no gradients dropped.
+class QuantizedBspSync : public runtime::SyncModel {
+ public:
+  QuantizedBspSync() = default;
+
+  [[nodiscard]] std::string name() const override { return "Q8-BSP"; }
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+
+ private:
+  void on_push_arrived();
+  void aggregate_and_broadcast();
+
+  std::size_t arrived_ = 0;
+  std::vector<std::vector<float>> dequantized_;  // per-worker views
+  std::vector<float> agg_;
+};
+
+}  // namespace osp::sync

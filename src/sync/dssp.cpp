@@ -1,0 +1,94 @@
+#include "sync/dssp.hpp"
+
+#include <algorithm>
+
+#include "sync/transfer.hpp"
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+DsspSync::DsspSync(std::size_t min_bound, std::size_t max_bound)
+    : min_bound_(min_bound), max_bound_(max_bound), bound_(max_bound) {
+  OSP_CHECK(min_bound <= max_bound, "min bound must not exceed max");
+}
+
+std::string DsspSync::name() const {
+  return "DSSP(" + std::to_string(min_bound_) + ".." +
+         std::to_string(max_bound_) + ")";
+}
+
+void DsspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  bound_ = max_bound_;
+  max_spread_seen_ = 0;
+  parked_.clear();
+}
+
+void DsspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  transfer(e, e.cluster().route_to_ps(worker), e.model_bytes(),
+           [this, worker] {
+             runtime::Engine& en = eng();
+             en.apply_global_step(en.worker_gradient(worker),
+                                  en.worker_weight(worker));
+             en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),
+                          [this, worker] {
+                            runtime::Engine& e2 = eng();
+                            transfer(e2,
+                                     e2.cluster().route_from_ps(worker),
+                                     e2.model_bytes(), [this, worker] {
+                                       runtime::Engine& e3 = eng();
+                                       util::copy(e3.global_params(),
+                                                  e3.worker_params(worker));
+                                       maybe_release(worker);
+                                     });
+                          });
+           });
+}
+
+void DsspSync::maybe_release(std::size_t worker) {
+  runtime::Engine& e = eng();
+  const std::size_t it = e.worker_iteration(worker);
+  const std::size_t min_it = e.min_worker_iteration();
+  max_spread_seen_ = std::max(max_spread_seen_, it + 1 - min_it);
+  if (it + 1 > min_it + bound_) {
+    parked_.push_back(worker);
+    return;
+  }
+  e.finish_sync(worker);
+  release_parked();
+}
+
+void DsspSync::release_parked() {
+  runtime::Engine& e = eng();
+  bool progressed = true;
+  while (progressed && !parked_.empty()) {
+    progressed = false;
+    const std::size_t min_it = e.min_worker_iteration();
+    for (std::size_t i = 0; i < parked_.size(); ++i) {
+      const std::size_t w = parked_[i];
+      if (e.worker_iteration(w) + 1 <= min_it + bound_) {
+        parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
+        e.finish_sync(w);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void DsspSync::on_epoch_complete(std::size_t /*epoch*/,
+                                 double /*mean_loss*/) {
+  // Adapt: if the workers hit the current bound this epoch, tighten to
+  // protect accuracy; otherwise relax toward the max for throughput.
+  if (max_spread_seen_ >= bound_) {
+    bound_ = std::max(min_bound_, bound_ > 0 ? bound_ - 1 : 0);
+  } else {
+    bound_ = std::min(max_bound_, bound_ + 1);
+  }
+  max_spread_seen_ = 0;
+  release_parked();  // the bound may have widened
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,40 @@
+// DSSP — Dynamic Stale Synchronous Parallel (Zhao et al., ICDCS'19; §7).
+//
+// SSP with an adaptive staleness threshold: instead of a fixed bound s,
+// DSSP keeps the bound within [s_min, s_max] and adapts it to the observed
+// iteration spread — widening while workers progress smoothly (throughput)
+// and tightening when the spread grows (accuracy). This implementation
+// adapts once per epoch from the max-min iteration gap observed since the
+// last adaptation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+class DsspSync : public runtime::SyncModel {
+ public:
+  DsspSync(std::size_t min_bound, std::size_t max_bound);
+
+  [[nodiscard]] std::string name() const override;
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+  void on_epoch_complete(std::size_t epoch, double mean_loss) override;
+
+  [[nodiscard]] std::size_t current_bound() const { return bound_; }
+
+ private:
+  void maybe_release(std::size_t worker);
+  void release_parked();
+
+  std::size_t min_bound_;
+  std::size_t max_bound_;
+  std::size_t bound_;
+  std::size_t max_spread_seen_ = 0;
+  std::vector<std::size_t> parked_;
+};
+
+}  // namespace osp::sync

@@ -1,0 +1,60 @@
+#include "sync/r2sp.hpp"
+
+#include "sync/transfer.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+void R2spSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  ready_.assign(eng.num_workers(), false);
+  token_ = 0;
+  serving_ = false;
+}
+
+void R2spSync::on_gradient_ready(std::size_t worker) {
+  ready_.at(worker) = true;
+  try_serve();
+}
+
+void R2spSync::try_serve() {
+  if (serving_ || !ready_[token_]) return;
+  serving_ = true;
+  ready_[token_] = false;
+  const std::size_t w = token_;
+  runtime::Engine& e = eng();
+  transfer(e, e.cluster().route_to_ps(w), e.model_bytes(), [this, w] {
+    runtime::Engine& en = eng();
+    en.apply_global_step(en.worker_gradient(w), en.worker_weight(w));
+    en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0), [this, w] {
+      runtime::Engine& e2 = eng();
+      if (overlap_pull_) {
+        // Idealized duplex pipeline: the next push may start while this
+        // worker's pull rides the egress direction.
+        serving_ = false;
+        token_ = (token_ + 1) % e2.num_workers();
+        deliver(w);
+        try_serve();
+      } else {
+        deliver(w);
+      }
+    });
+  });
+}
+
+void R2spSync::deliver(std::size_t worker) {
+  runtime::Engine& e = eng();
+  transfer(e, e.cluster().route_from_ps(worker), e.model_bytes(),
+           [this, worker] {
+             runtime::Engine& en = eng();
+             util::copy(en.global_params(), en.worker_params(worker));
+             en.finish_sync(worker);
+             if (!overlap_pull_) {
+               serving_ = false;
+               token_ = (token_ + 1) % en.num_workers();
+               try_serve();
+             }
+           });
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,37 @@
+// Round-Robin Synchronous Parallel (R²SP, Chen et al. INFOCOM'19, §2.2.1).
+//
+// Workers synchronize with the PS one at a time in a fixed cyclic order, so
+// the PS ingress link is never shared (no incast), and worker k's parameter
+// pull overlaps worker k+1's gradient push — the full-duplex utilization
+// R²SP is built around (default). `overlap_pull = false` gives the serial
+// service discipline (push, update, pull per slot) as an ablation.
+#pragma once
+
+#include <vector>
+
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+class R2spSync : public runtime::SyncModel {
+ public:
+  explicit R2spSync(bool overlap_pull = true)
+      : overlap_pull_(overlap_pull) {}
+
+  [[nodiscard]] std::string name() const override {
+    return overlap_pull_ ? "R2SP" : "R2SP(serial)";
+  }
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+
+ private:
+  void try_serve();
+  void deliver(std::size_t worker);
+
+  bool overlap_pull_;
+  std::vector<bool> ready_;
+  std::size_t token_ = 0;   // whose turn it is
+  bool serving_ = false;    // the PS is busy with a worker's slot
+};
+
+}  // namespace osp::sync

@@ -1,0 +1,84 @@
+#include "sync/sharded_bsp.hpp"
+
+#include "sync/sharding.hpp"
+#include "sync/transfer.hpp"
+#include "util/check.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+std::string ShardedBspSync::name() const {
+  return "BSP(x" + std::to_string(num_ps_) + "PS)";
+}
+
+void ShardedBspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  num_ps_ = eng.cluster().num_ps();
+  block_to_ps_ = assign_blocks_to_shards(eng.all_block_bytes(), num_ps_);
+  shard_bytes_ = shard_bytes(eng.all_block_bytes(), block_to_ps_, num_ps_);
+  shard_arrived_.assign(num_ps_, 0);
+  worker_pending_.assign(eng.num_workers(), 0);
+  agg_.assign(eng.global_params().size(), 0.0f);
+}
+
+void ShardedBspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  worker_pending_[worker] = num_ps_;
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    transfer(e, e.cluster().route_to_ps(worker, p), shard_bytes_[p],
+             [this, p] { on_shard_push_arrived(p); });
+  }
+}
+
+void ShardedBspSync::on_shard_push_arrived(std::size_t ps) {
+  if (++shard_arrived_[ps] < eng().num_workers()) return;
+  shard_arrived_[ps] = 0;
+  shard_aggregate(ps);
+}
+
+void ShardedBspSync::shard_aggregate(std::size_t ps) {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+  // Mean of the workers' gradients over this PS's blocks only (disjoint
+  // ranges, so shards aggregate independently).
+  std::vector<bool> mask(e.num_blocks(), false);
+  const float scale = 1.0f / static_cast<float>(n);
+  for (std::size_t b = 0; b < e.num_blocks(); ++b) {
+    if (block_to_ps_[b] != ps) continue;
+    mask[b] = true;
+    const auto& info = e.blocks()[b];
+    auto dst = std::span<float>(agg_).subspan(info.offset, info.numel);
+    util::fill(dst, 0.0f);
+    for (std::size_t w = 0; w < n; ++w) {
+      util::axpy(scale, e.worker_gradient(w).subspan(info.offset, info.numel),
+                 dst);
+    }
+  }
+  e.apply_global_step_blocks(agg_, mask);
+  e.ps_submit(
+      e.ps_apply_delay(shard_bytes_[ps], 3.0),
+      [this, ps] {
+        runtime::Engine& en = eng();
+        for (std::size_t w = 0; w < en.num_workers(); ++w) {
+          transfer(en, en.cluster().route_from_ps(w, ps), shard_bytes_[ps],
+                   [this, w, ps] {
+                     runtime::Engine& e2 = eng();
+                     // Install this shard's fresh blocks.
+                     for (std::size_t b = 0; b < e2.num_blocks(); ++b) {
+                       if (block_to_ps_[b] != ps) continue;
+                       const auto& info = e2.blocks()[b];
+                       util::copy(e2.global_params().subspan(info.offset,
+                                                             info.numel),
+                                  e2.worker_params(w).subspan(info.offset,
+                                                              info.numel));
+                     }
+                     OSP_CHECK(worker_pending_[w] > 0,
+                               "unexpected shard response");
+                     if (--worker_pending_[w] == 0) e2.finish_sync(w);
+                   });
+        }
+      },
+      ps);
+}
+
+}  // namespace osp::sync

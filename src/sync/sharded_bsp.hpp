@@ -1,0 +1,36 @@
+// Sharded BSP for multi-PS clusters (§6.1, BytePS-style).
+//
+// Parameters are partitioned across P servers; each iteration a worker
+// pushes shard p of its gradient to PS p (P parallel flows), every PS
+// aggregates its shard when all N workers' pieces arrive, applies its part
+// of the optimizer step on its own serial queue, and broadcasts its shard
+// of the updated parameters. A worker resumes when all P shard responses
+// have landed. With P = 1 this is exactly BspSync.
+#pragma once
+
+#include <vector>
+
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+class ShardedBspSync : public runtime::SyncModel {
+ public:
+  [[nodiscard]] std::string name() const override;
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+
+ private:
+  void on_shard_push_arrived(std::size_t ps);
+  void shard_aggregate(std::size_t ps);
+
+  std::size_t num_ps_ = 1;
+  std::vector<std::size_t> block_to_ps_;
+  std::vector<double> shard_bytes_;
+  std::vector<std::size_t> shard_arrived_;     // per PS
+  std::vector<std::size_t> worker_pending_;    // responses awaited
+  std::vector<float> agg_;
+  std::size_t agg_round_workers_ = 0;          // pushes folded into agg_
+};
+
+}  // namespace osp::sync

@@ -1,0 +1,45 @@
+#include "sync/sharding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace osp::sync {
+
+std::vector<std::size_t> assign_blocks_to_shards(
+    std::span<const double> block_bytes, std::size_t num_shards) {
+  OSP_CHECK(num_shards >= 1, "need at least one shard");
+  std::vector<std::size_t> assignment(block_bytes.size(), 0);
+  if (num_shards == 1) return assignment;
+  // Largest-first greedy: stable and near-balanced for practical inputs.
+  std::vector<std::size_t> order(block_bytes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return block_bytes[a] > block_bytes[b];
+                   });
+  std::vector<double> load(num_shards, 0.0);
+  for (std::size_t idx : order) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[idx] = target;
+    load[target] += block_bytes[idx];
+  }
+  return assignment;
+}
+
+std::vector<double> shard_bytes(std::span<const double> block_bytes,
+                                std::span<const std::size_t> assignment,
+                                std::size_t num_shards) {
+  OSP_CHECK(assignment.size() == block_bytes.size(),
+            "assignment arity mismatch");
+  std::vector<double> out(num_shards, 0.0);
+  for (std::size_t i = 0; i < block_bytes.size(); ++i) {
+    OSP_CHECK(assignment[i] < num_shards, "assignment out of range");
+    out[assignment[i]] += block_bytes[i];
+  }
+  return out;
+}
+
+}  // namespace osp::sync

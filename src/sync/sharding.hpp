@@ -1,0 +1,23 @@
+// Parameter-shard assignment for multi-PS clusters (§6.1).
+//
+// Blocks are distributed across PSes with a greedy byte-balancing
+// heuristic (largest block first onto the least-loaded PS), so every PS
+// carries a near-equal share of the wire traffic and update work.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osp::sync {
+
+/// Returns blocks-to-PS assignment: result[i] = PS index of block i.
+[[nodiscard]] std::vector<std::size_t> assign_blocks_to_shards(
+    std::span<const double> block_bytes, std::size_t num_shards);
+
+/// Total bytes assigned to each shard under `assignment`.
+[[nodiscard]] std::vector<double> shard_bytes(
+    std::span<const double> block_bytes,
+    std::span<const std::size_t> assignment, std::size_t num_shards);
+
+}  // namespace osp::sync

@@ -1,0 +1,68 @@
+#include "sync/ssp.hpp"
+
+#include <algorithm>
+
+#include "sync/transfer.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+std::string SspSync::name() const {
+  return "SSP(s=" + std::to_string(staleness_bound_) + ")";
+}
+
+void SspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  transfer(e, e.cluster().route_to_ps(worker), e.model_bytes(),
+           [this, worker] {
+             runtime::Engine& en = eng();
+             en.apply_global_step(en.worker_gradient(worker),
+                                  en.worker_weight(worker));
+             en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),
+                          [this, worker] {
+               runtime::Engine& e2 = eng();
+               transfer(e2, e2.cluster().route_from_ps(worker),
+                        e2.model_bytes(), [this, worker] {
+                          runtime::Engine& e3 = eng();
+                          util::copy(e3.global_params(),
+                                     e3.worker_params(worker));
+                          maybe_release(worker);
+                        });
+             });
+           });
+}
+
+void SspSync::maybe_release(std::size_t worker) {
+  runtime::Engine& e = eng();
+  // finish_sync bumps this worker's iteration to it+1; the bound constrains
+  // how far ahead of the slowest worker it may then run.
+  const std::size_t it = e.worker_iteration(worker);
+  const std::size_t min_it = e.min_worker_iteration();
+  if (it + 1 > min_it + staleness_bound_) {
+    parked_.push_back(worker);
+    return;
+  }
+  e.finish_sync(worker);
+  // This worker's progress may have raised min_iteration; wake others.
+  release_parked();
+}
+
+void SspSync::release_parked() {
+  runtime::Engine& e = eng();
+  bool progressed = true;
+  while (progressed && !parked_.empty()) {
+    progressed = false;
+    const std::size_t min_it = e.min_worker_iteration();
+    for (std::size_t i = 0; i < parked_.size(); ++i) {
+      const std::size_t w = parked_[i];
+      if (e.worker_iteration(w) + 1 <= min_it + staleness_bound_) {
+        parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
+        e.finish_sync(w);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,32 @@
+// Stale Synchronous Parallel (Ho et al., §2.1.2 / §7).
+//
+// ASP communication, but a worker may not start iteration i+1 while it is
+// more than `staleness_bound` iterations ahead of the slowest worker. Ahead
+// workers park after their pull completes and are released as stragglers
+// catch up.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+class SspSync : public runtime::SyncModel {
+ public:
+  explicit SspSync(std::size_t staleness_bound)
+      : staleness_bound_(staleness_bound) {}
+
+  [[nodiscard]] std::string name() const override;
+  void on_gradient_ready(std::size_t worker) override;
+
+ private:
+  void maybe_release(std::size_t worker);
+  void release_parked();
+
+  std::size_t staleness_bound_;
+  std::vector<std::size_t> parked_;
+};
+
+}  // namespace osp::sync

@@ -1,0 +1,47 @@
+#include "sync/sync_switch.hpp"
+
+#include <cmath>
+
+#include "runtime/engine.hpp"
+#include "util/check.hpp"
+
+namespace osp::sync {
+
+SyncSwitchSync::SyncSwitchSync(double switch_fraction)
+    : switch_fraction_(switch_fraction) {
+  OSP_CHECK(switch_fraction >= 0.0 && switch_fraction <= 1.0,
+            "switch fraction must be in [0, 1]");
+}
+
+std::string SyncSwitchSync::name() const {
+  return "SyncSwitch(" +
+         std::to_string(static_cast<int>(switch_fraction_ * 100)) + "%)";
+}
+
+void SyncSwitchSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  bsp_.attach(eng);
+  asp_.attach(eng);
+  switch_epoch_ = static_cast<std::size_t>(
+      std::ceil(switch_fraction_ * static_cast<double>(
+                                       eng.config().max_epochs)));
+  switched_ = switch_epoch_ == 0;
+}
+
+void SyncSwitchSync::on_gradient_ready(std::size_t worker) {
+  // Route per current phase. The switch happens on an epoch boundary where
+  // BSP's barrier guarantees no worker has an outstanding BSP push, so the
+  // two phases never interleave.
+  if (switched_) {
+    asp_.on_gradient_ready(worker);
+  } else {
+    bsp_.on_gradient_ready(worker);
+  }
+}
+
+void SyncSwitchSync::on_epoch_complete(std::size_t epoch,
+                                       double /*mean_loss*/) {
+  if (!switched_ && epoch >= switch_epoch_) switched_ = true;
+}
+
+}  // namespace osp::sync

@@ -1,0 +1,26 @@
+// Shared helper: move `bytes` along `route` through the engine's network
+// and invoke `done` on arrival. An empty route is a loopback (co-located
+// PS on the same node) and completes immediately via the event queue, so
+// callback ordering stays deterministic.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace osp::sync {
+
+inline void transfer(runtime::Engine& eng, std::vector<sim::LinkId> route,
+                     double bytes, std::function<void()> done) {
+  const double overhead = eng.cluster().config().transfer_overhead_s;
+  if (route.empty()) {
+    eng.sim().schedule(overhead, std::move(done));
+    return;
+  }
+  eng.cluster().network().start_flow(std::move(route), bytes,
+                                     std::move(done), overhead);
+}
+
+}  // namespace osp::sync

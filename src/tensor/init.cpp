@@ -1,0 +1,31 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osp::tensor {
+
+void xavier_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng) {
+  OSP_CHECK(fan_in + fan_out > 0, "xavier needs positive fans");
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void he_normal(Tensor& t, std::size_t fan_in, util::Rng& rng) {
+  OSP_CHECK(fan_in > 0, "he_normal needs positive fan_in");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void normal_init(Tensor& t, float mean, float stddev, util::Rng& rng) {
+  for (float& v : t.data()) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void uniform_init(Tensor& t, float lo, float hi, util::Rng& rng) {
+  for (float& v : t.data()) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+}  // namespace osp::tensor

@@ -1,0 +1,22 @@
+// Deterministic weight initialization schemes.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace osp::tensor {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng);
+
+/// Kaiming/He normal: N(0, sqrt(2 / fan_in)) — for ReLU stacks.
+void he_normal(Tensor& t, std::size_t fan_in, util::Rng& rng);
+
+/// N(mean, stddev).
+void normal_init(Tensor& t, float mean, float stddev, util::Rng& rng);
+
+/// U(lo, hi).
+void uniform_init(Tensor& t, float lo, float hi, util::Rng& rng);
+
+}  // namespace osp::tensor

@@ -1,0 +1,38 @@
+// Lightweight runtime contract checking used across the OSP library.
+//
+// OSP_CHECK(cond, msg) throws osp::util::CheckError when the condition is
+// violated. Checks stay enabled in release builds: the library is a research
+// system where silent contract violations would corrupt experiment results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace osp::util {
+
+/// Error thrown when an OSP_CHECK contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "OSP_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace osp::util
+
+#define OSP_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::osp::util::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                        ::std::string{"" __VA_ARGS__});   \
+    }                                                                     \
+  } while (false)

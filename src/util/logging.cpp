@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace osp::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::mutex g_io_mu;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << '[' << log_level_name(level_) << ' '
+          << (base != nullptr ? base + 1 : file) << ':' << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::scoped_lock lock(g_io_mu);
+  std::cerr << stream_.str() << '\n';
+}
+
+}  // namespace detail
+}  // namespace osp::util

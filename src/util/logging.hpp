@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage: OSP_LOG(Info) << "epoch " << e << " acc=" << acc;
+// Messages below the global threshold are compiled to a no-op stream.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace osp::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace osp::util
+
+#define OSP_LOG(severity)                                             \
+  ::osp::util::detail::LogMessage(::osp::util::LogLevel::severity,    \
+                                  __FILE__, __LINE__)

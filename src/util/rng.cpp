@@ -1,0 +1,46 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osp::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  OSP_CHECK(n > 0, "uniform_u64 requires n > 0");
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller: draw u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  spare_normal_ = mag * std::sin(kTwoPi * u2);
+  have_spare_normal_ = true;
+  return mag * std::cos(kTwoPi * u2);
+}
+
+double Rng::exponential(double rate) {
+  OSP_CHECK(rate > 0.0, "exponential requires rate > 0");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace osp::util

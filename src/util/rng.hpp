@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in the library (weight init, dataset synthesis,
+// straggler jitter, shuffling) draw from seeded xoshiro256** streams so
+// every experiment is exactly reproducible across runs and platforms.
+// std::mt19937 + std::normal_distribution are avoided because their output
+// is not guaranteed identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace osp::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  /// Reinitialize the stream from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream; `stream_id` selects the child.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t mix = state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return Rng{splitmix64(mix)};
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (for std::shuffle-style use).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (deterministic, platform-stable).
+  [[nodiscard]] double normal();
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given rate (lambda).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>{items});
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace osp::util

@@ -1,0 +1,62 @@
+// Online and batch statistics helpers used by the metrics recorder and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osp::util {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction support).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponential moving average with smoothing factor alpha in (0, 1].
+class Ema {
+ public:
+  explicit Ema(double alpha);
+
+  void add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool empty() const { return empty_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool empty_ = true;
+};
+
+/// Percentile of a sample set via linear interpolation; `q` in [0, 1].
+/// The input is copied and sorted internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+}  // namespace osp::util

@@ -1,0 +1,40 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every figure/table bench prints an aligned text table (the "same rows the
+// paper reports") and can also dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace osp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows (excluding the header).
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting for commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+  /// Write CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Format a double with `digits` places after the point.
+  [[nodiscard]] static std::string fmt(double value, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace osp::util

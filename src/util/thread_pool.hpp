@@ -1,0 +1,58 @@
+// A fixed-size worker pool with an OpenMP-style parallel_for.
+//
+// The tensor kernels (matmul, conv) decompose their iteration space into
+// contiguous blocks, one per worker, mirroring the static scheduling idiom
+// from the OpenMP examples guide. The pool is created once and reused; tasks
+// never allocate threads on the hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace osp::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately. Use wait_idle() to join.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into contiguous blocks across the
+  /// pool (and the calling thread). Blocks until all chunks complete.
+  /// `grain` is the minimum block size; small loops run inline.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1024);
+
+  /// Process-wide default pool (lazily constructed, hardware threads).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace osp::util

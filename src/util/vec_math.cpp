@@ -1,0 +1,79 @@
+#include "util/vec_math.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace osp::util {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  OSP_CHECK(x.size() == y.size(), "axpy size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+void copy(std::span<const float> src, std::span<float> dst) {
+  OSP_CHECK(src.size() == dst.size(), "copy size mismatch");
+  if (!src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
+}
+
+void fill(std::span<float> x, float value) {
+  for (float& v : x) v = value;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  OSP_CHECK(a.size() == b.size(), "dot size mismatch");
+  double s = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return s;
+}
+
+double abs_prod_sum(std::span<const float> a, std::span<const float> b) {
+  OSP_CHECK(a.size() == b.size(), "abs_prod_sum size mismatch");
+  double s = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    s += std::abs(static_cast<double>(a[i]) * static_cast<double>(b[i]));
+  }
+  return s;
+}
+
+double l2_norm(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(s);
+}
+
+double l1_norm(std::span<const float> x) {
+  double s = 0.0;
+  for (float v : x) s += std::abs(static_cast<double>(v));
+  return s;
+}
+
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> dst) {
+  OSP_CHECK(a.size() == b.size() && a.size() == dst.size(),
+            "sub size mismatch");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> dst) {
+  OSP_CHECK(a.size() == b.size() && a.size() == dst.size(),
+            "add size mismatch");
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+}  // namespace osp::util

@@ -1,0 +1,315 @@
+// OSP core algorithm tests: PGP importance (Eq. 3–4), GIB construction and
+// serialization, Eq. 5 / Algorithm 1 budget tuning, and LGP (Eq. 6–7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gib.hpp"
+#include "core/lgp.hpp"
+#include "core/pgp.hpp"
+#include "core/tuning.hpp"
+#include "util/check.hpp"
+
+namespace osp::core {
+namespace {
+
+std::vector<nn::LayerBlockInfo> make_blocks(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<nn::LayerBlockInfo> out;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    out.push_back({"block" + std::to_string(i), offset, sizes[i]});
+    offset += sizes[i];
+  }
+  return out;
+}
+
+TEST(Pgp, ImportanceIsPerBlockAbsProductSum) {
+  const auto blocks = make_blocks({2, 3});
+  std::vector<float> params = {1, -2, 3, 0, -1};
+  std::vector<float> grads = {2, 2, 1, 5, 4};
+  const auto imp = pgp_importance(params, grads, blocks);
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_DOUBLE_EQ(imp[0], 2.0 + 4.0);       // |1·2| + |−2·2|
+  EXPECT_DOUBLE_EQ(imp[1], 3.0 + 0.0 + 4.0); // |3·1| + |0·5| + |−1·4|
+}
+
+TEST(Pgp, ZeroGradientZeroImportance) {
+  const auto blocks = make_blocks({4});
+  std::vector<float> params = {1, 2, 3, 4};
+  std::vector<float> grads(4, 0.0f);
+  EXPECT_DOUBLE_EQ(pgp_importance(params, grads, blocks)[0], 0.0);
+}
+
+TEST(Pgp, RankAscendingStableTies) {
+  std::vector<double> imp = {3.0, 1.0, 2.0, 1.0};
+  const auto order = rank_ascending(imp);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(Pgp, MagnitudeIgnoresParams) {
+  const auto blocks = make_blocks({2});
+  std::vector<float> grads = {3, -4};
+  EXPECT_DOUBLE_EQ(magnitude_importance(grads, blocks)[0], 7.0);
+}
+
+TEST(Pgp, DensityNormalizeDividesBySize) {
+  const auto blocks = make_blocks({2, 8});
+  std::vector<double> imp = {4.0, 8.0};
+  const auto density = density_normalize(imp, blocks);
+  EXPECT_DOUBLE_EQ(density[0], 2.0);
+  EXPECT_DOUBLE_EQ(density[1], 1.0);
+  // Plain sum ranks block 1 above block 0; density reverses it.
+  EXPECT_EQ(rank_ascending(imp)[0], 0u);
+  EXPECT_EQ(rank_ascending(density)[0], 1u);
+}
+
+TEST(Gib, AllImportantAndAllUnimportant) {
+  const Gib imp = Gib::all_important(5);
+  EXPECT_EQ(imp.count_important(), 5u);
+  EXPECT_EQ(imp.count_unimportant(), 0u);
+  const Gib unimp = Gib::all_unimportant(5);
+  EXPECT_EQ(unimp.count_important(), 0u);
+}
+
+TEST(Gib, FromRankingRespectsBudget) {
+  // Blocks of 10/20/30 bytes; ascending importance order {2, 0, 1};
+  // budget 35 → takes block 2 (30), skips block 0? no: 30+10=40 > 35,
+  // so block 0 skipped, block 1 (20): 30+20=50 > 35 skipped.
+  std::vector<std::size_t> order = {2, 0, 1};
+  std::vector<double> bytes = {10, 20, 30};
+  const Gib gib = Gib::from_ranking(order, bytes, 35.0);
+  EXPECT_FALSE(gib.important(2));
+  EXPECT_TRUE(gib.important(0));
+  EXPECT_TRUE(gib.important(1));
+  EXPECT_DOUBLE_EQ(gib.unimportant_bytes(bytes), 30.0);
+  EXPECT_DOUBLE_EQ(gib.important_bytes(bytes), 30.0);
+}
+
+TEST(Gib, FromRankingGreedySkipsThenFits) {
+  // Budget 25: order {2 (30 too big), 1 (20 fits), 0 (10 doesn't: 30>25)}.
+  std::vector<std::size_t> order = {2, 1, 0};
+  std::vector<double> bytes = {10, 20, 30};
+  const Gib gib = Gib::from_ranking(order, bytes, 25.0);
+  EXPECT_TRUE(gib.important(2));
+  EXPECT_FALSE(gib.important(1));
+  EXPECT_TRUE(gib.important(0));  // 20+10=30 > 25
+}
+
+TEST(Gib, ZeroBudgetIsBsp) {
+  std::vector<std::size_t> order = {0, 1};
+  std::vector<double> bytes = {10, 10};
+  const Gib gib = Gib::from_ranking(order, bytes, 0.0);
+  EXPECT_EQ(gib.count_unimportant(), 0u);  // §4.3: degenerates to BSP
+}
+
+TEST(Gib, HugeBudgetTakesAll) {
+  std::vector<std::size_t> order = {0, 1, 2};
+  std::vector<double> bytes = {10, 10, 10};
+  const Gib gib = Gib::from_ranking(order, bytes, 1e9);
+  EXPECT_EQ(gib.count_unimportant(), 3u);  // degenerates toward ASP
+}
+
+TEST(Gib, SerializeRoundTrip) {
+  Gib gib = Gib::all_unimportant(13);
+  gib.set_important(0, true);
+  gib.set_important(7, true);
+  gib.set_important(12, true);
+  const auto blob = gib.serialize();
+  EXPECT_EQ(blob.size(), gib.wire_bytes());
+  const Gib back = Gib::deserialize(blob);
+  EXPECT_EQ(back, gib);
+  EXPECT_EQ(back.size(), 13u);
+  EXPECT_TRUE(back.important(7));
+  EXPECT_FALSE(back.important(6));
+}
+
+TEST(Gib, WireBytesSmallForRealisticLayerCounts) {
+  // The paper: models under 1K layers serialize under 1 KB (§4.1.2).
+  EXPECT_LE(Gib::all_important(1000).wire_bytes(), 1024u);
+}
+
+TEST(Gib, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> tiny = {1, 2};
+  EXPECT_THROW((void)Gib::deserialize(tiny), util::CheckError);
+  std::vector<std::uint8_t> mismatched = {10, 0, 0, 0, 0};  // 10 bits need 2 bytes
+  EXPECT_THROW((void)Gib::deserialize(mismatched), util::CheckError);
+}
+
+TEST(IcsUpperBound, MatchesEquation5) {
+  IcsBudgetParams p;
+  p.bandwidth_bytes_per_s = 1.25e9;
+  p.loss_rate = 0.0;
+  p.compute_time_s = 0.8;
+  p.num_workers = 8;
+  p.model_bytes = 1e9;  // big model: bandwidth term binds
+  p.cap_fraction = 0.8;
+  EXPECT_NEAR(ics_upper_bound(p), 1.25e9 * 0.8 / 8.0, 1.0);
+}
+
+TEST(IcsUpperBound, CapBindsForSmallModels) {
+  IcsBudgetParams p;
+  p.bandwidth_bytes_per_s = 1.25e9;
+  p.compute_time_s = 10.0;
+  p.num_workers = 2;
+  p.model_bytes = 1e6;
+  p.cap_fraction = 0.8;
+  EXPECT_DOUBLE_EQ(ics_upper_bound(p), 0.8e6);  // 80 % of the model
+}
+
+TEST(IcsUpperBound, LossShrinksBudget) {
+  IcsBudgetParams p;
+  p.bandwidth_bytes_per_s = 1000.0;
+  p.compute_time_s = 1.0;
+  p.num_workers = 1;
+  p.model_bytes = 1e9;
+  p.loss_rate = 0.25;
+  EXPECT_NEAR(ics_upper_bound(p), 1000.0 / 1.25, 1e-9);
+}
+
+TEST(IcsUpperBound, IncastCollapseShrinksBudget) {
+  IcsBudgetParams p;
+  p.bandwidth_bytes_per_s = 1.25e9;
+  p.compute_time_s = 1.0;
+  p.num_workers = 8;
+  p.model_bytes = 1e12;  // cap never binds
+  const double nominal = ics_upper_bound(p);
+  p.incast_alpha = 0.03;
+  const double collapsed = ics_upper_bound(p);
+  EXPECT_NEAR(collapsed, nominal / (1.0 + 0.03 * 7.0), 1.0);
+  // A single worker sees no collapse.
+  p.num_workers = 1;
+  p.incast_alpha = 0.5;
+  const double single = ics_upper_bound(p);
+  p.incast_alpha = 0.0;
+  EXPECT_DOUBLE_EQ(single, ics_upper_bound(p));
+}
+
+TEST(IcsUpperBound, ValidatesInputs) {
+  IcsBudgetParams p;  // all zero
+  EXPECT_THROW((void)ics_upper_bound(p), util::CheckError);
+}
+
+TEST(SguTuner, Algorithm1Schedule) {
+  SguTuner tuner(1000.0);
+  // Epoch 1 fixes L and returns 0.
+  EXPECT_DOUBLE_EQ(tuner.on_epoch_loss(1, 2.0), 0.0);
+  // Epoch i: (1 − loss/L)·U_max.
+  EXPECT_DOUBLE_EQ(tuner.on_epoch_loss(2, 1.0), 500.0);
+  EXPECT_DOUBLE_EQ(tuner.on_epoch_loss(3, 0.5), 750.0);
+  EXPECT_DOUBLE_EQ(tuner.on_epoch_loss(4, 0.0), 1000.0);
+}
+
+TEST(SguTuner, ClampsWhenLossRises) {
+  SguTuner tuner(1000.0);
+  (void)tuner.on_epoch_loss(1, 1.0);
+  EXPECT_DOUBLE_EQ(tuner.on_epoch_loss(2, 2.0), 0.0);  // loss above L → 0
+}
+
+TEST(SguTuner, DegenerateZeroReferenceGoesFull) {
+  SguTuner tuner(1000.0);
+  (void)tuner.on_epoch_loss(1, 0.0);
+  EXPECT_DOUBLE_EQ(tuner.on_epoch_loss(2, 0.0), 1000.0);
+}
+
+TEST(SguTuner, BudgetNeverExceedsUmax) {
+  SguTuner tuner(100.0);
+  (void)tuner.on_epoch_loss(1, 5.0);
+  for (int e = 2; e < 20; ++e) {
+    const double b = tuner.on_epoch_loss(static_cast<std::size_t>(e),
+                                         5.0 / e);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 100.0);
+  }
+}
+
+TEST(Lgp, LocalStepOnlyTouchesUnimportant) {
+  const auto blocks = make_blocks({2, 2});
+  Gib gib = Gib::all_important(2);
+  gib.set_important(1, false);
+  std::vector<float> params = {1, 1, 1, 1};
+  std::vector<float> grad = {10, 10, 2, 4};
+  lgp_apply_local_step(params, grad, 0.5, blocks, gib);
+  EXPECT_FLOAT_EQ(params[0], 1.0f);  // important: untouched
+  EXPECT_FLOAT_EQ(params[1], 1.0f);
+  EXPECT_FLOAT_EQ(params[2], 0.0f);  // 1 − 0.5·2
+  EXPECT_FLOAT_EQ(params[3], -1.0f); // 1 − 0.5·4
+}
+
+TEST(Lgp, CorrectBlocksOverwritesUnimportant) {
+  const auto blocks = make_blocks({2, 2});
+  Gib gib = Gib::all_important(2);
+  gib.set_important(0, false);
+  std::vector<float> params = {1, 2, 3, 4};
+  std::vector<float> global = {10, 20, 30, 40};
+  lgp_correct_blocks(params, global, blocks, gib);
+  EXPECT_FLOAT_EQ(params[0], 10.0f);
+  EXPECT_FLOAT_EQ(params[1], 20.0f);
+  EXPECT_FLOAT_EQ(params[2], 3.0f);  // important: untouched
+  EXPECT_FLOAT_EQ(params[3], 4.0f);
+}
+
+TEST(Lgp, CopyImportantBlocksIsComplement) {
+  const auto blocks = make_blocks({1, 1});
+  Gib gib = Gib::all_important(2);
+  gib.set_important(1, false);
+  std::vector<float> params = {0, 0};
+  std::vector<float> global = {5, 7};
+  copy_important_blocks(params, global, blocks, gib);
+  EXPECT_FLOAT_EQ(params[0], 5.0f);
+  EXPECT_FLOAT_EQ(params[1], 0.0f);
+}
+
+TEST(Lgp, Equation6Then7EqualsGlobal) {
+  // Property: prediction (Eq. 6) followed by correction (Eq. 7) must land
+  // exactly on the PS value regardless of how wrong the prediction was.
+  const auto blocks = make_blocks({3});
+  const Gib gib = Gib::all_unimportant(1);
+  std::vector<float> params = {1, 2, 3};
+  std::vector<float> local_grad = {9, -9, 9};
+  lgp_apply_local_step(params, local_grad, 0.1, blocks, gib);
+  std::vector<float> authoritative = {0.5f, 0.6f, 0.7f};
+  lgp_correct_blocks(params, authoritative, blocks, gib);
+  EXPECT_EQ(params, authoritative);
+}
+
+TEST(EmaLgp, NoHistoryFallsBackToLocal) {
+  const auto blocks = make_blocks({2});
+  const Gib gib = Gib::all_unimportant(1);
+  EmaLgp ema(2, 0.9, 0.5);
+  std::vector<float> a = {1, 1};
+  std::vector<float> b = {1, 1};
+  std::vector<float> grad = {2, 4};
+  ema.apply_local_step(a, grad, 0.5, blocks, gib);
+  lgp_apply_local_step(b, grad, 0.5, blocks, gib);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EmaLgp, BlendsTowardGlobalHistory) {
+  const auto blocks = make_blocks({1});
+  const Gib gib = Gib::all_unimportant(1);
+  EmaLgp ema(1, 1.0, 1.0);  // beta=1: use EMA only; alpha=1: EMA = latest
+  std::vector<float> global_grad = {10.0f};
+  ema.observe_global(global_grad);
+  std::vector<float> params = {0.0f};
+  std::vector<float> local_grad = {2.0f};
+  ema.apply_local_step(params, local_grad, 1.0, blocks, gib);
+  EXPECT_FLOAT_EQ(params[0], -10.0f);  // stepped with the global EMA
+}
+
+TEST(EmaLgp, EmaSmoothing) {
+  EmaLgp ema(1, 0.5, 0.5);
+  std::vector<float> g1 = {4.0f};
+  std::vector<float> g2 = {0.0f};
+  ema.observe_global(g1);
+  ema.observe_global(g2);
+  EXPECT_FLOAT_EQ(ema.ema()[0], 2.0f);
+}
+
+TEST(EmaLgp, ValidatesParameters) {
+  EXPECT_THROW(EmaLgp(1, -0.1, 0.5), util::CheckError);
+  EXPECT_THROW(EmaLgp(1, 0.5, 0.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace osp::core

@@ -1,0 +1,163 @@
+// Tests for checkpointing (nn/serialize) and trace recording/export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "models/zoo.hpp"
+#include "nn/serialize.hpp"
+#include "runtime/engine.hpp"
+#include "sync/bsp.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Checkpoint, RoundTripRestoresParams) {
+  const auto spec = models::tiny_mlp();
+  nn::Sequential model = spec.build_model(1);
+  nn::FlatModel flat(model);
+  std::vector<float> original(flat.total_params());
+  flat.gather_params(original);
+
+  TempFile file(temp_path("osp_ckpt_roundtrip.bin"));
+  nn::save_checkpoint(flat, file.path);
+
+  // Scramble, then restore.
+  std::vector<float> scrambled(flat.total_params(), -7.0f);
+  flat.scatter_params(scrambled);
+  nn::load_checkpoint(flat, file.path);
+  std::vector<float> restored(flat.total_params());
+  flat.gather_params(restored);
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Checkpoint, RejectsWrongArchitecture) {
+  const auto spec = models::tiny_mlp();
+  nn::Sequential a = spec.build_model(1);
+  nn::FlatModel flat_a(a);
+  TempFile file(temp_path("osp_ckpt_arch.bin"));
+  nn::save_checkpoint(flat_a, file.path);
+
+  nn::Sequential b = models::resnet50_cifar10().build_model(1);
+  nn::FlatModel flat_b(b);
+  EXPECT_THROW(nn::load_checkpoint(flat_b, file.path), util::CheckError);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  TempFile file(temp_path("osp_ckpt_garbage.bin"));
+  {
+    std::ofstream out(file.path, std::ios::binary);
+    out << "definitely not a checkpoint";
+  }
+  const auto spec = models::tiny_mlp();
+  nn::Sequential model = spec.build_model(1);
+  nn::FlatModel flat(model);
+  EXPECT_THROW(nn::load_checkpoint(flat, file.path), util::CheckError);
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  const auto spec = models::tiny_mlp();
+  nn::Sequential model = spec.build_model(1);
+  nn::FlatModel flat(model);
+  TempFile file(temp_path("osp_ckpt_trunc.bin"));
+  nn::save_checkpoint(flat, file.path);
+  // Truncate the float payload.
+  const auto full = std::filesystem::file_size(file.path);
+  std::filesystem::resize_file(file.path, full - 64);
+  EXPECT_THROW(nn::load_checkpoint(flat, file.path), util::CheckError);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  const auto spec = models::tiny_mlp();
+  nn::Sequential model = spec.build_model(1);
+  nn::FlatModel flat(model);
+  EXPECT_THROW(nn::load_checkpoint(flat, temp_path("osp_no_such.bin")),
+               util::CheckError);
+}
+
+TEST(Trace, EngineRecordsSpansWhenEnabled) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_epochs = 1;
+  cfg.record_trace = true;
+  sync::BspSync sync;
+  runtime::Engine engine(spec, cfg, sync);
+  (void)engine.run();
+  const auto& trace = engine.trace();
+  ASSERT_FALSE(trace.empty());
+  // 2 workers × 16 iterations × 2 phases.
+  EXPECT_EQ(trace.spans().size(), 2u * 16u * 2u);
+  for (const auto& span : trace.spans()) {
+    EXPECT_LE(span.begin_s, span.end_s);
+    EXPECT_LT(span.worker, 2u);
+  }
+  EXPECT_GT(trace.sync_fraction(), 0.0);
+  EXPECT_LT(trace.sync_fraction(), 1.0);
+}
+
+TEST(Trace, DisabledByDefault) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_epochs = 1;
+  sync::BspSync sync;
+  runtime::Engine engine(spec, cfg, sync);
+  (void)engine.run();
+  EXPECT_TRUE(engine.trace().empty());
+}
+
+TEST(Trace, CsvExport) {
+  runtime::TraceRecorder trace;
+  trace.add({0.0, 1.0, 0, 0, runtime::TracePhase::kCompute});
+  trace.add({1.0, 1.5, 0, 0, runtime::TracePhase::kSync});
+  TempFile file(temp_path("osp_trace.csv"));
+  trace.write_csv(file.path);
+  std::ifstream in(file.path);
+  std::string header, line1, line2;
+  std::getline(in, header);
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(header, "worker,iteration,phase,begin_s,end_s");
+  EXPECT_NE(line1.find("compute"), std::string::npos);
+  EXPECT_NE(line2.find("sync"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonExportIsWellFormedish) {
+  runtime::TraceRecorder trace;
+  trace.add({0.0, 1.0, 3, 7, runtime::TracePhase::kCompute});
+  TempFile file(temp_path("osp_trace.json"));
+  trace.write_chrome_json(file.path);
+  std::ifstream in(file.path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_NE(content.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(content.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(content.find("\"iteration\": 7"), std::string::npos);
+}
+
+TEST(Trace, SyncFractionMath) {
+  runtime::TraceRecorder trace;
+  trace.add({0.0, 3.0, 0, 0, runtime::TracePhase::kCompute});
+  trace.add({3.0, 4.0, 0, 0, runtime::TracePhase::kSync});
+  EXPECT_DOUBLE_EQ(trace.sync_fraction(), 0.25);
+  runtime::TraceRecorder empty;
+  EXPECT_DOUBLE_EQ(empty.sync_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace osp

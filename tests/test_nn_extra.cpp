@@ -1,0 +1,271 @@
+// Additional nn coverage: composite-model gradient checks, input
+// validation, numerical edge cases, and overfit micro-benchmarks that
+// pin down trainability of the building blocks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/norm.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/qa_head.hpp"
+#include "nn/registry.hpp"
+#include "nn/sequential.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osp::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor randn(tensor::Shape shape, util::Rng& rng, double scale = 1.0) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data()) v = static_cast<float>(rng.normal() * scale);
+  return t;
+}
+
+TEST(CompositeGradients, ConvLinearChain) {
+  // Whole-chain gradient check through conv → tanh → flatten → fc (smooth
+  // nonlinearities only: ReLU/maxpool kinks make finite differences
+  // invalid under weight perturbations and are covered by the per-layer
+  // checks in test_nn_layers).
+  util::Rng rng(101);
+  Sequential m;
+  m.emplace<Conv2d>("conv", 2, 3, 4, 4, 3, 1, 1, rng);
+  m.emplace<Tanh>("tanh");
+  m.emplace<Flatten>("flat");
+  m.emplace<Linear>("fc", 48, 2, rng);
+  FlatModel flat(m);
+
+  const Tensor in = randn({2, 2, 4, 4}, rng);
+  std::vector<std::int32_t> labels = {0, 1};
+
+  m.zero_grad();
+  const Tensor logits = m.forward(in, true);
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  (void)m.backward(loss.grad_logits);
+  std::vector<float> analytic(flat.total_params());
+  flat.gather_grads(analytic);
+
+  std::vector<float> params(flat.total_params());
+  flat.gather_params(params);
+  const float eps = 1e-2f;
+  const std::size_t stride = std::max<std::size_t>(1, params.size() / 24);
+  for (std::size_t i = 0; i < params.size(); i += stride) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    flat.scatter_params(params);
+    const double up =
+        softmax_cross_entropy(m.forward(in, true), labels).loss;
+    params[i] = saved - eps;
+    flat.scatter_params(params);
+    const double down =
+        softmax_cross_entropy(m.forward(in, true), labels).loss;
+    params[i] = saved;
+    flat.scatter_params(params);
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], fd, 3e-2 * std::max(1.0, std::abs(fd)))
+        << "param " << i;
+  }
+}
+
+TEST(CompositeGradients, EmbeddingAttentionSpanHeadChain) {
+  // The full QA stack against finite differences on the span loss.
+  util::Rng rng(102);
+  Sequential m;
+  m.emplace<Embedding>("emb", 12, 6, rng);
+  m.emplace<SelfAttention>("attn", 6, rng);
+  m.emplace<SpanHead>("head", 6, rng);
+  FlatModel flat(m);
+
+  Tensor ids({2, 4});
+  for (std::size_t i = 0; i < ids.numel(); ++i) {
+    ids[i] = static_cast<float>(rng.uniform_u64(12));
+  }
+  std::vector<std::int32_t> starts = {0, 2};
+  std::vector<std::int32_t> ends = {1, 3};
+
+  m.zero_grad();
+  const Tensor logits = m.forward(ids, true);
+  const LossResult loss = span_cross_entropy(logits, starts, ends);
+  (void)m.backward(loss.grad_logits);
+  std::vector<float> analytic(flat.total_params());
+  flat.gather_grads(analytic);
+
+  std::vector<float> params(flat.total_params());
+  flat.gather_params(params);
+  const float eps = 1e-2f;
+  const std::size_t stride = std::max<std::size_t>(1, params.size() / 20);
+  for (std::size_t i = 0; i < params.size(); i += stride) {
+    const float saved = params[i];
+    params[i] = saved + eps;
+    flat.scatter_params(params);
+    const double up =
+        span_cross_entropy(m.forward(ids, true), starts, ends).loss;
+    params[i] = saved - eps;
+    flat.scatter_params(params);
+    const double down =
+        span_cross_entropy(m.forward(ids, true), starts, ends).loss;
+    params[i] = saved;
+    flat.scatter_params(params);
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], fd, 3e-2 * std::max(1.0, std::abs(fd)))
+        << "param " << i;
+  }
+}
+
+TEST(Overfit, TinyMlpMemorizesFourPoints) {
+  // A 2-layer MLP must drive the loss to ~0 on four fixed samples — the
+  // canonical trainability smoke test.
+  util::Rng rng(103);
+  Sequential m;
+  m.emplace<Linear>("fc0", 3, 16, rng);
+  m.emplace<Tanh>("tanh");
+  m.emplace<Linear>("fc1", 16, 4, rng);
+  FlatModel flat(m);
+  std::vector<float> params(flat.total_params()), grad(flat.total_params());
+  flat.gather_params(params);
+  SgdOptimizer opt(params.size(), 0.9);
+
+  const Tensor x = randn({4, 3}, rng);
+  std::vector<std::int32_t> y = {0, 1, 2, 3};
+  double loss_value = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    flat.scatter_params(params);
+    m.zero_grad();
+    const LossResult r = softmax_cross_entropy(m.forward(x, true), y);
+    (void)m.backward(r.grad_logits);
+    flat.gather_grads(grad);
+    opt.step(params, grad, 0.05);
+    loss_value = r.loss;
+  }
+  EXPECT_LT(loss_value, 0.01);
+}
+
+TEST(Overfit, ConvNetLearnsXorOfQuadrants) {
+  // Conv stack on a spatial pattern a linear model cannot represent:
+  // label = (sign of quadrant sums XOR). Verifies real spatial learning.
+  util::Rng rng(104);
+  Sequential m;
+  m.emplace<Conv2d>("conv0", 1, 4, 4, 4, 3, 1, 1, rng);
+  m.emplace<ReLU>("r0");
+  m.emplace<Flatten>("flat");
+  m.emplace<Linear>("fc", 64, 2, rng);
+  FlatModel flat(m);
+  std::vector<float> params(flat.total_params()), grad(flat.total_params());
+  flat.gather_params(params);
+  SgdOptimizer opt(params.size(), 0.9);
+
+  // 16 training images: two diagonal blobs = class 1, else class 0.
+  Tensor x({16, 1, 4, 4});
+  std::vector<std::int32_t> y(16);
+  for (int i = 0; i < 16; ++i) {
+    const bool diag = i % 2 == 0;
+    y[i] = diag ? 1 : 0;
+    for (std::size_t h = 0; h < 4; ++h) {
+      for (std::size_t w = 0; w < 4; ++w) {
+        const bool tl = h < 2 && w < 2;
+        const bool br = h >= 2 && w >= 2;
+        const bool tr = h < 2 && w >= 2;
+        const bool bl = h >= 2 && w < 2;
+        const bool lit = diag ? (tl || br) : (tr || bl);
+        x.at(i, 0, h, w) = lit ? 1.0f : 0.0f;
+      }
+    }
+    // Add per-sample noise so examples are not literally identical.
+    for (std::size_t p = 0; p < 16; ++p) {
+      x[static_cast<std::size_t>(i) * 16 + p] +=
+          static_cast<float>(rng.normal() * 0.05);
+    }
+  }
+  double acc = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    flat.scatter_params(params);
+    m.zero_grad();
+    const Tensor logits = m.forward(x, true);
+    const LossResult r = softmax_cross_entropy(logits, y);
+    (void)m.backward(r.grad_logits);
+    flat.gather_grads(grad);
+    opt.step(params, grad, 0.05);
+    acc = top1_accuracy(logits, y);
+  }
+  EXPECT_GT(acc, 0.95);
+}
+
+TEST(Validation, LinearRejectsWrongWidth) {
+  util::Rng rng(105);
+  Linear fc("fc", 4, 2, rng);
+  Tensor bad({2, 5});
+  EXPECT_THROW((void)fc.forward(bad, false), util::CheckError);
+}
+
+TEST(Validation, Conv2dRejectsWrongGeometry) {
+  util::Rng rng(106);
+  Conv2d conv("conv", 3, 4, 8, 8, 3, 1, 1, rng);
+  Tensor bad({1, 3, 4, 4});
+  EXPECT_THROW((void)conv.forward(bad, false), util::CheckError);
+}
+
+TEST(Validation, AttentionRejectsWrongDim) {
+  util::Rng rng(107);
+  SelfAttention attn("attn", 8, rng);
+  Tensor bad({1, 4, 6});
+  EXPECT_THROW((void)attn.forward(bad, false), util::CheckError);
+}
+
+TEST(Validation, SequentialRejectsEmptyForward) {
+  Sequential empty;
+  Tensor x({1, 1});
+  EXPECT_THROW((void)empty.forward(x, false), util::CheckError);
+}
+
+TEST(NumericalEdge, GeluExtremeInputsFinite) {
+  Gelu gelu("gelu");
+  Tensor x = Tensor::from({-50.0f, -1e-8f, 0.0f, 1e-8f, 50.0f});
+  x.reshape({1, 5});
+  const Tensor y = gelu.forward(x, false);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(y[4], 50.0f, 1e-3f);  // GELU(x) → x for large x
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);   // GELU(x) → 0 for very negative x
+}
+
+TEST(NumericalEdge, LayerNormConstantRowIsStable) {
+  LayerNorm ln("ln", 4);
+  Tensor x({1, 4}, 3.0f);  // zero variance
+  const Tensor y = ln.forward(x, false);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(NumericalEdge, SpanLossExtremeLogitsFinite) {
+  Tensor logits({1, 8});
+  logits.at(0, 0) = 1e4f;
+  logits.at(0, 7) = -1e4f;
+  std::vector<std::int32_t> s = {0}, e = {3};
+  const LossResult r = span_cross_entropy(logits, s, e);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  for (float v : r.grad_logits.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SpanHeadLayout, StartAndEndHeadsIndependent) {
+  util::Rng rng(108);
+  SpanHead head("span", 3, rng);
+  // Two positions with identical content must get identical logits in
+  // both heads (the head is positionwise).
+  Tensor in({1, 2, 3});
+  for (std::size_t d = 0; d < 3; ++d) {
+    in[d] = in[3 + d] = static_cast<float>(d) * 0.5f;
+  }
+  const Tensor out = head.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), out.at(0, 1));  // start logits equal
+  EXPECT_FLOAT_EQ(out.at(0, 2), out.at(0, 3));  // end logits equal
+}
+
+}  // namespace
+}  // namespace osp::nn

@@ -1,0 +1,311 @@
+// Tests for losses, metrics, the optimizer/schedule, and FlatModel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/qa_head.hpp"
+#include "nn/registry.hpp"
+#include "nn/sequential.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osp::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});  // all-zero logits → uniform softmax
+  std::vector<std::int32_t> labels = {0, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 100.0f;
+  std::vector<std::int32_t> labels = {1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng(1);
+  Tensor logits({3, 5});
+  for (float& v : logits.data()) v = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> labels = {4, 0, 2};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor probe = logits;
+    probe[i] += eps;
+    const double up = softmax_cross_entropy(probe, labels).loss;
+    probe[i] -= 2 * eps;
+    const double down = softmax_cross_entropy(probe, labels).loss;
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(r.grad_logits[i], fd, 1e-3) << "logit " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  util::Rng rng(2);
+  Tensor logits({2, 6});
+  for (float& v : logits.data()) v = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> labels = {1, 5};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  for (std::size_t row = 0; row < 2; ++row) {
+    float sum = 0.0f;
+    for (float v : r.grad_logits.row(row)) sum += v;
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);  // softmax grad sums to p−1 across row
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  std::vector<std::int32_t> labels = {3};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, labels),
+               util::CheckError);
+}
+
+TEST(SpanCrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng(3);
+  Tensor logits({2, 8});  // seq_len 4
+  for (float& v : logits.data()) v = static_cast<float>(rng.normal());
+  std::vector<std::int32_t> starts = {0, 2};
+  std::vector<std::int32_t> ends = {1, 3};
+  const LossResult r = span_cross_entropy(logits, starts, ends);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor probe = logits;
+    probe[i] += eps;
+    const double up = span_cross_entropy(probe, starts, ends).loss;
+    probe[i] -= 2 * eps;
+    const double down = span_cross_entropy(probe, starts, ends).loss;
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(r.grad_logits[i], fd, 1e-3) << "logit " << i;
+  }
+}
+
+TEST(SpanCrossEntropy, RejectsOddWidth) {
+  Tensor logits({1, 5});
+  std::vector<std::int32_t> s = {0}, e = {0};
+  EXPECT_THROW((void)span_cross_entropy(logits, s, e), util::CheckError);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor pred = Tensor::from({1.0f, 2.0f});
+  Tensor target = Tensor::from({0.0f, 4.0f});
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.loss, (1.0 + 4.0) / 2.0);
+  EXPECT_FLOAT_EQ(r.grad_logits[0], 1.0f);   // 2*(1-0)/2
+  EXPECT_FLOAT_EQ(r.grad_logits[1], -2.0f);  // 2*(2-4)/2
+}
+
+TEST(Metrics, Top1Accuracy) {
+  Tensor logits({3, 3});
+  logits.at(0, 0) = 1.0f;  // pred 0
+  logits.at(1, 2) = 1.0f;  // pred 2
+  logits.at(2, 1) = 1.0f;  // pred 1
+  std::vector<std::int32_t> labels = {0, 2, 0};
+  EXPECT_NEAR(top1_accuracy(logits, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, ArgmaxFirstOnTies) {
+  std::vector<float> xs = {1.0f, 3.0f, 3.0f};
+  EXPECT_EQ(argmax(xs), 1u);
+}
+
+TEST(Metrics, SpanF1ExactMatch) {
+  EXPECT_DOUBLE_EQ(span_f1(2, 4, 2, 4), 1.0);
+}
+
+TEST(Metrics, SpanF1NoOverlap) {
+  EXPECT_DOUBLE_EQ(span_f1(0, 1, 3, 4), 0.0);
+}
+
+TEST(Metrics, SpanF1PartialOverlap) {
+  // pred [0,1], gold [1,2]: overlap 1, precision 1/2, recall 1/2 → F1 1/2.
+  EXPECT_DOUBLE_EQ(span_f1(0, 1, 1, 2), 0.5);
+}
+
+TEST(Metrics, SpanF1DegenerateSpans) {
+  EXPECT_DOUBLE_EQ(span_f1(3, 2, 0, 1), 0.0);  // inverted pred
+  EXPECT_DOUBLE_EQ(span_f1(1, 1, 1, 1), 1.0);  // single-token match
+}
+
+TEST(Metrics, BatchSpanF1PerfectModel) {
+  // Logits that point exactly at the gold span.
+  Tensor logits({1, 8});
+  logits.at(0, 2) = 10.0f;      // start 2
+  logits.at(0, 4 + 3) = 10.0f;  // end 3
+  std::vector<std::int32_t> s = {2}, e = {3};
+  EXPECT_DOUBLE_EQ(batch_span_f1(logits, s, e), 1.0);
+}
+
+TEST(StepLrSchedule, PaperDefaultHalvesEveryTen) {
+  const StepLrSchedule sched = StepLrSchedule::paper_default();
+  EXPECT_DOUBLE_EQ(sched.lr(0), 0.1);
+  EXPECT_DOUBLE_EQ(sched.lr(9), 0.1);
+  EXPECT_DOUBLE_EQ(sched.lr(10), 0.05);
+  EXPECT_DOUBLE_EQ(sched.lr(20), 0.025);
+  EXPECT_DOUBLE_EQ(sched.lr(35), 0.0125);
+}
+
+TEST(StepLrSchedule, RejectsBadParams) {
+  EXPECT_THROW(StepLrSchedule(0.0, 10, 0.5), util::CheckError);
+  EXPECT_THROW(StepLrSchedule(0.1, 0, 0.5), util::CheckError);
+  EXPECT_THROW(StepLrSchedule(0.1, 10, 1.5), util::CheckError);
+}
+
+TEST(SgdOptimizer, PlainStep) {
+  SgdOptimizer opt(2);
+  std::vector<float> p = {1.0f, 2.0f};
+  std::vector<float> g = {0.5f, -1.0f};
+  opt.step(p, g, 0.1);
+  EXPECT_FLOAT_EQ(p[0], 0.95f);
+  EXPECT_FLOAT_EQ(p[1], 2.1f);
+}
+
+TEST(SgdOptimizer, MomentumAccumulates) {
+  SgdOptimizer opt(1, 0.9);
+  std::vector<float> p = {0.0f};
+  std::vector<float> g = {1.0f};
+  opt.step(p, g, 1.0);  // v=1, p=-1
+  EXPECT_FLOAT_EQ(p[0], -1.0f);
+  opt.step(p, g, 1.0);  // v=1.9, p=-2.9
+  EXPECT_FLOAT_EQ(p[0], -2.9f);
+}
+
+TEST(SgdOptimizer, WeightDecayShrinks) {
+  SgdOptimizer opt(1, 0.0, 0.1);
+  std::vector<float> p = {10.0f};
+  std::vector<float> g = {0.0f};
+  opt.step(p, g, 1.0);
+  EXPECT_FLOAT_EQ(p[0], 9.0f);  // p -= lr*wd*p
+}
+
+TEST(SgdOptimizer, StepRangeKeepsDisjointVelocity) {
+  SgdOptimizer opt(4, 0.9);
+  std::vector<float> p = {0, 0, 0, 0};
+  std::vector<float> g_lo = {1.0f, 1.0f};
+  // Two steps on [0,2) must not disturb velocity of [2,4).
+  opt.step_range(std::span<float>(p).subspan(0, 2), g_lo, 1.0, 0);
+  opt.step_range(std::span<float>(p).subspan(0, 2), g_lo, 1.0, 0);
+  EXPECT_FLOAT_EQ(p[0], -2.9f);
+  std::vector<float> g_hi = {1.0f, 1.0f};
+  opt.step_range(std::span<float>(p).subspan(2, 2), g_hi, 1.0, 2);
+  EXPECT_FLOAT_EQ(p[2], -1.0f);  // fresh velocity
+}
+
+TEST(SgdOptimizer, ResetStateClearsVelocity) {
+  SgdOptimizer opt(1, 0.9);
+  std::vector<float> p = {0.0f};
+  std::vector<float> g = {1.0f};
+  opt.step(p, g, 1.0);
+  opt.reset_state();
+  opt.step(p, g, 1.0);
+  EXPECT_FLOAT_EQ(p[0], -2.0f);  // second step also -1
+}
+
+TEST(SgdOptimizer, SizeMismatchThrows) {
+  SgdOptimizer opt(3);
+  std::vector<float> p = {1, 2};
+  std::vector<float> g = {1, 2};
+  EXPECT_THROW(opt.step(p, g, 0.1), util::CheckError);
+}
+
+Sequential make_net(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential m;
+  m.emplace<Linear>("fc0", 4, 6, rng);
+  m.emplace<ReLU>("relu");
+  m.emplace<Linear>("fc1", 6, 2, rng);
+  return m;
+}
+
+TEST(FlatModel, BlocksCoverAllParams) {
+  Sequential m = make_net(1);
+  FlatModel flat(m);
+  EXPECT_EQ(flat.num_blocks(), 2u);  // two Linear layers (ReLU stateless)
+  EXPECT_EQ(flat.total_params(), m.num_params());
+  EXPECT_EQ(flat.block(0).name, "fc0");
+  EXPECT_EQ(flat.block(0).offset, 0u);
+  EXPECT_EQ(flat.block(0).numel, 4u * 6 + 6);
+  EXPECT_EQ(flat.block(1).offset, flat.block(0).numel);
+}
+
+TEST(FlatModel, GatherScatterRoundTrip) {
+  Sequential m = make_net(2);
+  FlatModel flat(m);
+  std::vector<float> original(flat.total_params());
+  flat.gather_params(original);
+  std::vector<float> modified = original;
+  for (float& v : modified) v += 1.0f;
+  flat.scatter_params(modified);
+  std::vector<float> readback(flat.total_params());
+  flat.gather_params(readback);
+  EXPECT_EQ(readback, modified);
+}
+
+TEST(FlatModel, GatherGradsMatchesLayerGrads) {
+  Sequential m = make_net(3);
+  FlatModel flat(m);
+  util::Rng rng(4);
+  Tensor in({2, 4});
+  for (float& v : in.data()) v = static_cast<float>(rng.normal());
+  m.zero_grad();
+  const Tensor out = m.forward(in, true);
+  Tensor g(out.shape());
+  g.fill(1.0f);
+  (void)m.backward(g);
+  std::vector<float> grads(flat.total_params());
+  flat.gather_grads(grads);
+  // First weight grad element should match layer 0's grad tensor directly.
+  auto params = m.params();
+  EXPECT_FLOAT_EQ(grads[0], (*params[0].grad)[0]);
+  // The last bias grad lands at the tail.
+  const Tensor& last_bias_grad = *params.back().grad;
+  EXPECT_FLOAT_EQ(grads.back(), last_bias_grad[last_bias_grad.numel() - 1]);
+}
+
+TEST(FlatModel, BlockSpanSlices) {
+  Sequential m = make_net(5);
+  FlatModel flat(m);
+  std::vector<float> buf(flat.total_params(), 0.0f);
+  auto s0 = flat.block_span(std::span<float>(buf), 0);
+  auto s1 = flat.block_span(std::span<float>(buf), 1);
+  EXPECT_EQ(s0.size(), flat.block(0).numel);
+  EXPECT_EQ(s1.size(), flat.block(1).numel);
+  EXPECT_EQ(s0.data() + s0.size(), s1.data());
+}
+
+TEST(FlatModel, ScatterAffectsForward) {
+  Sequential m = make_net(6);
+  FlatModel flat(m);
+  Tensor in({1, 4}, 1.0f);
+  const Tensor before = m.forward(in, false);
+  std::vector<float> zeros(flat.total_params(), 0.0f);
+  flat.scatter_params(zeros);
+  const Tensor after = m.forward(in, false);
+  for (float v : after.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+  (void)before;
+}
+
+TEST(SpanHead, GradCheck) {
+  util::Rng rng(7);
+  SpanHead head("span", 5, rng);
+  Tensor in({2, 3, 5});
+  for (float& v : in.data()) v = static_cast<float>(rng.normal());
+  (void)head.forward(in, true);
+  // Verify logits layout: start logits then end logits.
+  const Tensor out = head.forward(in, true);
+  EXPECT_EQ(out.shape(), (tensor::Shape{2, 6}));
+}
+
+}  // namespace
+}  // namespace osp::nn

@@ -1,0 +1,353 @@
+// Property-based tests: invariants checked over randomized/parameterized
+// input sweeps (TEST_P), complementing the example-based suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/gib.hpp"
+#include "core/lgp.hpp"
+#include "core/pgp.hpp"
+#include "core/tuning.hpp"
+#include "nn/optimizer.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace osp {
+namespace {
+
+// ---------------------------------------------------------------- network
+
+class NetworkConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkConservation, AllPayloadBytesDelivered) {
+  // Whatever the flow mix, the network must deliver exactly the payload.
+  util::Rng rng(GetParam());
+  sim::Simulator sim;
+  sim::Network net(sim);
+  std::vector<sim::LinkId> links;
+  for (int i = 0; i < 4; ++i) {
+    links.push_back(net.add_link(rng.uniform(100.0, 1000.0),
+                                 rng.uniform(0.0, 0.1),
+                                 rng.uniform(0.0, 0.3),
+                                 rng.uniform(0.0, 0.2)));
+  }
+  double total = 0.0;
+  int completed = 0;
+  const int flows = 20;
+  for (int f = 0; f < flows; ++f) {
+    std::vector<sim::LinkId> route = {links[rng.uniform_u64(4)]};
+    const sim::LinkId second = links[rng.uniform_u64(4)];
+    if (second != route[0] && rng.bernoulli(0.5)) route.push_back(second);
+    const double bytes = rng.uniform(1.0, 5000.0);
+    total += bytes;
+    // Stagger arrivals.
+    sim.schedule(rng.uniform(0.0, 2.0), [&net, route, bytes, &completed] {
+      net.start_flow(route, bytes, [&completed] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, flows);
+  EXPECT_NEAR(net.bytes_delivered(), total, 1e-6 * total);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkConservation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class FlowSizeMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlowSizeMonotonic, BiggerFlowNeverFinishesSooner) {
+  // Two flows sharing one link, equal start: the bigger one finishes last
+  // (or tied) regardless of link parameters.
+  const double ratio = GetParam();
+  sim::Simulator sim;
+  sim::Network net(sim);
+  const sim::LinkId l = net.add_link(777.0, 0.01, 0.05, 0.1);
+  double t_small = -1.0, t_big = -1.0;
+  net.start_flow({l}, 1000.0, [&] { t_small = sim.now(); });
+  net.start_flow({l}, 1000.0 * ratio, [&] { t_big = sim.now(); });
+  sim.run();
+  EXPECT_GE(t_big, t_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, FlowSizeMonotonic,
+                         ::testing::Values(1.0, 1.5, 2.0, 4.0, 10.0));
+
+class IncastAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IncastAlphaSweep, CollapseOnlySlowsThingsDown) {
+  // Completion under incast alpha must be >= the alpha=0 completion.
+  const double alpha = GetParam();
+  auto finish_time = [](double a) {
+    sim::Simulator sim;
+    sim::Network net(sim);
+    const sim::LinkId l = net.add_link(1000.0, 0.0, 0.0, a);
+    double last = 0.0;
+    for (int f = 0; f < 6; ++f) {
+      net.start_flow({l}, 500.0, [&last, &sim] { last = sim.now(); });
+    }
+    sim.run();
+    return last;
+  };
+  EXPECT_GE(finish_time(alpha) + 1e-12, finish_time(0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, IncastAlphaSweep,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.1, 0.3));
+
+// ------------------------------------------------------------------- gib
+
+class GibBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GibBudgetSweep, UnimportantBytesNeverExceedBudget) {
+  const double budget_fraction = GetParam();
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_u64(20);
+    std::vector<double> bytes(n);
+    double total = 0.0;
+    for (double& b : bytes) {
+      b = rng.uniform(1.0, 100.0);
+      total += b;
+    }
+    std::vector<double> importance(n);
+    for (double& v : importance) v = rng.uniform();
+    const double budget = budget_fraction * total;
+    const core::Gib gib = core::Gib::from_ranking(
+        core::rank_ascending(importance), bytes, budget);
+    EXPECT_LE(gib.unimportant_bytes(bytes), budget + 1e-9);
+    EXPECT_NEAR(gib.unimportant_bytes(bytes) + gib.important_bytes(bytes),
+                total, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GibBudgetSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+TEST(GibProperty, SerializeRoundTripRandom) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_u64(300);
+    core::Gib gib = core::Gib::all_unimportant(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      gib.set_important(i, rng.bernoulli(0.5));
+    }
+    EXPECT_EQ(core::Gib::deserialize(gib.serialize()), gib);
+  }
+}
+
+TEST(GibProperty, MoreBudgetNeverFewerUnimportantBytes) {
+  util::Rng rng(13);
+  std::vector<double> bytes(12);
+  double total = 0.0;
+  for (double& b : bytes) {
+    b = rng.uniform(1.0, 50.0);
+    total += b;
+  }
+  std::vector<double> importance(12);
+  for (double& v : importance) v = rng.uniform();
+  const auto order = core::rank_ascending(importance);
+  double prev = -1.0;
+  for (double frac = 0.0; frac <= 1.0; frac += 0.1) {
+    const core::Gib gib = core::Gib::from_ranking(order, bytes, frac * total);
+    const double unimp = gib.unimportant_bytes(bytes);
+    EXPECT_GE(unimp, prev);
+    prev = unimp;
+  }
+}
+
+// ---------------------------------------------------------------- tuning
+
+class TunerMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(TunerMonotonic, LowerLossNeverSmallerBudget) {
+  const double umax = GetParam();
+  core::SguTuner tuner(umax);
+  (void)tuner.on_epoch_loss(1, 3.0);
+  double prev = -1.0;
+  for (int e = 2; e <= 12; ++e) {
+    const double loss = 3.0 * std::pow(0.7, e - 1);
+    const double budget = tuner.on_epoch_loss(static_cast<std::size_t>(e),
+                                              loss);
+    EXPECT_GE(budget, prev);
+    EXPECT_LE(budget, umax);
+    prev = budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Umaxes, TunerMonotonic,
+                         ::testing::Values(10.0, 1e3, 1e6, 1e9));
+
+TEST(TuningProperty, UpperBoundMonotoneInComputeTime) {
+  core::IcsBudgetParams p;
+  p.bandwidth_bytes_per_s = 1.25e9;
+  p.num_workers = 8;
+  p.model_bytes = 1e12;  // cap never binds
+  double prev = 0.0;
+  for (double tc = 0.1; tc < 2.0; tc += 0.1) {
+    p.compute_time_s = tc;
+    const double bound = core::ics_upper_bound(p);
+    EXPECT_GT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(TuningProperty, UpperBoundMonotoneDecreasingInWorkers) {
+  core::IcsBudgetParams p;
+  p.bandwidth_bytes_per_s = 1.25e9;
+  p.compute_time_s = 1.0;
+  p.model_bytes = 1e12;
+  double prev = 1e18;
+  for (std::size_t n = 1; n <= 64; n *= 2) {
+    p.num_workers = n;
+    const double bound = core::ics_upper_bound(p);
+    EXPECT_LT(bound, prev);
+    prev = bound;
+  }
+}
+
+// ------------------------------------------------------------------- lgp
+
+TEST(LgpProperty, PredictThenCorrectAlwaysLandsOnGlobal) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t blocks_n = 1 + rng.uniform_u64(6);
+    std::vector<nn::LayerBlockInfo> blocks;
+    std::size_t offset = 0;
+    for (std::size_t b = 0; b < blocks_n; ++b) {
+      const std::size_t numel = 1 + rng.uniform_u64(8);
+      blocks.push_back({"b", offset, numel});
+      offset += numel;
+    }
+    core::Gib gib = core::Gib::all_important(blocks_n);
+    for (std::size_t b = 0; b < blocks_n; ++b) {
+      gib.set_important(b, rng.bernoulli(0.5));
+    }
+    std::vector<float> params(offset), grad(offset), global(offset);
+    for (std::size_t i = 0; i < offset; ++i) {
+      params[i] = static_cast<float>(rng.normal());
+      grad[i] = static_cast<float>(rng.normal());
+      global[i] = static_cast<float>(rng.normal());
+    }
+    const std::vector<float> before = params;
+    core::lgp_apply_local_step(params, grad, rng.uniform(0.01, 1.0), blocks,
+                               gib);
+    core::lgp_correct_blocks(params, global, blocks, gib);
+    for (std::size_t b = 0; b < blocks_n; ++b) {
+      const auto& info = blocks[b];
+      for (std::size_t i = info.offset; i < info.offset + info.numel; ++i) {
+        if (gib.important(b)) {
+          EXPECT_FLOAT_EQ(params[i], before[i]);  // untouched
+        } else {
+          EXPECT_FLOAT_EQ(params[i], global[i]);  // exactly corrected
+        }
+      }
+    }
+  }
+}
+
+TEST(PgpProperty, ImportanceNonNegativeAndAdditive) {
+  util::Rng rng(31);
+  const std::size_t n = 64;
+  std::vector<float> params(n), grads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    params[i] = static_cast<float>(rng.normal());
+    grads[i] = static_cast<float>(rng.normal());
+  }
+  // One block covering everything vs a partition: sums must match.
+  std::vector<nn::LayerBlockInfo> whole = {{"all", 0, n}};
+  std::vector<nn::LayerBlockInfo> parts = {
+      {"a", 0, 20}, {"b", 20, 30}, {"c", 50, 14}};
+  const double total = core::pgp_importance(params, grads, whole)[0];
+  const auto split = core::pgp_importance(params, grads, parts);
+  EXPECT_GE(total, 0.0);
+  EXPECT_NEAR(split[0] + split[1] + split[2], total, 1e-9 * total);
+}
+
+// --------------------------------------------------------------- optimizer
+
+class SgdEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(SgdEquivalence, BlockwiseStepsEqualFullStep) {
+  // Stepping a parameter vector block-by-block must equal one full step —
+  // the invariant OSP's two-stage updates rely on.
+  const double momentum = GetParam();
+  util::Rng rng(41);
+  const std::size_t n = 40;
+  std::vector<float> full(n), blockwise(n), grad(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    full[i] = blockwise[i] = static_cast<float>(rng.normal());
+    grad[i] = static_cast<float>(rng.normal());
+  }
+  nn::SgdOptimizer opt_full(n, momentum);
+  nn::SgdOptimizer opt_block(n, momentum);
+  for (int step = 0; step < 5; ++step) {
+    opt_full.step(full, grad, 0.1);
+    opt_block.step_range(std::span<float>(blockwise).subspan(0, 15),
+                         std::span<const float>(grad).subspan(0, 15), 0.1, 0);
+    opt_block.step_range(std::span<float>(blockwise).subspan(15, 25),
+                         std::span<const float>(grad).subspan(15, 25), 0.1,
+                         15);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(full[i], blockwise[i]) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Momenta, SgdEquivalence,
+                         ::testing::Values(0.0, 0.5, 0.9));
+
+// ----------------------------------------------------------------- tensor
+
+class MatmulAssociativity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulAssociativity, Holds) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  auto rand_mat = [&](std::size_t r, std::size_t c) {
+    tensor::Tensor t({r, c});
+    for (float& v : t.data()) v = static_cast<float>(rng.normal() * 0.3);
+    return t;
+  };
+  const tensor::Tensor a = rand_mat(n, n);
+  const tensor::Tensor b = rand_mat(n, n);
+  const tensor::Tensor c = rand_mat(n, n);
+  tensor::Tensor ab({n, n}), ab_c({n, n});
+  tensor::Tensor bc({n, n}), a_bc({n, n});
+  tensor::matmul(a, b, ab);
+  tensor::matmul(ab, c, ab_c);
+  tensor::matmul(b, c, bc);
+  tensor::matmul(a, bc, a_bc);
+  for (std::size_t i = 0; i < ab_c.numel(); ++i) {
+    EXPECT_NEAR(ab_c[i], a_bc[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulAssociativity,
+                         ::testing::Values(2, 5, 16, 31));
+
+// -------------------------------------------------------------- simulator
+
+TEST(SimulatorProperty, RandomEventsFireInSortedOrder) {
+  util::Rng rng(55);
+  sim::Simulator sim;
+  std::vector<double> fired;
+  std::vector<double> scheduled;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    scheduled.push_back(t);
+    sim.schedule_at(t, [t, &fired] { fired.push_back(t); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), scheduled.size());
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  std::sort(scheduled.begin(), scheduled.end());
+  EXPECT_EQ(fired, scheduled);
+}
+
+}  // namespace
+}  // namespace osp

@@ -1,0 +1,217 @@
+// Engine and metrics tests: lifecycle invariants, PS accessors, the serial
+// PS queue, LR scheduling over worker epochs, and recorder behaviour.
+#include <gtest/gtest.h>
+
+#include "models/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/metrics.hpp"
+#include "sync/bsp.hpp"
+#include "util/check.hpp"
+
+namespace osp::runtime {
+namespace {
+
+EngineConfig quick_config(std::size_t workers = 2, std::size_t epochs = 2) {
+  EngineConfig cfg;
+  cfg.num_workers = workers;
+  cfg.max_epochs = epochs;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(MetricsRecorder, BestMetricAndFirstReaching) {
+  MetricsRecorder rec;
+  rec.record_eval({1.0, 100, 0.5, 1.0});
+  rec.record_eval({2.0, 200, 0.8, 0.5});
+  rec.record_eval({3.0, 300, 0.7, 0.4});
+  EXPECT_DOUBLE_EQ(rec.best_metric(), 0.8);
+  const auto hit = rec.first_reaching(0.75);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->time_s, 2.0);
+  EXPECT_FALSE(rec.first_reaching(0.9).has_value());
+}
+
+TEST(MetricsRecorder, BstPercentile) {
+  MetricsRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record_bst(static_cast<double>(i));
+  EXPECT_NEAR(rec.bst_percentile(0.99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(rec.bst().mean(), 50.5);
+}
+
+TEST(MetricsRecorder, EmptyIsSafe) {
+  MetricsRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.best_metric(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.bst_percentile(0.5), 0.0);
+  EXPECT_FALSE(rec.first_reaching(0.0).has_value());
+}
+
+TEST(Engine, ExposesBlocksAndScaledBytes) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  Engine engine(spec, quick_config(), sync);
+  EXPECT_GT(engine.num_blocks(), 1u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < engine.num_blocks(); ++i) {
+    total += engine.block_bytes(i);
+  }
+  EXPECT_NEAR(total, spec.real_param_bytes, 1.0);
+}
+
+TEST(Engine, BaseComputeTimeMatchesModel) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  EngineConfig cfg = quick_config();
+  Engine engine(spec, cfg, sync);
+  const double expected = spec.flops_per_sample *
+                          static_cast<double>(spec.batch_size) /
+                          (cfg.cluster.node.device_flops *
+                           cfg.cluster.node.efficiency);
+  EXPECT_NEAR(engine.base_compute_time(), expected, 1e-12);
+}
+
+TEST(Engine, PsApplyDelayProportional) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  EngineConfig cfg = quick_config();
+  cfg.cluster.ps_apply_bytes_per_s = 1e9;
+  Engine engine(spec, cfg, sync);
+  EXPECT_NEAR(engine.ps_apply_delay(2e9, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(engine.ps_apply_delay(1e9, 3.0), 3.0, 1e-12);
+}
+
+TEST(Engine, PsApplyDisabledIsZero) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  EngineConfig cfg = quick_config();
+  cfg.cluster.ps_apply_bytes_per_s = 0.0;
+  Engine engine(spec, cfg, sync);
+  EXPECT_DOUBLE_EQ(engine.ps_apply_delay(1e9), 0.0);
+}
+
+TEST(Engine, PsSubmitSerializesJobs) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  Engine engine(spec, quick_config(), sync);
+  std::vector<double> completions;
+  engine.ps_submit(1.0, [&] { completions.push_back(engine.sim().now()); });
+  engine.ps_submit(2.0, [&] { completions.push_back(engine.sim().now()); });
+  engine.sim().run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);  // queued behind the first
+}
+
+TEST(Engine, RunIsSingleUse) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  Engine engine(spec, quick_config(), sync);
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), util::CheckError);
+}
+
+TEST(Engine, SamplesMatchEpochsTimesShards) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  const EngineConfig cfg = quick_config(4, 3);
+  Engine engine(spec, cfg, sync);
+  const RunResult r = engine.run();
+  // Each worker: shard 128 → 8 batches of 16 per epoch → 3 epochs.
+  const double expected = 4.0 * 3.0 * 8.0 * 16.0;
+  EXPECT_DOUBLE_EQ(r.total_samples, expected);
+}
+
+TEST(Engine, EpochLossesAreDecreasing) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  Engine engine(spec, quick_config(2, 6), sync);
+  const RunResult r = engine.run();
+  ASSERT_EQ(r.epoch_losses.size(), 6u);
+  EXPECT_LT(r.epoch_losses.back(), r.epoch_losses.front());
+}
+
+TEST(Engine, WorkerComputeOverheadExtendsBct) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  auto run_with_overhead = [&](double fraction) {
+    sync::BspSync sync;
+    EngineConfig cfg = quick_config(2, 2);
+    Engine engine(spec, cfg, sync);
+    engine.set_worker_compute_overhead(0, fraction);
+    return engine.run().mean_bct_s;
+  };
+  const double base = run_with_overhead(0.0);
+  const double loaded = run_with_overhead(0.5);
+  // Worker 0 is half the samples; +50 % on it = +25 % on the mean.
+  EXPECT_NEAR(loaded / base, 1.25, 0.02);
+}
+
+TEST(Engine, MaxVirtualTimeCapsRun) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  EngineConfig cfg = quick_config(2, 50);
+  cfg.max_virtual_time_s = 1.0;
+  Engine engine(spec, cfg, sync);
+  const RunResult r = engine.run();
+  EXPECT_DOUBLE_EQ(r.total_time_s, 1.0);
+}
+
+TEST(Engine, TargetsReportedWhenReached) {
+  WorkloadSpec spec = models::tiny_mlp();
+  spec.target_metric = 0.5;  // easy target on this dataset
+  sync::BspSync sync;
+  Engine engine(spec, quick_config(2, 6), sync);
+  const RunResult r = engine.run();
+  ASSERT_TRUE(r.iters_to_target.has_value());
+  ASSERT_TRUE(r.time_to_target_s.has_value());
+  EXPECT_GT(*r.iters_to_target, 0.0);
+  EXPECT_LE(*r.time_to_target_s, r.total_time_s);
+}
+
+TEST(Engine, UnreachableTargetIsNullopt) {
+  WorkloadSpec spec = models::tiny_mlp();
+  spec.target_metric = 1.1;  // impossible
+  sync::BspSync sync;
+  Engine engine(spec, quick_config(2, 2), sync);
+  const RunResult r = engine.run();
+  EXPECT_FALSE(r.iters_to_target.has_value());
+}
+
+TEST(Engine, CurveIsTimeMonotonic) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  EngineConfig cfg = quick_config(2, 4);
+  cfg.eval_every_samples = 128;
+  Engine engine(spec, cfg, sync);
+  const RunResult r = engine.run();
+  ASSERT_GE(r.curve.size(), 2u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].time_s, r.curve[i - 1].time_s);
+    EXPECT_GE(r.curve[i].samples, r.curve[i - 1].samples);
+  }
+}
+
+TEST(Engine, ValidatesConfig) {
+  const WorkloadSpec spec = models::tiny_mlp();
+  sync::BspSync sync;
+  EngineConfig bad = quick_config(0, 2);
+  EXPECT_THROW(Engine(spec, bad, sync), util::CheckError);
+  bad = quick_config(2, 0);
+  EXPECT_THROW(Engine(spec, bad, sync), util::CheckError);
+}
+
+TEST(Engine, HeterogeneousSpeedsSlowFastersDown) {
+  // BSP throughput is gated by the slowest worker.
+  const WorkloadSpec spec = models::tiny_mlp();
+  auto run_with = [&](std::vector<double> speeds) {
+    sync::BspSync sync;
+    EngineConfig cfg = quick_config(2, 2);
+    cfg.cluster.speed_factors = std::move(speeds);
+    Engine engine(spec, cfg, sync);
+    return engine.run().throughput;
+  };
+  const double homo = run_with({1.0, 1.0});
+  const double hetero = run_with({1.0, 0.5});
+  EXPECT_LT(hetero, homo);
+}
+
+}  // namespace
+}  // namespace osp::runtime

@@ -1,0 +1,327 @@
+// Discrete-event simulator, flow-network, and cluster tests — including
+// analytic checks of max-min fair sharing, incast collapse, loss inflation,
+// and the compute-time model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace osp::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(0); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), util::CheckError);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), util::CheckError);
+}
+
+TEST(Simulator, ClearDropsPending) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.clear();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Network, SingleFlowTransferTime) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.5);  // 1000 B/s, 0.5 s latency
+  double done_at = -1.0;
+  net.start_flow({l}, 2000.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0 + 0.5, 1e-9);  // 2 s transfer + 0.5 s latency
+}
+
+TEST(Network, ZeroByteFlowIsLatencyOnly) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.25);
+  double done_at = -1.0;
+  net.start_flow({l}, 0.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.25, 1e-12);
+}
+
+TEST(Network, TwoFlowsShareFairly) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  std::vector<double> done(2, -1.0);
+  net.start_flow({l}, 1000.0, [&] { done[0] = sim.now(); });
+  net.start_flow({l}, 1000.0, [&] { done[1] = sim.now(); });
+  sim.run();
+  // Both at 500 B/s → both finish at 2 s.
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(Network, ShortFlowFinishesThenLongSpeedsUp) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  double short_done = -1.0, long_done = -1.0;
+  net.start_flow({l}, 500.0, [&] { short_done = sim.now(); });
+  net.start_flow({l}, 1500.0, [&] { long_done = sim.now(); });
+  sim.run();
+  // Phase 1: both at 500 B/s. Short (500 B) done at t=1. Long has 1000 B
+  // left, now alone at 1000 B/s → done at t=2.
+  EXPECT_NEAR(short_done, 1.0, 1e-9);
+  EXPECT_NEAR(long_done, 2.0, 1e-9);
+}
+
+TEST(Network, MaxMinFairnessAcrossTwoLinks) {
+  // Flow A crosses links 1 and 2; flow B crosses link 1; flow C crosses
+  // link 2. Link 1 cap 100, link 2 cap 200. Max-min: A and B bottleneck on
+  // link 1 (50 each); C gets 200−50 = 150.
+  Simulator sim;
+  Network net(sim);
+  const LinkId l1 = net.add_link(100.0);
+  const LinkId l2 = net.add_link(200.0);
+  FlowId a = net.start_flow({l1, l2}, 1e9, nullptr);
+  FlowId b = net.start_flow({l1}, 1e9, nullptr);
+  FlowId c = net.start_flow({l2}, 1e9, nullptr);
+  // Rates are set synchronously on the last topology change.
+  EXPECT_NEAR(net.flow_rate(a), 50.0, 1e-9);
+  EXPECT_NEAR(net.flow_rate(b), 50.0, 1e-9);
+  EXPECT_NEAR(net.flow_rate(c), 150.0, 1e-9);
+}
+
+TEST(Network, LossInflatesTransferTime) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.0, 0.25);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.25, 1e-9);  // (1+lr) wire inflation
+}
+
+TEST(Network, IncastCollapseShrinksAggregate) {
+  // With alpha=0.1 and 8 flows, usable capacity is b / (1 + 0.1·7) = b/1.7.
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.0, 0.0, 0.1);
+  std::vector<double> done(8, -1.0);
+  for (int f = 0; f < 8; ++f) {
+    net.start_flow({l}, 125.0, [&done, f, &sim] { done[f] = sim.now(); });
+  }
+  sim.run();
+  // 8×125 = 1000 B at 1000/1.7 B/s aggregate → 1.7 s.
+  for (double d : done) EXPECT_NEAR(d, 1.7, 1e-9);
+}
+
+TEST(Network, SingleFlowUnaffectedByIncastAlpha) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.0, 0.0, 0.5);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(Network, ExtraLatencyAddsToCompletion) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.1);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); }, 0.05);
+  sim.run();
+  EXPECT_NEAR(done_at, 1.15, 1e-9);
+}
+
+TEST(Network, BytesDeliveredCountsPayload) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0, 0.0, 0.5);  // heavy loss
+  net.start_flow({l}, 300.0, nullptr);
+  net.start_flow({l}, 700.0, nullptr);
+  sim.run();
+  EXPECT_NEAR(net.bytes_delivered(), 1000.0, 1e-9);  // payload, not wire
+}
+
+TEST(Network, IdealTransferTime) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId a = net.add_link(1000.0, 0.1, 0.0);
+  const LinkId b = net.add_link(500.0, 0.2, 0.5);
+  const double t = net.ideal_transfer_time({a, b}, 1000.0);
+  // latency 0.3 + 1000·1.5 / min(1000,500) = 0.3 + 3.0.
+  EXPECT_NEAR(t, 3.3, 1e-9);
+}
+
+TEST(Network, ManySequentialFlowsDeterministic) {
+  auto run_once = [] {
+    Simulator sim;
+    Network net(sim);
+    const LinkId l = net.add_link(100.0);
+    double last = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      net.start_flow({l}, 10.0 + i, [&last, &sim] { last = sim.now(); });
+    }
+    sim.run();
+    return last;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Cluster, TopologyRoutes) {
+  Simulator sim;
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  Cluster cluster(sim, cfg);
+  EXPECT_EQ(cluster.num_workers(), 4u);
+  // 5 nodes (4 workers + PS), 2 links each.
+  EXPECT_EQ(cluster.network().num_links(), 10u);
+  const auto up = cluster.route_to_ps(2);
+  const auto down = cluster.route_from_ps(2);
+  ASSERT_EQ(up.size(), 2u);
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_NE(up[0], down[1]);  // worker uplink != worker downlink
+}
+
+TEST(Cluster, SharedPsIngressCreatesIncast) {
+  Simulator sim;
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.link_gbps = 0.000008;  // 1000 B/s for easy math
+  cfg.link_latency_s = 0.0;
+  cfg.incast_alpha = 0.0;
+  Cluster cluster(sim, cfg);
+  std::vector<double> done(4, -1.0);
+  for (std::size_t w = 0; w < 4; ++w) {
+    cluster.network().start_flow(cluster.route_to_ps(w), 1000.0,
+                                 [&done, w, &sim] { done[w] = sim.now(); });
+  }
+  sim.run();
+  // All four flows share the PS downlink: 250 B/s each → 4 s.
+  for (double d : done) EXPECT_NEAR(d, 4.0, 1e-6);
+}
+
+TEST(Cluster, ColocatedPsLoopback) {
+  Simulator sim;
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  cfg.colocated_ps = true;
+  Cluster cluster(sim, cfg);
+  EXPECT_TRUE(cluster.hosts_ps(0));
+  EXPECT_FALSE(cluster.hosts_ps(1));
+  EXPECT_TRUE(cluster.route_to_ps(0).empty());
+  EXPECT_FALSE(cluster.route_to_ps(1).empty());
+  // Only 3 nodes worth of links.
+  EXPECT_EQ(cluster.network().num_links(), 6u);
+}
+
+TEST(Cluster, SpeedFactors) {
+  Simulator sim;
+  ClusterConfig cfg;
+  cfg.num_workers = 2;
+  cfg.speed_factors = {1.0, 0.5};
+  Cluster cluster(sim, cfg);
+  EXPECT_DOUBLE_EQ(cluster.speed_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.speed_factor(1), 0.5);
+}
+
+TEST(Cluster, RejectsBadSpeedFactorArity) {
+  Simulator sim;
+  ClusterConfig cfg;
+  cfg.num_workers = 3;
+  cfg.speed_factors = {1.0, 1.0};
+  EXPECT_THROW(Cluster(sim, cfg), util::CheckError);
+}
+
+TEST(ComputeModel, BaseTimeScalesWithBatchAndFlops) {
+  ComputeModel model;
+  model.flops_per_sample = 1e9;
+  model.node.device_flops = 1e12;
+  model.node.efficiency = 0.5;
+  EXPECT_NEAR(model.base_batch_time(64), 64.0 * 1e9 / 5e11, 1e-15);
+  EXPECT_NEAR(model.base_batch_time(128), 2 * model.base_batch_time(64),
+              1e-15);
+}
+
+TEST(ComputeModel, SpeedFactorDividesTime) {
+  ComputeModel model;
+  model.flops_per_sample = 1e9;
+  model.node.device_flops = 1e12;
+  model.node.efficiency = 0.5;
+  util::Rng rng(1);
+  const double fast = model.batch_time(64, 2.0, rng);
+  const double slow = model.batch_time(64, 0.5, rng);
+  EXPECT_NEAR(slow / fast, 4.0, 1e-12);
+}
+
+TEST(ComputeModel, JitterIsOneSided) {
+  ComputeModel model;
+  model.flops_per_sample = 1e9;
+  model.node.device_flops = 1e12;
+  model.node.efficiency = 0.5;
+  model.straggler_jitter = 0.2;
+  util::Rng rng(2);
+  const double base = model.base_batch_time(64);
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = model.batch_time(64, 1.0, rng);
+    EXPECT_GE(t, base);
+    total += t / base - 1.0;
+  }
+  EXPECT_NEAR(total / 2000.0, 0.2, 0.02);  // exponential mean = jitter
+}
+
+TEST(GbpsConversion, TenGbpsIs1250MBps) {
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(10.0), 1.25e9);
+}
+
+}  // namespace
+}  // namespace osp::sim

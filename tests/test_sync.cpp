@@ -1,0 +1,327 @@
+// Behavioural tests of the sync models, verified through full engine runs
+// on the tiny workload: ordering properties (who waits, who doesn't),
+// staleness bounds, sparsification correctness, and cross-model invariants.
+#include <gtest/gtest.h>
+
+#include "core/osp_sync.hpp"
+#include "models/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "sync/asp.hpp"
+#include "sync/bsp.hpp"
+#include "sync/compression.hpp"
+#include "sync/r2sp.hpp"
+#include "sync/ssp.hpp"
+#include "util/check.hpp"
+
+namespace osp {
+namespace {
+
+runtime::EngineConfig sync_config(std::size_t workers = 4,
+                                  std::size_t epochs = 4,
+                                  double jitter = 0.05) {
+  runtime::EngineConfig cfg;
+  cfg.num_workers = workers;
+  cfg.max_epochs = epochs;
+  cfg.seed = 17;
+  cfg.straggler_jitter = jitter;
+  return cfg;
+}
+
+runtime::RunResult run_model(runtime::SyncModel& sync,
+                             const runtime::EngineConfig& cfg,
+                             const runtime::WorkloadSpec& spec) {
+  runtime::Engine engine(spec, cfg, sync);
+  return engine.run();
+}
+
+TEST(BspBehaviour, AllWorkersSameIterationCount) {
+  // BSP's barrier keeps workers in lockstep: total samples must divide
+  // evenly even with jitter.
+  const auto spec = models::tiny_mlp();
+  sync::BspSync sync;
+  const auto r = run_model(sync, sync_config(), spec);
+  EXPECT_DOUBLE_EQ(r.total_samples, 4.0 * 4.0 * 8.0 * 16.0);
+}
+
+TEST(BspBehaviour, BstGrowsWithWorkers) {
+  // Incast: more simultaneous pushes → longer synchronization.
+  const auto spec = models::resnet50_cifar10();
+  auto bst_with = [&](std::size_t workers) {
+    sync::BspSync sync;
+    auto cfg = sync_config(workers, 1, 0.0);
+    runtime::Engine engine(spec, cfg, sync);
+    return engine.run().mean_bst_s;
+  };
+  const double bst2 = bst_with(2);
+  const double bst8 = bst_with(8);
+  EXPECT_GT(bst8, 2.5 * bst2);
+}
+
+TEST(AspBehaviour, FasterThanBspUnderJitter) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 2, 0.1);
+  sync::BspSync bsp;
+  sync::AspSync asp;
+  const auto rb = run_model(bsp, cfg, spec);
+  const auto ra = run_model(asp, cfg, spec);
+  EXPECT_GT(ra.throughput, rb.throughput);
+  EXPECT_LT(ra.mean_bst_s, rb.mean_bst_s);
+}
+
+TEST(SspBehaviour, BoundsIterationSpread) {
+  // With a large speed disparity and bound s, the fast worker may never be
+  // more than s iterations ahead. Observable consequence: total samples are
+  // nearly balanced, unlike pure ASP.
+  auto spec = models::tiny_mlp();
+  auto cfg = sync_config(2, 4, 0.0);
+  cfg.cluster.speed_factors = {1.0, 0.25};
+  sync::SspSync ssp(2);
+  const auto r = run_model(ssp, cfg, spec);
+  // Both workers complete all their epochs regardless.
+  EXPECT_DOUBLE_EQ(r.total_samples, 2.0 * 4.0 * 16.0 * 16.0);
+  EXPECT_GT(r.best_metric, 0.5);
+}
+
+TEST(SspBehaviour, ZeroBoundActsLikeBarrier) {
+  auto spec = models::tiny_mlp();
+  auto cfg = sync_config(3, 2, 0.2);
+  sync::SspSync ssp(0);
+  const auto r = run_model(ssp, cfg, spec);
+  EXPECT_GT(r.total_samples, 0.0);  // must not deadlock
+}
+
+TEST(R2spBehaviour, SlowerThanAspFasterThanBsp) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 2, 0.05);
+  sync::BspSync bsp;
+  sync::AspSync asp;
+  sync::R2spSync r2sp;
+  const double tb = run_model(bsp, cfg, spec).throughput;
+  const double ta = run_model(asp, cfg, spec).throughput;
+  const double tr = run_model(r2sp, cfg, spec).throughput;
+  EXPECT_GT(tr, tb);
+  EXPECT_LT(tr, ta);
+}
+
+TEST(R2spBehaviour, SerialVariantIsSlower) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 1, 0.05);
+  sync::R2spSync serial(false);
+  sync::R2spSync duplex(true);
+  const double ts = run_model(serial, cfg, spec).throughput;
+  const double td = run_model(duplex, cfg, spec).throughput;
+  EXPECT_GT(td, ts);
+  EXPECT_EQ(serial.name(), "R2SP(serial)");
+  EXPECT_EQ(duplex.name(), "R2SP");
+}
+
+TEST(Compression, SparsifyTopKKeepsLargest) {
+  std::vector<float> g = {0.1f, -5.0f, 0.2f, 3.0f, -0.05f};
+  util::Rng rng(1);
+  const std::size_t kept = sync::sparsify(g, sync::CompressionMode::TopK,
+                                          0.4, rng);
+  EXPECT_EQ(kept, 2u);
+  EXPECT_FLOAT_EQ(g[1], -5.0f);
+  EXPECT_FLOAT_EQ(g[3], 3.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+  EXPECT_FLOAT_EQ(g[4], 0.0f);
+}
+
+TEST(Compression, SparsifyTopKTiesDeterministic) {
+  std::vector<float> g = {1.0f, 1.0f, 1.0f, 1.0f};
+  util::Rng rng(1);
+  const std::size_t kept = sync::sparsify(g, sync::CompressionMode::TopK,
+                                          0.5, rng);
+  EXPECT_EQ(kept, 2u);
+  EXPECT_FLOAT_EQ(g[0], 1.0f);  // index order fills tie slots
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(Compression, SparsifyRandomKCount) {
+  std::vector<float> g(100, 1.0f);
+  util::Rng rng(2);
+  const std::size_t kept = sync::sparsify(g, sync::CompressionMode::RandomK,
+                                          0.3, rng);
+  EXPECT_EQ(kept, 30u);
+  std::size_t nonzero = 0;
+  for (float v : g) nonzero += v != 0.0f ? 1 : 0;
+  EXPECT_EQ(nonzero, 30u);
+}
+
+TEST(Compression, KeepAllIsIdentity) {
+  std::vector<float> g = {1.0f, 2.0f};
+  util::Rng rng(3);
+  EXPECT_EQ(sync::sparsify(g, sync::CompressionMode::TopK, 1.0, rng), 2u);
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+}
+
+TEST(Compression, TopKBspReducesBstVersusBsp) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 2, 0.0);
+  sync::BspSync bsp;
+  sync::CompressedBspSync topk(sync::CompressionMode::TopK, 0.1);
+  const auto rb = run_model(bsp, cfg, spec);
+  const auto rt = run_model(topk, cfg, spec);
+  EXPECT_LT(rt.mean_bst_s, rb.mean_bst_s * 0.5);
+}
+
+TEST(Compression, TopKLosesAccuracyVersusBsp) {
+  // Dropped gradients (no error feedback) must cost accuracy — the §2.2.2
+  // failure mode OSP exists to avoid.
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 8, 0.0);
+  sync::BspSync bsp;
+  sync::CompressedBspSync topk(sync::CompressionMode::TopK, 0.05);
+  const auto rb = run_model(bsp, cfg, spec);
+  const auto rt = run_model(topk, cfg, spec);
+  EXPECT_LT(rt.best_metric, rb.best_metric);
+}
+
+TEST(OspBehaviour, FirstEpochDegradesToBsp) {
+  // Algorithm 1 sets S(Gᵘ)₁ = 0: during epoch 1 the GIB stays
+  // all-important, so no ICS rounds run.
+  const auto spec = models::tiny_mlp();
+  core::OspSync osp;
+  auto cfg = sync_config(2, 1, 0.0);
+  runtime::Engine engine(spec, cfg, osp);
+  (void)engine.run();
+  EXPECT_EQ(osp.ics_rounds_completed(), 0u);
+  EXPECT_DOUBLE_EQ(osp.current_ics_budget(), 0.0);
+}
+
+TEST(OspBehaviour, BudgetRampsAfterFirstEpoch) {
+  const auto spec = models::tiny_mlp();
+  core::OspSync osp;
+  auto cfg = sync_config(2, 6, 0.0);
+  runtime::Engine engine(spec, cfg, osp);
+  (void)engine.run();
+  EXPECT_GT(osp.current_ics_budget(), 0.0);
+  EXPECT_LE(osp.current_ics_budget(), osp.u_max());
+  EXPECT_GT(osp.ics_rounds_completed(), 0u);
+}
+
+TEST(OspBehaviour, FixedZeroBudgetEqualsBspTiming) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(4, 2, 0.0);
+  core::OspOptions opts;
+  opts.fixed_budget_fraction = 0.0;
+  core::OspSync osp(opts);
+  sync::BspSync bsp;
+  const auto ro = run_model(osp, cfg, spec);
+  const auto rb = run_model(bsp, cfg, spec);
+  // §4.3: all gradients in RS ⇒ BSP. Timing matches up to the GIB's few
+  // bytes and identical PS costs.
+  EXPECT_NEAR(ro.mean_bst_s, rb.mean_bst_s, 0.02 * rb.mean_bst_s);
+  EXPECT_DOUBLE_EQ(ro.total_samples, rb.total_samples);
+}
+
+TEST(OspBehaviour, LargerFixedBudgetLowersBst) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 2, 0.0);
+  auto bst_with = [&](double fraction) {
+    core::OspOptions opts;
+    opts.fixed_budget_fraction = fraction;
+    core::OspSync osp(opts);
+    runtime::Engine engine(spec, cfg, osp);
+    return engine.run().mean_bst_s;
+  };
+  const double none = bst_with(0.0);
+  const double half = bst_with(0.4);
+  const double most = bst_with(0.8);
+  EXPECT_LT(half, none);
+  EXPECT_LT(most, half);
+}
+
+TEST(OspBehaviour, AccuracyComparableToBsp) {
+  const auto spec = models::resnet50_cifar10();
+  const auto cfg = sync_config(8, 10, 0.05);
+  sync::BspSync bsp;
+  core::OspSync osp;
+  const auto rb = run_model(bsp, cfg, spec);
+  const auto ro = run_model(osp, cfg, spec);
+  EXPECT_GT(ro.best_metric, rb.best_metric - 0.05)
+      << "OSP lost accuracy versus BSP";
+}
+
+TEST(OspBehaviour, ColocatedRequiresColocatedCluster) {
+  const auto spec = models::tiny_mlp();
+  core::OspOptions opts;
+  opts.colocated_ps = true;
+  core::OspSync osp(opts);
+  auto cfg = sync_config(2, 1, 0.0);  // cluster NOT co-located
+  runtime::Engine engine(spec, cfg, osp);
+  EXPECT_THROW((void)engine.run(), util::CheckError);
+}
+
+TEST(OspBehaviour, ColocatedChargesGibOverhead) {
+  const auto spec = models::tiny_mlp();
+  auto cfg = sync_config(2, 2, 0.0);
+  cfg.cluster.colocated_ps = true;
+  core::OspOptions colo;
+  colo.colocated_ps = true;
+  core::OspSync osp_c(colo);
+  core::OspSync osp_s;
+  runtime::Engine e1(spec, cfg, osp_c);
+  const auto rc = e1.run();
+  runtime::Engine e2(spec, cfg, osp_s);
+  const auto rs = e2.run();
+  EXPECT_GT(rc.mean_bct_s, rs.mean_bct_s);
+}
+
+TEST(OspBehaviour, EmaVariantRuns) {
+  const auto spec = models::tiny_mlp();
+  core::OspOptions opts;
+  opts.use_ema_lgp = true;
+  core::OspSync osp(opts);
+  const auto r = run_model(osp, sync_config(2, 4, 0.0), spec);
+  EXPECT_GT(r.best_metric, 0.5);
+}
+
+TEST(OspBehaviour, RankingVariantsRun) {
+  const auto spec = models::tiny_mlp();
+  for (auto ranking : {core::OspOptions::Ranking::kPgp,
+                       core::OspOptions::Ranking::kPgpSum,
+                       core::OspOptions::Ranking::kMagnitude,
+                       core::OspOptions::Ranking::kRandom}) {
+    core::OspOptions opts;
+    opts.ranking = ranking;
+    core::OspSync osp(opts);
+    const auto r = run_model(osp, sync_config(2, 3, 0.0), spec);
+    EXPECT_GT(r.best_metric, 0.4);
+  }
+}
+
+TEST(OspBehaviour, NamesEncodeOptions) {
+  EXPECT_EQ(core::OspSync().name(), "OSP");
+  core::OspOptions a;
+  a.enable_lgp = false;
+  EXPECT_EQ(core::OspSync(a).name(), "OSP(no-LGP)");
+  core::OspOptions b;
+  b.colocated_ps = true;
+  EXPECT_EQ(core::OspSync(b).name(), "OSP-C");
+  core::OspOptions c;
+  c.fixed_budget_fraction = 0.5;
+  EXPECT_EQ(core::OspSync(c).name(), "OSP(fixed=50%)");
+}
+
+TEST(CrossModel, AllModelsReachSameSampleCount) {
+  // Every sync model must process exactly max_epochs over each shard.
+  const auto spec = models::tiny_mlp();
+  const auto cfg = sync_config(3, 3, 0.1);
+  const double expected = 3.0 * 3.0 * 10.0 * 16.0;  // shard 170→10 batches
+  sync::BspSync bsp;
+  sync::AspSync asp;
+  sync::R2spSync r2sp;
+  sync::SspSync ssp(3);
+  core::OspSync osp;
+  EXPECT_DOUBLE_EQ(run_model(bsp, cfg, spec).total_samples, expected);
+  EXPECT_DOUBLE_EQ(run_model(asp, cfg, spec).total_samples, expected);
+  EXPECT_DOUBLE_EQ(run_model(r2sp, cfg, spec).total_samples, expected);
+  EXPECT_DOUBLE_EQ(run_model(ssp, cfg, spec).total_samples, expected);
+  EXPECT_DOUBLE_EQ(run_model(osp, cfg, spec).total_samples, expected);
+}
+
+}  // namespace
+}  // namespace osp

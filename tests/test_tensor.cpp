@@ -1,0 +1,318 @@
+// Tensor library tests: shapes, access, matmul orientations against naive
+// references, im2col/col2im adjointness, softmax, and initializers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osp::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({2, 2}, 3.5f);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(Tensor, ExplicitDataValidated) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               util::CheckError);
+}
+
+TEST(Tensor, From1D) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, TwoDAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t[5], 5.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, TwoDAccessBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW((void)t.at(2, 0), util::CheckError);
+  EXPECT_THROW((void)t.at(0, 3), util::CheckError);
+}
+
+TEST(Tensor, FourDAccessNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3});
+  t.at(0, 1) = 7.0f;
+  t.reshape({3, 2});
+  EXPECT_FLOAT_EQ(t.at(0, 1), 7.0f);  // flat index 1 unchanged
+  EXPECT_THROW(t.reshape({4, 2}), util::CheckError);
+}
+
+TEST(Tensor, ReshapedCopyLeavesOriginal) {
+  Tensor t({2, 2});
+  Tensor r = t.reshaped({4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(r.rank(), 1u);
+}
+
+TEST(Tensor, RowSpanWritesThrough) {
+  Tensor t({2, 3});
+  auto row = t.row(1);
+  row[0] = 4.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(Tensor, ShapeHelpers) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+// Naive reference matmul for verification.
+Tensor ref_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) s += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Tensor random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Tensor t({r, c});
+  for (float& v : t.data()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+class MatmulSizes : public ::testing::TestWithParam<
+                        std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(MatmulSizes, MatchesNaiveReference) {
+  auto [m, k, n] = GetParam();
+  util::Rng rng(m * 1000 + k * 100 + n);
+  const Tensor a = random_matrix(m, k, rng);
+  const Tensor b = random_matrix(k, n, rng);
+  Tensor c({m, n});
+  matmul(a, b, c);
+  const Tensor ref = ref_matmul(a, b);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST_P(MatmulSizes, TnMatchesTransposedReference) {
+  auto [m, k, n] = GetParam();
+  util::Rng rng(42 + m + k + n);
+  const Tensor a = random_matrix(m, k, rng);  // will be used transposed
+  const Tensor b = random_matrix(m, n, rng);
+  Tensor c({k, n});
+  matmul_tn(a, b, c);
+  Tensor at({k, m});
+  transpose(a, at);
+  const Tensor ref = ref_matmul(at, b);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f);
+  }
+}
+
+TEST_P(MatmulSizes, NtMatchesTransposedReference) {
+  auto [m, k, n] = GetParam();
+  util::Rng rng(77 + m * k * n);
+  const Tensor a = random_matrix(m, k, rng);
+  const Tensor b = random_matrix(n, k, rng);
+  Tensor c({m, n});
+  matmul_nt(a, b, c);
+  Tensor bt({k, n});
+  transpose(b, bt);
+  const Tensor ref = ref_matmul(a, bt);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 48, 32),
+                      std::make_tuple(128, 70, 5)));
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(matmul(a, b, c), util::CheckError);
+}
+
+TEST(Ops, AddBiasRows) {
+  Tensor x({2, 3}, 1.0f);
+  std::vector<float> bias = {1, 2, 3};
+  add_bias_rows(x, bias);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 2), 4.0f);
+}
+
+TEST(Ops, SumRowsAccumulates) {
+  Tensor x({2, 2});
+  x.at(0, 0) = 1.0f;
+  x.at(1, 0) = 2.0f;
+  x.at(0, 1) = 3.0f;
+  x.at(1, 1) = 4.0f;
+  std::vector<float> out = {10.0f, 0.0f};  // accumulation check
+  sum_rows(x, out);
+  EXPECT_FLOAT_EQ(out[0], 13.0f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  util::Rng rng(4);
+  Tensor x = random_matrix(5, 9, rng);
+  Tensor out({5, 9});
+  softmax_rows(x, out);
+  for (std::size_t r = 0; r < 5; ++r) {
+    float sum = 0.0f;
+    for (float v : out.row(r)) {
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxStableUnderLargeLogits) {
+  Tensor x({1, 3});
+  x.at(0, 0) = 1000.0f;
+  x.at(0, 1) = 1001.0f;
+  x.at(0, 2) = 999.0f;
+  Tensor out({1, 3});
+  softmax_rows(x, out);
+  for (float v : out.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GT(out.at(0, 1), out.at(0, 0));
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  util::Rng rng(8);
+  const Tensor a = random_matrix(4, 7, rng);
+  Tensor at({7, 4}), back({4, 7});
+  transpose(a, at);
+  transpose(at, back);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a[i], back[i]);
+  }
+}
+
+TEST(Conv2dGeom, OutputDims) {
+  Conv2dGeom g{3, 8, 8, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.patch_len(), 27u);
+  Conv2dGeom strided{1, 8, 8, 2, 2, 0};
+  EXPECT_EQ(strided.out_h(), 4u);
+}
+
+TEST(Ops, Im2colIdentityKernel) {
+  // 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+  Conv2dGeom g{2, 3, 3, 1, 1, 0};
+  std::vector<float> img(2 * 3 * 3);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  Tensor cols({9, 2});
+  im2col(img, g, cols);
+  for (std::size_t p = 0; p < 9; ++p) {
+    EXPECT_FLOAT_EQ(cols.at(p, 0), img[p]);
+    EXPECT_FLOAT_EQ(cols.at(p, 1), img[9 + p]);
+  }
+}
+
+TEST(Ops, Im2colPaddingReadsZero) {
+  Conv2dGeom g{1, 2, 2, 3, 1, 1};
+  std::vector<float> img = {1, 2, 3, 4};
+  Tensor cols({g.patches(), g.patch_len()});
+  im2col(img, g, cols);
+  // First patch centered at (0,0): the top-left 2x2 of the kernel window is
+  // out of bounds.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 4), 1.0f);  // kernel center hits pixel (0,0)
+}
+
+TEST(Ops, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the adjoint
+  // property that makes conv backward correct.
+  Conv2dGeom g{2, 5, 5, 3, 2, 1};
+  util::Rng rng(21);
+  std::vector<float> x(2 * 5 * 5);
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  Tensor y({g.patches(), g.patch_len()});
+  for (float& v : y.data()) v = static_cast<float>(rng.normal());
+
+  Tensor cols({g.patches(), g.patch_len()});
+  im2col(x, g, cols);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i) lhs += cols[i] * y[i];
+
+  std::vector<float> xt(x.size(), 0.0f);
+  col2im(y, g, xt);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * xt[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Init, XavierBounds) {
+  util::Rng rng(3);
+  Tensor t({100, 100});
+  xavier_uniform(t, 100, 100, rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  for (float v : t.data()) {
+    EXPECT_LE(std::abs(v), bound);
+  }
+}
+
+TEST(Init, HeNormalStddev) {
+  util::Rng rng(3);
+  Tensor t({200, 200});
+  he_normal(t, 200, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.numel());
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 200.0), 0.002);
+}
+
+TEST(Init, UniformRange) {
+  util::Rng rng(5);
+  Tensor t({1000});
+  uniform_init(t, -0.5f, 0.5f, rng);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+}  // namespace
+}  // namespace osp::tensor

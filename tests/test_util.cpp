@@ -1,0 +1,368 @@
+// Unit tests for the util module: RNG determinism and distribution sanity,
+// online statistics, the thread pool, tables, and flat-vector kernels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::util {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(OSP_CHECK(false, "boom"), CheckError);
+  try {
+    OSP_CHECK(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(OSP_CHECK(true));
+  EXPECT_NO_THROW(OSP_CHECK(2 + 2 == 4, "arithmetic"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUse) {
+  Rng a(7);
+  Rng child1 = a.fork(3);
+  (void)a.next_u64();
+  Rng b(7);
+  Rng child2 = b.fork(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng a(7);
+  Rng c0 = a.fork(0);
+  Rng c1 = a.fork(1);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64RejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_u64(0), CheckError);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_u64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.exponential(0.0), CheckError);
+  EXPECT_THROW((void)rng.exponential(-1.0), CheckError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleDeterministic) {
+  std::vector<int> a(20), b(20);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng r1(9), r2(9);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  Rng rng(17);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Ema, FirstValuePassesThrough) {
+  Ema ema(0.5);
+  EXPECT_TRUE(ema.empty());
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(Ema, Smooths) {
+  Ema ema(0.5);
+  ema.add(10.0);
+  ema.add(0.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+  ema.add(5.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+}
+
+TEST(Ema, RejectsBadAlpha) {
+  EXPECT_THROW(Ema(0.0), CheckError);
+  EXPECT_THROW(Ema(1.5), CheckError);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  std::vector<double> xs;
+  EXPECT_THROW((void)percentile(xs, 0.5), CheckError);
+  std::vector<double> one = {1.0};
+  EXPECT_THROW((void)percentile(one, 1.5), CheckError);
+}
+
+TEST(MeanStddev, Basics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 1.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(
+      hits.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);  // non-atomic: must run on one thread
+  pool.parallel_for(
+      10,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+      },
+      1024);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(VecMath, Axpy) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+}
+
+TEST(VecMath, AxpySizeMismatchThrows) {
+  std::vector<float> x = {1, 2};
+  std::vector<float> y = {1};
+  EXPECT_THROW(axpy(1.0f, x, y), CheckError);
+}
+
+TEST(VecMath, DotAndNorms) {
+  std::vector<float> a = {3, 4};
+  std::vector<float> b = {1, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(l2_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(l1_norm(a), 7.0);
+}
+
+TEST(VecMath, AbsProdSum) {
+  std::vector<float> a = {1, -2, 3};
+  std::vector<float> b = {-4, 5, 6};
+  EXPECT_DOUBLE_EQ(abs_prod_sum(a, b), 4.0 + 10.0 + 18.0);
+}
+
+TEST(VecMath, CopyFillSubAdd) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b(3);
+  copy(a, b);
+  EXPECT_EQ(b, a);
+  fill(b, 7.0f);
+  EXPECT_FLOAT_EQ(b[1], 7.0f);
+  std::vector<float> d(3);
+  sub(a, a, d);
+  EXPECT_FLOAT_EQ(d[2], 0.0f);
+  add(a, a, d);
+  EXPECT_FLOAT_EQ(d[2], 6.0f);
+}
+
+TEST(VecMath, ScaleInPlace) {
+  std::vector<float> a = {1, -2};
+  scale(a, -2.0f);
+  EXPECT_FLOAT_EQ(a[0], -2.0f);
+  EXPECT_FLOAT_EQ(a[1], 4.0f);
+}
+
+}  // namespace
+}  // namespace osp::util

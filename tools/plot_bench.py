@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Plot the figure CSVs produced by the bench harnesses.
+
+Usage:
+    python3 tools/plot_bench.py [bench_out_dir] [output_dir]
+
+Reads every CSV in bench_out/ (written by `./run_benches.sh`) and renders
+one PNG per figure under plots/. Requires matplotlib; the script degrades
+to printing a summary when it is unavailable, so CI without matplotlib
+still exercises the parsing path.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path: pathlib.Path):
+    with path.open(newline="") as fh:
+        rows = list(csv.reader(fh))
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def numeric(cell: str):
+    """Best-effort numeric parse: strips %, x, parenthesised alternates."""
+    token = cell.strip().split(" ")[0]
+    for suffix in ("%", "x", "pp"):
+        if token.endswith(suffix):
+            token = token[: -len(suffix)]
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def plot_all(src: pathlib.Path, dst: pathlib.Path) -> int:
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable — summary only")
+        plt = None
+
+    count = 0
+    for path in sorted(src.glob("*.csv")):
+        header, rows = read_csv(path)
+        if not rows:
+            continue
+        print(f"{path.name}: {len(rows)} rows × {len(header)} cols")
+        if plt is None:
+            continue
+        # Generic rendering: first column is the category axis; every
+        # numeric column becomes a series.
+        labels = [row[0] for row in rows]
+        fig, ax = plt.subplots(figsize=(8, 4.5))
+        plotted = False
+        for col in range(1, len(header)):
+            values = [numeric(row[col]) for row in rows]
+            if any(v is None for v in values):
+                continue
+            ax.plot(range(len(labels)), values, marker="o",
+                    label=header[col])
+            plotted = True
+        if not plotted:
+            plt.close(fig)
+            continue
+        ax.set_xticks(range(len(labels)))
+        ax.set_xticklabels(labels, rotation=30, ha="right", fontsize=7)
+        ax.set_title(path.stem)
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        dst.mkdir(parents=True, exist_ok=True)
+        fig.savefig(dst / f"{path.stem}.png", dpi=130)
+        plt.close(fig)
+        count += 1
+    return count
+
+
+def main() -> int:
+    src = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_out")
+    dst = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "plots")
+    if not src.is_dir():
+        print(f"no such directory: {src} — run ./run_benches.sh first")
+        return 1
+    rendered = plot_all(src, dst)
+    print(f"rendered {rendered} figure(s) into {dst}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
