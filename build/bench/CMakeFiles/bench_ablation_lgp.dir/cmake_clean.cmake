@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lgp.dir/bench_ablation_lgp.cpp.o"
+  "CMakeFiles/bench_ablation_lgp.dir/bench_ablation_lgp.cpp.o.d"
+  "bench_ablation_lgp"
+  "bench_ablation_lgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

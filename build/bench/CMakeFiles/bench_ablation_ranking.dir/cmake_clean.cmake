@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ranking.dir/bench_ablation_ranking.cpp.o"
+  "CMakeFiles/bench_ablation_ranking.dir/bench_ablation_ranking.cpp.o.d"
+  "bench_ablation_ranking"
+  "bench_ablation_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tuning.dir/bench_ablation_tuning.cpp.o"
+  "CMakeFiles/bench_ablation_tuning.dir/bench_ablation_tuning.cpp.o.d"
+  "bench_ablation_tuning"
+  "bench_ablation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hetero.dir/bench_ext_hetero.cpp.o"
+  "CMakeFiles/bench_ext_hetero.dir/bench_ext_hetero.cpp.o.d"
+  "bench_ext_hetero"
+  "bench_ext_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

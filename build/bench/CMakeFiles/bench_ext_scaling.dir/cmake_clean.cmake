@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scaling.dir/bench_ext_scaling.cpp.o"
+  "CMakeFiles/bench_ext_scaling.dir/bench_ext_scaling.cpp.o.d"
+  "bench_ext_scaling"
+  "bench_ext_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bsp_asp_gap.dir/bench_fig12_bsp_asp_gap.cpp.o"
+  "CMakeFiles/bench_fig12_bsp_asp_gap.dir/bench_fig12_bsp_asp_gap.cpp.o.d"
+  "bench_fig12_bsp_asp_gap"
+  "bench_fig12_bsp_asp_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bsp_asp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

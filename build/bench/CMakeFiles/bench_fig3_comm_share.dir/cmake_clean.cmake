@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_comm_share.dir/bench_fig3_comm_share.cpp.o"
+  "CMakeFiles/bench_fig3_comm_share.dir/bench_fig3_comm_share.cpp.o.d"
+  "bench_fig3_comm_share"
+  "bench_fig3_comm_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_comm_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

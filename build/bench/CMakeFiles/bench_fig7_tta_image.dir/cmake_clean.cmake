@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tta_image.dir/bench_fig7_tta_image.cpp.o"
+  "CMakeFiles/bench_fig7_tta_image.dir/bench_fig7_tta_image.cpp.o.d"
+  "bench_fig7_tta_image"
+  "bench_fig7_tta_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tta_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

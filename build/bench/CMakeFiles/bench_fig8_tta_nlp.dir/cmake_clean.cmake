@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tta_nlp.dir/bench_fig8_tta_nlp.cpp.o"
+  "CMakeFiles/bench_fig8_tta_nlp.dir/bench_fig8_tta_nlp.cpp.o.d"
+  "bench_fig8_tta_nlp"
+  "bench_fig8_tta_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tta_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_network.dir/bench_micro_network.cpp.o"
+  "CMakeFiles/bench_micro_network.dir/bench_micro_network.cpp.o.d"
+  "bench_micro_network"
+  "bench_micro_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

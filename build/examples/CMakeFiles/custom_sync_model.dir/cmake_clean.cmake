@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sync_model.dir/custom_sync_model.cpp.o"
+  "CMakeFiles/custom_sync_model.dir/custom_sync_model.cpp.o.d"
+  "custom_sync_model"
+  "custom_sync_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sync_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

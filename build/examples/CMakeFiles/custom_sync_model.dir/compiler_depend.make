@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_sync_model.
+# This may be replaced when dependencies are built.

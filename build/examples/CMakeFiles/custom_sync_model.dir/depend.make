@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_sync_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_finetune.dir/nlp_finetune.cpp.o"
+  "CMakeFiles/nlp_finetune.dir/nlp_finetune.cpp.o.d"
+  "nlp_finetune"
+  "nlp_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

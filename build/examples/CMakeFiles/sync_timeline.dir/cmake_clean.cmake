@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_timeline.dir/sync_timeline.cpp.o"
+  "CMakeFiles/sync_timeline.dir/sync_timeline.cpp.o.d"
+  "sync_timeline"
+  "sync_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

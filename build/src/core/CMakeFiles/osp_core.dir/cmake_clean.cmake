@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_core.dir/gib.cpp.o"
+  "CMakeFiles/osp_core.dir/gib.cpp.o.d"
+  "CMakeFiles/osp_core.dir/lgp.cpp.o"
+  "CMakeFiles/osp_core.dir/lgp.cpp.o.d"
+  "CMakeFiles/osp_core.dir/osp_sync.cpp.o"
+  "CMakeFiles/osp_core.dir/osp_sync.cpp.o.d"
+  "CMakeFiles/osp_core.dir/pgp.cpp.o"
+  "CMakeFiles/osp_core.dir/pgp.cpp.o.d"
+  "CMakeFiles/osp_core.dir/tuning.cpp.o"
+  "CMakeFiles/osp_core.dir/tuning.cpp.o.d"
+  "libosp_core.a"
+  "libosp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/loader.cpp" "src/data/CMakeFiles/osp_data.dir/loader.cpp.o" "gcc" "src/data/CMakeFiles/osp_data.dir/loader.cpp.o.d"
+  "/root/repo/src/data/synthetic_image.cpp" "src/data/CMakeFiles/osp_data.dir/synthetic_image.cpp.o" "gcc" "src/data/CMakeFiles/osp_data.dir/synthetic_image.cpp.o.d"
+  "/root/repo/src/data/synthetic_qa.cpp" "src/data/CMakeFiles/osp_data.dir/synthetic_qa.cpp.o" "gcc" "src/data/CMakeFiles/osp_data.dir/synthetic_qa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/osp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/osp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_data.dir/loader.cpp.o"
+  "CMakeFiles/osp_data.dir/loader.cpp.o.d"
+  "CMakeFiles/osp_data.dir/synthetic_image.cpp.o"
+  "CMakeFiles/osp_data.dir/synthetic_image.cpp.o.d"
+  "CMakeFiles/osp_data.dir/synthetic_qa.cpp.o"
+  "CMakeFiles/osp_data.dir/synthetic_qa.cpp.o.d"
+  "libosp_data.a"
+  "libosp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

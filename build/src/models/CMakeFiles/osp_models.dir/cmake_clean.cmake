@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_models.dir/zoo.cpp.o"
+  "CMakeFiles/osp_models.dir/zoo.cpp.o.d"
+  "libosp_models.a"
+  "libosp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/osp_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/osp_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/osp_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/osp_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/osp_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/osp_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/osp_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/osp_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/osp_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/osp_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/qa_head.cpp" "src/nn/CMakeFiles/osp_nn.dir/qa_head.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/qa_head.cpp.o.d"
+  "/root/repo/src/nn/registry.cpp" "src/nn/CMakeFiles/osp_nn.dir/registry.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/registry.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/osp_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/osp_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/osp_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/osp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/osp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_nn.dir/activations.cpp.o"
+  "CMakeFiles/osp_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/attention.cpp.o"
+  "CMakeFiles/osp_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/osp_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/embedding.cpp.o"
+  "CMakeFiles/osp_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/layer.cpp.o"
+  "CMakeFiles/osp_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/linear.cpp.o"
+  "CMakeFiles/osp_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/loss.cpp.o"
+  "CMakeFiles/osp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/metrics.cpp.o"
+  "CMakeFiles/osp_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/norm.cpp.o"
+  "CMakeFiles/osp_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/osp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/qa_head.cpp.o"
+  "CMakeFiles/osp_nn.dir/qa_head.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/registry.cpp.o"
+  "CMakeFiles/osp_nn.dir/registry.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/sequential.cpp.o"
+  "CMakeFiles/osp_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/osp_nn.dir/serialize.cpp.o"
+  "CMakeFiles/osp_nn.dir/serialize.cpp.o.d"
+  "libosp_nn.a"
+  "libosp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

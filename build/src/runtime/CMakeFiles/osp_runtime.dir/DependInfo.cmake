@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/osp_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/osp_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/metrics.cpp" "src/runtime/CMakeFiles/osp_runtime.dir/metrics.cpp.o" "gcc" "src/runtime/CMakeFiles/osp_runtime.dir/metrics.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/osp_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/osp_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/osp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/osp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/osp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/osp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_runtime.dir/engine.cpp.o"
+  "CMakeFiles/osp_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/osp_runtime.dir/metrics.cpp.o"
+  "CMakeFiles/osp_runtime.dir/metrics.cpp.o.d"
+  "CMakeFiles/osp_runtime.dir/trace.cpp.o"
+  "CMakeFiles/osp_runtime.dir/trace.cpp.o.d"
+  "libosp_runtime.a"
+  "libosp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_sim.dir/cluster.cpp.o"
+  "CMakeFiles/osp_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/osp_sim.dir/network.cpp.o"
+  "CMakeFiles/osp_sim.dir/network.cpp.o.d"
+  "CMakeFiles/osp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/osp_sim.dir/simulator.cpp.o.d"
+  "libosp_sim.a"
+  "libosp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

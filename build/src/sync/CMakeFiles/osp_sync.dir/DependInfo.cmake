@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/asp.cpp" "src/sync/CMakeFiles/osp_sync.dir/asp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/asp.cpp.o.d"
+  "/root/repo/src/sync/bsp.cpp" "src/sync/CMakeFiles/osp_sync.dir/bsp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/bsp.cpp.o.d"
+  "/root/repo/src/sync/casp.cpp" "src/sync/CMakeFiles/osp_sync.dir/casp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/casp.cpp.o.d"
+  "/root/repo/src/sync/compression.cpp" "src/sync/CMakeFiles/osp_sync.dir/compression.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/compression.cpp.o.d"
+  "/root/repo/src/sync/dssp.cpp" "src/sync/CMakeFiles/osp_sync.dir/dssp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/dssp.cpp.o.d"
+  "/root/repo/src/sync/r2sp.cpp" "src/sync/CMakeFiles/osp_sync.dir/r2sp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/r2sp.cpp.o.d"
+  "/root/repo/src/sync/sharded_bsp.cpp" "src/sync/CMakeFiles/osp_sync.dir/sharded_bsp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/sharded_bsp.cpp.o.d"
+  "/root/repo/src/sync/sharding.cpp" "src/sync/CMakeFiles/osp_sync.dir/sharding.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/sharding.cpp.o.d"
+  "/root/repo/src/sync/ssp.cpp" "src/sync/CMakeFiles/osp_sync.dir/ssp.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/ssp.cpp.o.d"
+  "/root/repo/src/sync/sync_switch.cpp" "src/sync/CMakeFiles/osp_sync.dir/sync_switch.cpp.o" "gcc" "src/sync/CMakeFiles/osp_sync.dir/sync_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/osp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/osp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/osp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/osp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/osp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

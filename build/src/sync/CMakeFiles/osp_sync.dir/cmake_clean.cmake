@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_sync.dir/asp.cpp.o"
+  "CMakeFiles/osp_sync.dir/asp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/bsp.cpp.o"
+  "CMakeFiles/osp_sync.dir/bsp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/casp.cpp.o"
+  "CMakeFiles/osp_sync.dir/casp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/compression.cpp.o"
+  "CMakeFiles/osp_sync.dir/compression.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/dssp.cpp.o"
+  "CMakeFiles/osp_sync.dir/dssp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/r2sp.cpp.o"
+  "CMakeFiles/osp_sync.dir/r2sp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/sharded_bsp.cpp.o"
+  "CMakeFiles/osp_sync.dir/sharded_bsp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/sharding.cpp.o"
+  "CMakeFiles/osp_sync.dir/sharding.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/ssp.cpp.o"
+  "CMakeFiles/osp_sync.dir/ssp.cpp.o.d"
+  "CMakeFiles/osp_sync.dir/sync_switch.cpp.o"
+  "CMakeFiles/osp_sync.dir/sync_switch.cpp.o.d"
+  "libosp_sync.a"
+  "libosp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosp_sync.a"
+)

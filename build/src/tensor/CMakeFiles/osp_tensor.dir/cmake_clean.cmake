@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_tensor.dir/init.cpp.o"
+  "CMakeFiles/osp_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/osp_tensor.dir/ops.cpp.o"
+  "CMakeFiles/osp_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/osp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/osp_tensor.dir/tensor.cpp.o.d"
+  "libosp_tensor.a"
+  "libosp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osp_util.dir/logging.cpp.o"
+  "CMakeFiles/osp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/osp_util.dir/rng.cpp.o"
+  "CMakeFiles/osp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/osp_util.dir/stats.cpp.o"
+  "CMakeFiles/osp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/osp_util.dir/table.cpp.o"
+  "CMakeFiles/osp_util.dir/table.cpp.o.d"
+  "CMakeFiles/osp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/osp_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/osp_util.dir/vec_math.cpp.o"
+  "CMakeFiles/osp_util.dir/vec_math.cpp.o.d"
+  "libosp_util.a"
+  "libosp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/osp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/osp_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/osp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/osp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/osp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/osp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/osp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/osp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_train.dir/test_nn_train.cpp.o"
+  "CMakeFiles/test_nn_train.dir/test_nn_train.cpp.o.d"
+  "test_nn_train"
+  "test_nn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_related_sync.dir/test_related_sync.cpp.o"
+  "CMakeFiles/test_related_sync.dir/test_related_sync.cpp.o.d"
+  "test_related_sync"
+  "test_related_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_related_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
