@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "core/pgp.hpp"
+#include "runtime/engine.hpp"
 #include "sync/sharding.hpp"
-#include "sync/transfer.hpp"
 #include "util/check.hpp"
 #include "util/vec_math.hpp"
 
@@ -79,11 +79,22 @@ void OspSync::attach(runtime::Engine& eng) {
               "OSP-C needs a co-located cluster configuration");
     eng.set_worker_compute_overhead(0, eng.spec().gib_overhead_fraction);
   }
-  rs_arrived_ = 0;
+  const std::size_t n = eng.num_workers();
   round_ = 0;
-  rs_pending_.assign(eng.num_workers(), 0);
+  rs_shards_arrived_.assign(n, 0);
+  rs_contributed_.assign(n, false);
+  rs_contributed_count_ = 0;
+  rs_awaiting_.assign(n, false);
+  rs_awaiting_round_.assign(n, 0);
+  rs_pending_.assign(n, 0);
+  rs_timer_armed_ = false;
+  // Same gate as BSP: skip-done-workers is survival-contract behavior and
+  // must not change clean-run barrier semantics.
+  survival_ = timeouts().rs_timeout_s > 0.0 ||
+              !eng.config().faults.events().empty();
+  unhealthy_ = 0;
   ics_inflight_.clear();
-  last_ics_applied_.assign(eng.num_workers(), 0);
+  last_ics_applied_.assign(n, 0);
   ics_rounds_completed_ = 0;
 }
 
@@ -116,32 +127,143 @@ Gib OspSync::restrict_to_ps(const Gib& gib, std::size_t ps,
 
 void OspSync::on_gradient_ready(std::size_t worker) {
   runtime::Engine& e = eng();
+  const std::uint64_t r = round_ + 1;
+  rs_awaiting_[worker] = true;
+  rs_awaiting_round_[worker] = r;
   for (std::size_t p = 0; p < num_ps_; ++p) {
     const double bytes = ps_bytes(gib_, p, /*important=*/true);
-    sync::transfer(e, e.cluster().route_to_ps(worker, p), bytes,
-                   [this] { on_rs_push_arrived(); });
+    e.worker_transfer(worker, e.cluster().route_to_ps(worker, p), bytes,
+                      [this, r, worker] { on_rs_push_arrived(r, worker); });
   }
+  arm_rs_timer();
 }
 
-void OspSync::on_rs_push_arrived() {
-  ++rs_arrived_;
-  if (rs_arrived_ == eng().num_workers() * num_ps_) {
-    rs_arrived_ = 0;
-    rs_aggregate();
-  }
+void OspSync::arm_rs_timer() {
+  const double deadline = timeouts().rs_timeout_s;
+  if (deadline <= 0.0 || rs_timer_armed_) return;
+  rs_timer_armed_ = true;
+  const std::uint64_t r = round_ + 1;
+  eng().sim().schedule(deadline, [this, r] {
+    if (r != round_ + 1) return;  // the round closed naturally
+    rs_timer_armed_ = false;
+    // Quiescent expiry (e.g. the watchdog armed at the last close of the
+    // run): nothing arrived and nobody is stuck — not a timeout.
+    runtime::Engine& e = eng();
+    bool pending = rs_contributed_count_ > 0;
+    for (std::size_t w = 0; w < e.num_workers() && !pending; ++w) {
+      pending = rs_awaiting_[w] && e.worker_alive(w);
+    }
+    if (!pending) return;
+    e.record_round_timeout();
+    close_rs();
+  });
 }
 
-void OspSync::rs_aggregate() {
+void OspSync::on_rs_push_arrived(std::uint64_t round, std::size_t worker) {
+  if (round != round_ + 1) {
+    // Late shard from a round that already closed: the gradient is stale —
+    // discard it and resync the worker so it can rejoin.
+    if (rs_awaiting_[worker] && eng().worker_alive(worker))
+      catch_up(worker);
+    return;
+  }
+  if (++rs_shards_arrived_[worker] < num_ps_) return;
+  rs_contributed_[worker] = true;
+  ++rs_contributed_count_;
+  maybe_close_rs();
+}
+
+void OspSync::on_worker_crashed(std::size_t worker) {
+  ++unhealthy_;
+  rs_awaiting_[worker] = false;  // its flows are cancelled
+  rs_pending_[worker] = 0;
+  // Partial shard pushes can no longer complete; a finished contribution
+  // is kept (the gradient already reached every shard).
+  if (!rs_contributed_[worker]) rs_shards_arrived_[worker] = 0;
+  // Drop it from every in-flight ICS round; some shards may now complete
+  // with the remaining members.
+  std::vector<std::uint64_t> affected;
+  for (IcsRound& r : ics_inflight_) {
+    if (r.members[worker]) {
+      r.members[worker] = false;
+      affected.push_back(r.round);
+    }
+  }
+  for (std::uint64_t rnd : affected) check_ics_round(rnd);
+  maybe_close_rs();  // the RS barrier may now be satisfiable
+}
+
+void OspSync::on_worker_restarted(std::size_t worker) {
+  (void)worker;
+  OSP_CHECK(unhealthy_ > 0, "restart without a preceding crash");
+  --unhealthy_;
+}
+
+void OspSync::maybe_close_rs() {
+  if (rs_contributed_count_ == 0) return;
   runtime::Engine& e = eng();
   const std::size_t n = e.num_workers();
+  for (std::size_t w = 0; w < n; ++w) {
+    if (rs_contributed_[w] || !e.worker_alive(w)) continue;
+    if (survival_ && e.worker_done(w)) continue;
+    // A stuck worker (awaiting a response from an older round, e.g. one
+    // whose RS response was dropped) will never push again — the timeout
+    // path resyncs it; everyone else we genuinely wait for.
+    if (rs_awaiting_[w] && rs_awaiting_round_[w] <= round_) continue;
+    return;
+  }
+  close_rs();
+}
+
+void OspSync::close_rs() {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+  const std::vector<bool> contributors = rs_contributed_;
+  const std::size_t contributed = rs_contributed_count_;
+  const std::uint64_t this_round = ++round_;
+  rs_timer_armed_ = false;
+  rs_shards_arrived_.assign(n, 0);
+  rs_contributed_.assign(n, false);
+  rs_contributed_count_ = 0;
+
+  // Resync healthy workers whose push missed the round. A worker stays
+  // `rs_awaiting_` until some response is delivered, so a lost catch-up
+  // pull is retried at the next close; duplicate deliveries no-op.
+  bool resyncing = false;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (rs_awaiting_[w] && e.worker_alive(w)) {
+      resyncing = true;
+      if (!contributors[w]) catch_up(w);
+    }
+  }
+  // Watchdog: while any healthy worker still waits on a response, keep a
+  // timer armed so a dropped response or catch-up pull is retried at the
+  // next expiry instead of deadlocking the cluster.
+  if (resyncing && !e.stopping()) arm_rs_timer();
+  if (contributed == 0) return;  // nothing arrived: no step this round
 
   // Aggregate the round's *full* gradients once; the unimportant part is
   // exactly what the workers' ICS pushes will deliver, so the snapshot
   // keeps the numerics identical while the bytes flow on the virtual wire.
+  // §2.1.1: weight by sample share; a partial round renormalizes over the
+  // contributors while the full-round path keeps the exact historical
+  // arithmetic.
   agg_.assign(e.global_params().size(), 0.0f);
-  for (std::size_t w = 0; w < n; ++w) {
-    util::axpy(static_cast<float>(e.worker_weight(w)),
-               e.worker_gradient(w), agg_);
+  if (contributed == n) {
+    for (std::size_t w = 0; w < n; ++w) {
+      util::axpy(static_cast<float>(e.worker_weight(w)),
+                 e.worker_gradient(w), agg_);
+    }
+  } else {
+    double weight_sum = 0.0;
+    for (std::size_t w = 0; w < n; ++w) {
+      if (contributors[w]) weight_sum += e.worker_weight(w);
+    }
+    for (std::size_t w = 0; w < n; ++w) {
+      if (!contributors[w]) continue;
+      util::axpy(static_cast<float>(e.worker_weight(w) / weight_sum),
+                 e.worker_gradient(w), agg_);
+    }
   }
   if (ema_lgp_ != nullptr) ema_lgp_->observe_global(agg_);
 
@@ -153,8 +275,14 @@ void OspSync::rs_aggregate() {
   gib_ = compute_next_gib();
 
   const double lr = e.current_lr();
-  const std::uint64_t this_round = ++round_;
-  for (std::size_t w = 0; w < n; ++w) rs_pending_[w] = num_ps_;
+  // RS responses go to the contributors that are still up and waiting; the
+  // same set carries the round's ICS pushes.
+  std::vector<bool> recipients(n, false);
+  for (std::size_t w = 0; w < n; ++w) {
+    recipients[w] =
+        contributors[w] && e.worker_alive(w) && rs_awaiting_[w];
+    rs_pending_[w] = recipients[w] ? num_ps_ : 0;
+  }
 
   // (d) Per PS shard: the optimizer application over that shard's RS bytes
   // (one job on the shard's serial queue — accumulation streams with the
@@ -167,22 +295,24 @@ void OspSync::rs_aggregate() {
         important + static_cast<double>(gib_.wire_bytes());
     e.ps_submit(
         e.ps_apply_delay(important, 3.0),
-        [this, p, response_bytes, round_gib, lr] {
+        [this, p, response_bytes, round_gib, lr, recipients] {
           runtime::Engine& en = eng();
           for (std::size_t w = 0; w < en.num_workers(); ++w) {
-            sync::transfer(
-                en, en.cluster().route_from_ps(w, p), response_bytes,
+            if (!recipients[w]) continue;
+            en.worker_transfer(
+                w, en.cluster().route_from_ps(w, p), response_bytes,
                 [this, w, p, round_gib, lr] {
                   runtime::Engine& e2 = eng();
+                  if (!e2.worker_alive(w) || rs_pending_[w] == 0) return;
                   // Install this shard's important blocks (the restricted
                   // view encodes the selection as its important set).
                   copy_important_blocks(
                       e2.worker_params(w), e2.global_params(), e2.blocks(),
                       restrict_to_ps(round_gib, p, /*want_important=*/true,
                                      /*encode_as_important=*/true));
-                  OSP_CHECK(rs_pending_[w] > 0, "unexpected RS response");
                   if (--rs_pending_[w] > 0) return;
                   // Last shard delivered: LGP prediction + next iteration.
+                  rs_awaiting_[w] = false;
                   if (options_.enable_lgp) {
                     if (ema_lgp_ != nullptr) {
                       ema_lgp_->apply_local_step(e2.worker_params(w),
@@ -200,11 +330,30 @@ void OspSync::rs_aggregate() {
         },
         p);
   }
-  start_ics_round(this_round, round_gib);
+  start_ics_round(this_round, round_gib, recipients);
+}
+
+void OspSync::catch_up(std::size_t worker) {
+  runtime::Engine& e = eng();
+  e.record_catch_up_pull();
+  e.worker_transfer(worker, e.cluster().route_from_ps(worker),
+                    e.model_bytes(), [this, worker] {
+                      runtime::Engine& e2 = eng();
+                      if (!e2.worker_alive(worker) || !rs_awaiting_[worker])
+                        return;
+                      rs_awaiting_[worker] = false;
+                      rs_pending_[worker] = 0;
+                      util::copy(e2.global_params(),
+                                 e2.worker_params(worker));
+                      e2.finish_sync(worker);
+                    });
 }
 
 Gib OspSync::compute_next_gib() {
   runtime::Engine& e = eng();
+  // §4.3 under faults: while any worker is down, degrade to RS-only (all
+  // blocks important, no ICS) — Algorithm 1's budget resumes on recovery.
+  if (unhealthy_ > 0) return Gib::all_important(e.num_blocks());
   if (ics_budget_ <= 0.0) return Gib::all_important(e.num_blocks());
   std::vector<double> importance;
   switch (options_.ranking) {
@@ -227,71 +376,131 @@ Gib OspSync::compute_next_gib() {
                            ics_budget_);
 }
 
-void OspSync::start_ics_round(std::uint64_t round, const Gib& gib) {
+void OspSync::start_ics_round(std::uint64_t round, const Gib& gib,
+                              const std::vector<bool>& members) {
   runtime::Engine& e = eng();
   if (gib.count_unimportant() == 0) return;
+  std::size_t member_count = 0;
+  for (std::size_t w = 0; w < members.size(); ++w) {
+    if (members[w]) ++member_count;
+  }
+  if (member_count == 0) return;
   IcsRound state;
   state.round = round;
   state.gib = gib;
   state.grad = agg_;  // snapshot: workers' buffers get reused next round
-  state.arrived.assign(num_ps_, 0);
+  state.members = members;
+  state.arrived_from.assign(
+      num_ps_, std::vector<bool>(e.num_workers(), false));
+  state.applied.assign(num_ps_, false);
+  // Shards that carry no unimportant bytes have nothing to wait for.
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (ps_bytes(gib, p, /*important=*/false) <= 0.0) {
+      state.applied[p] = true;
+    }
+  }
   ics_inflight_.push_back(std::move(state));
   for (std::size_t p = 0; p < num_ps_; ++p) {
     const double push_bytes = ps_bytes(gib, p, /*important=*/false);
     if (push_bytes <= 0.0) continue;
     for (std::size_t w = 0; w < e.num_workers(); ++w) {
-      sync::transfer(e, e.cluster().route_to_ps(w, p), push_bytes,
-                     [this, round, p] { on_ics_push_arrived(round, p); });
+      if (!members[w]) continue;
+      e.worker_transfer(w, e.cluster().route_to_ps(w, p), push_bytes,
+                        [this, round, p, w] {
+                          on_ics_push_arrived(round, p, w);
+                        });
     }
+  }
+  if (timeouts().ics_timeout_s > 0.0) {
+    e.sim().schedule(timeouts().ics_timeout_s, [this, round] {
+      auto it = std::find_if(
+          ics_inflight_.begin(), ics_inflight_.end(),
+          [round](const IcsRound& r) { return r.round == round; });
+      if (it == ics_inflight_.end()) return;  // completed in time
+      eng().record_ics_abandoned();
+      ics_inflight_.erase(it);
+    });
   }
 }
 
-void OspSync::on_ics_push_arrived(std::uint64_t round, std::size_t ps) {
+void OspSync::on_ics_push_arrived(std::uint64_t round, std::size_t ps,
+                                  std::size_t worker) {
+  auto it = std::find_if(
+      ics_inflight_.begin(), ics_inflight_.end(),
+      [round](const IcsRound& r) { return r.round == round; });
+  if (it == ics_inflight_.end()) return;  // round abandoned or timed out
+  it->arrived_from[ps][worker] = true;
+  check_ics_round(round);
+}
+
+void OspSync::check_ics_round(std::uint64_t round) {
   runtime::Engine& e = eng();
   auto it = std::find_if(
       ics_inflight_.begin(), ics_inflight_.end(),
       [round](const IcsRound& r) { return r.round == round; });
-  OSP_CHECK(it != ics_inflight_.end(), "ICS push for unknown round");
-  if (++it->arrived[ps] < e.num_workers()) return;
+  if (it == ics_inflight_.end()) return;
 
-  // All of this shard's unimportant gradients arrived: step its blocks and
-  // send the corrected values back (Eq. 7 on the worker side).
-  const Gib shard_view =
-      restrict_to_ps(it->gib, ps, /*want_important=*/false,
-                     /*encode_as_important=*/false);
-  e.apply_global_step_blocks(it->grad, mask_from_gib(shard_view, false));
-
-  const double response_bytes = ps_bytes(it->gib, ps, /*important=*/false);
-  // A round completes when every shard that carries ICS bytes has arrived.
-  bool all_done = true;
-  for (std::size_t p = 0; p < num_ps_; ++p) {
-    if (ps_bytes(it->gib, p, false) > 0.0 &&
-        it->arrived[p] < e.num_workers()) {
-      all_done = false;
-    }
+  bool any_member = false;
+  for (std::size_t w = 0; w < it->members.size(); ++w) {
+    if (it->members[w]) any_member = true;
   }
-  if (all_done) {
+  if (!any_member) {
+    // Everyone who owed pushes crashed: the remaining shards will never
+    // arrive. Drop the round (already-applied shards keep their step).
+    e.record_ics_abandoned();
+    ics_inflight_.erase(it);
+    return;
+  }
+
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (it->applied[p]) continue;
+    bool complete = true;
+    for (std::size_t w = 0; w < it->members.size(); ++w) {
+      if (it->members[w] && !it->arrived_from[p][w]) complete = false;
+    }
+    if (!complete) continue;
+    it->applied[p] = true;
+
+    // All of this shard's unimportant gradients arrived: step its blocks
+    // and send the corrected values back (Eq. 7 on the worker side).
+    const Gib shard_view =
+        restrict_to_ps(it->gib, p, /*want_important=*/false,
+                       /*encode_as_important=*/false);
+    e.apply_global_step_blocks(it->grad, mask_from_gib(shard_view, false));
+
+    const double response_bytes =
+        ps_bytes(it->gib, p, /*important=*/false);
+    const std::vector<bool> members = it->members;
+    e.ps_submit(
+        e.ps_apply_delay(response_bytes, 3.0),
+        [this, round, p, shard_view, response_bytes, members] {
+          runtime::Engine& en = eng();
+          for (std::size_t w = 0; w < en.num_workers(); ++w) {
+            if (!members[w] || !en.worker_alive(w)) continue;
+            en.worker_transfer(w, en.cluster().route_from_ps(w, p),
+                               response_bytes,
+                               [this, w, round, shard_view] {
+                                 runtime::Engine& e2 = eng();
+                                 if (!e2.worker_alive(w)) return;
+                                 if (round < last_ics_applied_[w]) return;
+                                 lgp_correct_blocks(e2.worker_params(w),
+                                                    e2.global_params(),
+                                                    e2.blocks(), shard_view);
+                                 last_ics_applied_[w] = round;
+                               });
+          }
+        },
+        p);
+  }
+
+  bool all_applied = true;
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (!it->applied[p]) all_applied = false;
+  }
+  if (all_applied) {
     ++ics_rounds_completed_;
     ics_inflight_.erase(it);
   }
-
-  e.ps_submit(
-      e.ps_apply_delay(response_bytes, 3.0),
-      [this, round, ps, shard_view, response_bytes] {
-        runtime::Engine& en = eng();
-        for (std::size_t w = 0; w < en.num_workers(); ++w) {
-          sync::transfer(en, en.cluster().route_from_ps(w, ps),
-                         response_bytes, [this, w, round, shard_view] {
-                           if (round < last_ics_applied_[w]) return;  // stale
-                           runtime::Engine& e2 = eng();
-                           lgp_correct_blocks(e2.worker_params(w),
-                                              e2.global_params(),
-                                              e2.blocks(), shard_view);
-                           last_ics_applied_[w] = round;
-                         });
-        }
-      },
-      ps);
 }
 
 void OspSync::on_epoch_complete(std::size_t epoch, double mean_loss) {

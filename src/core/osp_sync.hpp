@@ -26,6 +26,17 @@
 // parallel per-shard flows, each PS aggregates and steps only its own
 // blocks on its own serial update queue, and Eq. 5's bound scales with the
 // P-fold aggregate ingress capacity.
+//
+// Survival contract (fault injection): RS rounds are tagged so late pushes
+// are recognized; a crashed worker stops gating the RS barrier. With a
+// configured rs_timeout_s the RS closes after the deadline with the N−k
+// contributors it has (weights renormalized), and stragglers are resynced
+// with a full parameter pull. While any worker is unhealthy the next GIB
+// degrades to all-important (§4.3: RS-only, ICS budget effectively 0);
+// Algorithm 1's budget resumes once the cluster heals. ICS rounds track
+// their member set — a member's crash removes it from every in-flight
+// round — and an ics_timeout_s abandons rounds whose remaining pushes
+// never arrive.
 #pragma once
 
 #include <cstdint>
@@ -74,11 +85,17 @@ struct OspOptions {
 class OspSync : public runtime::SyncModel {
  public:
   explicit OspSync(OspOptions options = {});
+  OspSync(OspOptions options, runtime::SyncTimeouts timeouts)
+      : OspSync(options) {
+    set_timeouts(timeouts);
+  }
 
   [[nodiscard]] std::string name() const override;
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
   void on_epoch_complete(std::size_t epoch, double mean_loss) override;
+  void on_worker_crashed(std::size_t worker) override;
+  void on_worker_restarted(std::size_t worker) override;
 
   /// Introspection for tests/benches.
   [[nodiscard]] const Gib& current_gib() const { return gib_; }
@@ -88,13 +105,35 @@ class OspSync : public runtime::SyncModel {
     return ics_rounds_completed_;
   }
   [[nodiscard]] std::size_t num_ps() const { return num_ps_; }
+  /// Currently-crashed worker count (drives the §4.3 fault degradation).
+  [[nodiscard]] std::size_t num_unhealthy() const { return unhealthy_; }
 
  private:
-  void on_rs_push_arrived();
-  void rs_aggregate();
+  // ---- RS ----
+  void arm_rs_timer();
+  void on_rs_push_arrived(std::uint64_t round, std::size_t worker);
+  void maybe_close_rs();
+  void close_rs();
+  void catch_up(std::size_t worker);
   Gib compute_next_gib();
-  void start_ics_round(std::uint64_t round, const Gib& gib);
-  void on_ics_push_arrived(std::uint64_t round, std::size_t ps);
+
+  // ---- ICS ----
+  struct IcsRound {
+    std::uint64_t round = 0;
+    Gib gib = Gib::all_important(0);
+    std::vector<float> grad;          ///< snapshot of the aggregate
+    std::vector<bool> members;        ///< workers whose pushes we expect
+    std::vector<std::vector<bool>> arrived_from;  ///< [ps][worker]
+    std::vector<bool> applied;        ///< per-PS shard stepped + answered
+  };
+  void start_ics_round(std::uint64_t round, const Gib& gib,
+                       const std::vector<bool>& members);
+  void on_ics_push_arrived(std::uint64_t round, std::size_t ps,
+                           std::size_t worker);
+  /// Apply every shard whose remaining members' pushes all arrived; erase
+  /// the round once all byte-carrying shards applied (or no member is
+  /// left to deliver the rest).
+  void check_ics_round(std::uint64_t round);
 
   /// Bytes of blocks owned by PS `ps` that are important/unimportant under
   /// `gib`.
@@ -122,18 +161,17 @@ class OspSync : public runtime::SyncModel {
   std::vector<std::size_t> block_to_ps_;
 
   std::vector<float> agg_;     ///< mean of this round's full gradients
-  std::size_t rs_arrived_ = 0;
-  std::uint64_t round_ = 0;
+  std::uint64_t round_ = 0;    ///< RS rounds closed; collecting id round_+1
+  std::vector<std::size_t> rs_shards_arrived_;  ///< per-worker, this round
+  std::vector<bool> rs_contributed_;            ///< all shards arrived
+  std::size_t rs_contributed_count_ = 0;
+  std::vector<bool> rs_awaiting_;  ///< pushed, no response delivered yet
+  std::vector<std::uint64_t> rs_awaiting_round_;  ///< round of that push
   std::vector<std::size_t> rs_pending_;  ///< per-worker RS responses awaited
+  bool rs_timer_armed_ = false;
+  bool survival_ = false;  ///< faults/timeouts in play (see attach)
+  std::size_t unhealthy_ = 0;  ///< workers currently crashed
 
-  // ICS round state (rounds are tagged so late ICS traffic never clobbers
-  // newer data).
-  struct IcsRound {
-    std::uint64_t round = 0;
-    Gib gib = Gib::all_important(0);
-    std::vector<float> grad;             ///< snapshot of the aggregate
-    std::vector<std::size_t> arrived;    ///< per-PS push count
-  };
   std::vector<IcsRound> ics_inflight_;
   std::vector<std::uint64_t> last_ics_applied_;  ///< per worker
   std::size_t ics_rounds_completed_ = 0;

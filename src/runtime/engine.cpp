@@ -183,6 +183,7 @@ RunResult Engine::run() {
   OSP_CHECK(!ran_, "Engine::run is single-use");
   ran_ = true;
   sync_->attach(*this);
+  install_faults();
   for (std::size_t w = 0; w < config_.num_workers; ++w) begin_compute(w);
   if (config_.max_virtual_time_s > 0.0) {
     sim_.run_until(config_.max_virtual_time_s);
@@ -191,7 +192,23 @@ RunResult Engine::run() {
   }
   maybe_evaluate(/*force=*/true);
 
+  // Close out downtime of workers still crashed at run end.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& ws = workers_[w];
+    if (!ws.crashed) continue;
+    fault_stats_.worker_downtime_s += sim_.now() - ws.crashed_at;
+    if (config_.record_trace) {
+      trace_.add({ws.crashed_at, sim_.now(), w, ws.iteration,
+                  TracePhase::kDowntime});
+    }
+  }
+  const sim::Network& net = cluster_->network();
+  fault_stats_.flows_cancelled = net.flows_cancelled();
+  fault_stats_.messages_dropped = net.messages_dropped();
+  fault_stats_.messages_delayed = net.messages_delayed();
+
   RunResult result;
+  result.faults = fault_stats_;
   result.sync_name = sync_->name();
   result.workload_name = spec_->name;
   result.total_time_s = sim_.now();
@@ -234,10 +251,17 @@ RunResult Engine::run() {
 
 void Engine::begin_compute(std::size_t w) {
   WorkerState& ws = workers_[w];
+  if (ws.crashed) return;  // the restart path re-enters the loop
   if (ws.epoch >= config_.max_epochs) {
     ws.done = true;
     stopping_ = std::all_of(workers_.begin(), workers_.end(),
                             [](const WorkerState& s) { return s.done; });
+    return;
+  }
+  if (sim_.now() < ws.pause_until) {
+    // Paused between iterations: defer until the window closes (re-checked
+    // there in case the pause was extended meanwhile).
+    sim_.schedule_at(ws.pause_until, [this, w] { begin_compute(w); });
     return;
   }
   // Gradients are computed against the parameters as of compute start;
@@ -249,7 +273,21 @@ void Engine::begin_compute(std::size_t w) {
                                              cluster_->speed_factor(w),
                                              ws.rng) *
                    (1.0 + ws.compute_overhead);
-  sim_.schedule(t, [this, w, t] { on_compute_done(w, t); });
+  ws.pending_charge = t;
+  schedule_compute_completion(w, sim_.now() + t);
+}
+
+void Engine::schedule_compute_completion(std::size_t w, double end_time) {
+  WorkerState& ws = workers_[w];
+  ws.compute_pending = true;
+  ws.compute_end_time = end_time;
+  const std::uint64_t ce = ++ws.compute_epoch;
+  sim_.schedule_at(end_time, [this, w, ce] {
+    WorkerState& s = workers_[w];
+    if (s.compute_epoch != ce || !s.compute_pending) return;  // cancelled
+    s.compute_pending = false;
+    on_compute_done(w, s.pending_charge);
+  });
 }
 
 void Engine::on_compute_done(std::size_t w, double charged_time) {
@@ -286,6 +324,7 @@ void Engine::on_compute_done(std::size_t w, double charged_time) {
 
 void Engine::finish_sync(std::size_t w) {
   WorkerState& ws = workers_[w];
+  if (ws.crashed) return;  // stale callback; the restart path owns `w`
   metrics_.record_bst(sim_.now() - ws.grad_ready_time);
   if (config_.record_trace) {
     trace_.add({ws.grad_ready_time, sim_.now(), w, ws.iteration,
@@ -320,6 +359,166 @@ void Engine::complete_epoch(std::size_t w) {
     metrics_.record_epoch_loss(cluster_loss);
     sync_->on_epoch_complete(e + 1, cluster_loss);  // 1-based for Alg. 1
   }
+}
+
+bool Engine::worker_alive(std::size_t w) const {
+  return !workers_.at(w).crashed;
+}
+
+std::size_t Engine::num_alive() const {
+  std::size_t n = 0;
+  for (const WorkerState& ws : workers_) {
+    if (!ws.crashed) ++n;
+  }
+  return n;
+}
+
+void Engine::worker_transfer(std::size_t owner,
+                             std::vector<sim::LinkId> route, double bytes,
+                             std::function<void()> done) {
+  OSP_CHECK(done != nullptr, "worker transfer needs a completion");
+  WorkerState& ws = workers_.at(owner);
+  if (ws.crashed) return;
+  const double overhead = config_.cluster.transfer_overhead_s;
+  if (route.empty()) {
+    // Loopback (co-located PS): not a network flow, so not cancellable —
+    // guard at delivery instead.
+    sim_.schedule(overhead, [this, owner, done = std::move(done)] {
+      if (workers_[owner].crashed) return;
+      done();
+    });
+    return;
+  }
+  // The flow id is only known after start_flow returns; box it so the
+  // completion callback can deregister itself.
+  auto id_box = std::make_shared<sim::FlowId>(0);
+  const sim::FlowId id = cluster_->network().start_flow(
+      std::move(route), bytes,
+      [this, owner, id_box, done = std::move(done)] {
+        WorkerState& s = workers_[owner];
+        std::erase(s.flows, *id_box);
+        if (s.crashed) return;
+        done();
+      },
+      overhead);
+  *id_box = id;
+  ws.flows.push_back(id);
+}
+
+void Engine::install_faults() {
+  sim::Network& net = cluster_->network();
+  net.set_injection_seed(config_.faults.seed());
+  for (const sim::FaultEvent& ev : config_.faults.events()) {
+    switch (ev.kind) {
+      case sim::FaultKind::kWorkerPause:
+      case sim::FaultKind::kWorkerCrash:
+        OSP_CHECK(ev.target < config_.num_workers,
+                  "fault worker id out of range");
+        sim_.schedule_at(ev.time, [this, ev] { apply_fault(ev); });
+        break;
+      case sim::FaultKind::kLinkDown:
+        OSP_CHECK(ev.target < net.num_links(), "fault link id out of range");
+        sim_.schedule_at(ev.time, [this, ev] { apply_fault(ev); });
+        sim_.schedule_at(ev.time + ev.duration, [this, ev] {
+          cluster_->network().set_link_up(ev.target, true);
+        });
+        break;
+      case sim::FaultKind::kLinkDegrade:
+        OSP_CHECK(ev.target < net.num_links(), "fault link id out of range");
+        sim_.schedule_at(ev.time, [this, ev] { apply_fault(ev); });
+        sim_.schedule_at(ev.time + ev.duration, [this, ev] {
+          cluster_->network().set_link_degradation(ev.target, 1.0, 0.0);
+        });
+        break;
+      case sim::FaultKind::kMessageDelay:
+      case sim::FaultKind::kMessageDrop:
+        OSP_CHECK(ev.target == sim::kAllLinks || ev.target < net.num_links(),
+                  "injection link id out of range");
+        net.add_injection_window(ev.time, ev.time + ev.duration, ev.target,
+                                 ev.delay_s, ev.drop_prob);
+        break;
+    }
+  }
+}
+
+void Engine::apply_fault(const sim::FaultEvent& ev) {
+  switch (ev.kind) {
+    case sim::FaultKind::kWorkerPause:
+      pause_worker(ev.target, ev.duration);
+      break;
+    case sim::FaultKind::kWorkerCrash:
+      crash_worker(ev.target, ev.duration);
+      break;
+    case sim::FaultKind::kLinkDown:
+      ++fault_stats_.link_down_events;
+      cluster_->network().set_link_up(ev.target, false);
+      break;
+    case sim::FaultKind::kLinkDegrade:
+      ++fault_stats_.link_degrade_events;
+      cluster_->network().set_link_degradation(ev.target,
+                                               ev.bandwidth_factor,
+                                               ev.extra_loss_rate);
+      break;
+    default:
+      break;  // message windows are installed up-front, not event-driven
+  }
+}
+
+void Engine::pause_worker(std::size_t w, double duration) {
+  WorkerState& ws = workers_[w];
+  if (ws.crashed || ws.done) return;
+  ++fault_stats_.worker_pauses;
+  fault_stats_.worker_downtime_s += duration;
+  const double until = std::max(ws.pause_until, sim_.now() + duration);
+  ws.pause_until = until;
+  if (ws.compute_pending) {
+    // Stretch the in-flight iteration by the pause window; the charged
+    // (pure-compute) BCT is unchanged.
+    const double remaining = ws.compute_end_time - sim_.now();
+    schedule_compute_completion(w, until + remaining);
+  }
+  if (config_.record_trace) {
+    trace_.add({sim_.now(), until, w, ws.iteration, TracePhase::kDowntime});
+  }
+}
+
+void Engine::crash_worker(std::size_t w, double restart_after) {
+  WorkerState& ws = workers_[w];
+  if (ws.crashed || ws.done) return;
+  ws.crashed = true;
+  ws.crashed_at = sim_.now();
+  ++fault_stats_.worker_crashes;
+  ++ws.compute_epoch;  // cancels the in-flight compute completion
+  ws.compute_pending = false;
+  for (sim::FlowId f : ws.flows) {
+    cluster_->network().cancel_flow(f);
+  }
+  ws.flows.clear();
+  sync_->on_worker_crashed(w);
+  if (restart_after >= 0.0) {
+    sim_.schedule(restart_after, [this, w] { restart_worker(w); });
+  }
+}
+
+void Engine::restart_worker(std::size_t w) {
+  WorkerState& ws = workers_[w];
+  if (!ws.crashed) return;
+  fault_stats_.worker_downtime_s += sim_.now() - ws.crashed_at;
+  ++fault_stats_.worker_restarts;
+  if (config_.record_trace) {
+    trace_.add({ws.crashed_at, sim_.now(), w, ws.iteration,
+                TracePhase::kDowntime});
+  }
+  ws.crashed = false;
+  // Local state died with the process: re-pull the global model, then
+  // rejoin the training loop (redoing the batch the crash cancelled).
+  worker_transfer(w, cluster_->route_from_ps(w), model_bytes(),
+                  [this, w] {
+                    WorkerState& s = workers_[w];
+                    s.params = global_params_;
+                    sync_->on_worker_restarted(w);
+                    begin_compute(w);
+                  });
 }
 
 void Engine::maybe_evaluate(bool force) {

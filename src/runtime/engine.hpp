@@ -19,6 +19,16 @@
 // Epoch bookkeeping: when every worker has finished epoch e the engine
 // reports the mean training loss to the sync model (Algorithm 1's input)
 // and the learning-rate schedule advances on the slowest worker's epoch.
+//
+// Fault injection: EngineConfig::faults installs a deterministic
+// FaultSchedule (sim/faults.hpp) into the simulator at run start. The
+// engine executes worker events — a paused worker's in-flight compute is
+// stretched by the pause window; a crashed worker's in-flight compute and
+// worker-owned network flows are cancelled, the sync model is notified,
+// and on restart the worker re-pulls the global model before computing
+// again. Link and message events are forwarded to the Network. Sync models
+// route per-worker traffic through worker_transfer() so the engine can
+// cancel it on a crash; RunResult::faults reports the accounting.
 #pragma once
 
 #include <memory>
@@ -34,6 +44,7 @@
 #include "runtime/sync_model.hpp"
 #include "runtime/workload.hpp"
 #include "sim/cluster.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace osp::runtime {
@@ -60,6 +71,8 @@ struct EngineConfig {
   /// heterogeneous workers finish compute in near-equal time; aggregation
   /// then weights each gradient by its sample share (§2.1.1).
   bool balance_batch_to_speed = false;
+  /// Deterministic fault scenario executed during the run (empty = none).
+  sim::FaultSchedule faults;
 };
 
 class Engine {
@@ -150,7 +163,34 @@ class Engine {
   [[nodiscard]] double current_lr() const;
 
   /// Called by the sync model when worker `w` may start its next iteration.
+  /// Ignored for a crashed worker (the restart path owns its lifecycle).
   void finish_sync(std::size_t w);
+
+  // ---- fault injection ----
+  /// False while worker `w` is crashed (between the crash event and the
+  /// completion of its restart pull).
+  [[nodiscard]] bool worker_alive(std::size_t w) const;
+  [[nodiscard]] std::size_t num_alive() const;
+  /// True once worker `w` has finished all its epochs (it will not push
+  /// again; barriers must not wait for it).
+  [[nodiscard]] bool worker_done(std::size_t w) const {
+    return workers_.at(w).done;
+  }
+
+  /// Start a worker-owned transfer: like sync::transfer, but the flow is
+  /// registered to `owner` and cancelled if the owner crashes (the
+  /// completion callback then never fires). No-op when the owner is
+  /// already crashed. Handles the empty-route (co-located PS) loopback.
+  void worker_transfer(std::size_t owner, std::vector<sim::LinkId> route,
+                       double bytes, std::function<void()> done);
+
+  /// Fault-accounting hooks for sync models.
+  void record_round_timeout() { ++fault_stats_.timed_out_rounds; }
+  void record_ics_abandoned() { ++fault_stats_.ics_rounds_abandoned; }
+  void record_catch_up_pull() { ++fault_stats_.catch_up_pulls; }
+  [[nodiscard]] const sim::FaultStats& fault_stats() const {
+    return fault_stats_;
+  }
 
   /// True once the run's stop condition has been reached (workers finished
   /// their epochs); sync models can early-out housekeeping.
@@ -178,13 +218,28 @@ class Engine {
     std::size_t epoch_loss_count = 0;
     double compute_overhead = 0.0;
     bool done = false;
+    // Fault-injection state.
+    bool crashed = false;
+    double crashed_at = 0.0;
+    double pause_until = 0.0;       // compute stalls until this instant
+    std::uint64_t compute_epoch = 0;  // invalidates in-flight completions
+    bool compute_pending = false;
+    double compute_end_time = 0.0;
+    double pending_charge = 0.0;    // BCT to record at completion
+    std::vector<sim::FlowId> flows;  // in-flight worker-owned transfers
   };
 
   void begin_compute(std::size_t w);
   void on_compute_done(std::size_t w, double charged_time);
+  void schedule_compute_completion(std::size_t w, double end_time);
   void maybe_evaluate(bool force);
   void evaluate_now();
   void complete_epoch(std::size_t w);
+  void install_faults();
+  void apply_fault(const sim::FaultEvent& ev);
+  void crash_worker(std::size_t w, double restart_after);
+  void restart_worker(std::size_t w);
+  void pause_worker(std::size_t w, double duration);
 
   const WorkloadSpec* spec_;
   EngineConfig config_;
@@ -205,6 +260,7 @@ class Engine {
   std::vector<WorkerState> workers_;
   MetricsRecorder metrics_;
   TraceRecorder trace_;
+  sim::FaultStats fault_stats_;
   std::vector<double> ps_busy_until_;
 
   double samples_processed_ = 0.0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "util/stats.hpp"
 
 namespace osp::runtime {
@@ -78,6 +79,9 @@ struct RunResult {
   std::optional<double> time_to_target_s;
   std::vector<EvalPoint> curve;
   std::vector<double> epoch_losses;
+  /// Fault accounting: crashes, downtime, cancelled flows, timed-out
+  /// rounds, … All-zero for a run with an empty FaultSchedule.
+  sim::FaultStats faults;
 };
 
 }  // namespace osp::runtime

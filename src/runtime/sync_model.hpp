@@ -5,6 +5,14 @@
 // iteration". Implementations schedule virtual-time network transfers
 // through the engine's cluster and apply parameter updates through the
 // engine's PS accessors, then call eng().finish_sync(w).
+//
+// Survival contract (fault injection, see sim/faults.hpp): barrier-style
+// models must not hang when a worker crashes or its messages stall. The
+// engine notifies models through on_worker_crashed / on_worker_restarted,
+// and SyncTimeouts lets a round proceed with N−k arrivals once the
+// deadline passes (BSP's barrier, OSP's RS and ICS stages). A timeout of 0
+// preserves the classic wait-forever semantics — the healthy path is
+// untouched unless a deadline is configured.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +21,18 @@
 namespace osp::runtime {
 
 class Engine;
+
+/// Round deadlines for fault-tolerant synchronization. `rs_timeout_s`
+/// bounds how long a gradient-collection round (BSP's barrier, OSP's RS
+/// stage) waits after the first push of the round is sent; on expiry the
+/// PS aggregates the arrivals it has and resyncs stragglers with a full
+/// parameter pull. `ics_timeout_s` bounds OSP's in-computation stage; an
+/// expired ICS round is abandoned (workers keep their LGP predictions —
+/// §4.3's degradation path). 0 disables the respective deadline.
+struct SyncTimeouts {
+  double rs_timeout_s = 0.0;
+  double ics_timeout_s = 0.0;
+};
 
 class SyncModel {
  public:
@@ -35,12 +55,23 @@ class SyncModel {
     (void)mean_loss;
   }
 
+  /// Fault notifications from the engine. A crashed worker's in-flight
+  /// flows are already cancelled when this fires; implementations should
+  /// stop waiting for it (e.g. re-check a barrier). Restart fires after
+  /// the worker re-pulled the global model and is about to compute again.
+  virtual void on_worker_crashed(std::size_t worker) { (void)worker; }
+  virtual void on_worker_restarted(std::size_t worker) { (void)worker; }
+
+  void set_timeouts(const SyncTimeouts& timeouts) { timeouts_ = timeouts; }
+  [[nodiscard]] const SyncTimeouts& timeouts() const { return timeouts_; }
+
  protected:
   [[nodiscard]] Engine& eng() { return *eng_; }
   [[nodiscard]] const Engine& eng() const { return *eng_; }
 
  private:
   Engine* eng_ = nullptr;
+  SyncTimeouts timeouts_;
 };
 
 }  // namespace osp::runtime

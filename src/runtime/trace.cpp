@@ -8,7 +8,15 @@ namespace osp::runtime {
 
 namespace {
 const char* phase_name(TracePhase phase) {
-  return phase == TracePhase::kCompute ? "compute" : "sync";
+  switch (phase) {
+    case TracePhase::kCompute:
+      return "compute";
+    case TracePhase::kSync:
+      return "sync";
+    case TracePhase::kDowntime:
+      return "downtime";
+  }
+  return "unknown";
 }
 }  // namespace
 
@@ -46,7 +54,7 @@ double TraceRecorder::sync_fraction() const {
     const double dur = s.end_s - s.begin_s;
     if (s.phase == TracePhase::kCompute) {
       compute += dur;
-    } else {
+    } else if (s.phase == TracePhase::kSync) {
       sync += dur;
     }
   }

@@ -13,7 +13,11 @@
 
 namespace osp::runtime {
 
-enum class TracePhase : std::uint8_t { kCompute = 0, kSync = 1 };
+enum class TracePhase : std::uint8_t {
+  kCompute = 0,
+  kSync = 1,
+  kDowntime = 2,  ///< fault injection: crash downtime or pause window
+};
 
 struct TraceSpan {
   double begin_s = 0.0;

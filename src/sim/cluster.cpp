@@ -52,6 +52,26 @@ std::vector<LinkId> Cluster::route_from_ps(std::size_t worker,
   return {uplink_[ps_nodes_[ps]], downlink_[worker]};
 }
 
+LinkId Cluster::worker_uplink(std::size_t worker) const {
+  OSP_CHECK(worker < config_.num_workers, "worker id out of range");
+  return uplink_[worker];
+}
+
+LinkId Cluster::worker_downlink(std::size_t worker) const {
+  OSP_CHECK(worker < config_.num_workers, "worker id out of range");
+  return downlink_[worker];
+}
+
+LinkId Cluster::ps_uplink(std::size_t ps) const {
+  OSP_CHECK(ps < ps_nodes_.size(), "ps id out of range");
+  return uplink_[ps_nodes_[ps]];
+}
+
+LinkId Cluster::ps_downlink(std::size_t ps) const {
+  OSP_CHECK(ps < ps_nodes_.size(), "ps id out of range");
+  return downlink_[ps_nodes_[ps]];
+}
+
 double Cluster::speed_factor(std::size_t worker) const {
   OSP_CHECK(worker < config_.num_workers, "worker id out of range");
   if (config_.speed_factors.empty()) return 1.0;

@@ -81,6 +81,14 @@ class Cluster {
     return config_.colocated_ps && worker == 0;
   }
 
+  // Link handles for targeting fault schedules (see sim/faults.hpp).
+  /// Access links of worker `w`'s node.
+  [[nodiscard]] LinkId worker_uplink(std::size_t worker) const;
+  [[nodiscard]] LinkId worker_downlink(std::size_t worker) const;
+  /// Access links of PS `ps`'s node (the co-located PS shares worker 0's).
+  [[nodiscard]] LinkId ps_uplink(std::size_t ps = 0) const;
+  [[nodiscard]] LinkId ps_downlink(std::size_t ps = 0) const;
+
  private:
   ClusterConfig config_;
   Network net_;

@@ -1,0 +1,114 @@
+#include "sim/faults.hpp"
+
+#include "util/check.hpp"
+
+namespace osp::sim {
+
+namespace {
+void check_window(double at, double duration) {
+  OSP_CHECK(at >= 0.0, "fault time must be non-negative");
+  OSP_CHECK(duration > 0.0, "fault window needs a positive duration");
+}
+}  // namespace
+
+FaultSchedule& FaultSchedule::pause_worker(double at, std::size_t worker,
+                                           double duration) {
+  check_window(at, duration);
+  FaultEvent ev;
+  ev.kind = FaultKind::kWorkerPause;
+  ev.time = at;
+  ev.duration = duration;
+  ev.target = worker;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash_worker(double at, std::size_t worker,
+                                           double restart_after) {
+  OSP_CHECK(at >= 0.0, "fault time must be non-negative");
+  FaultEvent ev;
+  ev.kind = FaultKind::kWorkerCrash;
+  ev.time = at;
+  ev.duration = restart_after;
+  ev.target = worker;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_down(double at, LinkId link,
+                                        double duration) {
+  check_window(at, duration);
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkDown;
+  ev.time = at;
+  ev.duration = duration;
+  ev.target = link;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::degrade_link(double at, LinkId link,
+                                           double duration,
+                                           double bandwidth_factor,
+                                           double extra_loss_rate) {
+  check_window(at, duration);
+  OSP_CHECK(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]");
+  OSP_CHECK(extra_loss_rate >= 0.0, "extra loss rate must be non-negative");
+  FaultEvent ev;
+  ev.kind = FaultKind::kLinkDegrade;
+  ev.time = at;
+  ev.duration = duration;
+  ev.target = link;
+  ev.bandwidth_factor = bandwidth_factor;
+  ev.extra_loss_rate = extra_loss_rate;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::delay_messages(double at, double duration,
+                                             double delay_s,
+                                             std::size_t link) {
+  check_window(at, duration);
+  OSP_CHECK(delay_s >= 0.0, "message delay must be non-negative");
+  FaultEvent ev;
+  ev.kind = FaultKind::kMessageDelay;
+  ev.time = at;
+  ev.duration = duration;
+  ev.target = link;
+  ev.delay_s = delay_s;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::drop_messages(double at, double duration,
+                                            double drop_prob,
+                                            std::size_t link) {
+  check_window(at, duration);
+  OSP_CHECK(drop_prob >= 0.0 && drop_prob <= 1.0,
+            "drop probability must be in [0, 1]");
+  FaultEvent ev;
+  ev.kind = FaultKind::kMessageDrop;
+  ev.time = at;
+  ev.duration = duration;
+  ev.target = link;
+  ev.drop_prob = drop_prob;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::set_seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+bool FaultStats::any() const {
+  return worker_crashes > 0 || worker_restarts > 0 || worker_pauses > 0 ||
+         link_down_events > 0 || link_degrade_events > 0 ||
+         flows_cancelled > 0 || messages_dropped > 0 ||
+         messages_delayed > 0 || timed_out_rounds > 0 ||
+         ics_rounds_abandoned > 0 || catch_up_pulls > 0 ||
+         worker_downtime_s > 0.0;
+}
+
+}  // namespace osp::sim

@@ -1,0 +1,97 @@
+// Deterministic, seeded fault injection for the cluster simulator.
+//
+// A FaultSchedule is a declarative list of timed events: worker pauses and
+// crash/restart cycles, link down/up flaps, transient per-link degradation
+// windows (bandwidth factor + extra loss), and message-level delay/drop
+// windows. The Engine installs the schedule into the discrete-event
+// Simulator at run start, so every fault executes at a deterministic
+// virtual time; the only randomness (message-drop sampling) flows from the
+// schedule's seed through a dedicated xoshiro stream. Two runs with the
+// same schedule and seed are therefore bit-identical.
+//
+// FaultStats is the accounting side: the Engine and Network count what
+// actually happened (crashes, cancelled flows, timed-out rounds, …) and
+// the totals are reported in RunResult::faults so benches can plot
+// robustness curves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace osp::sim {
+
+enum class FaultKind : std::uint8_t {
+  kWorkerPause,   ///< target = worker; compute stalls for `duration`
+  kWorkerCrash,   ///< target = worker; in-flight compute and flows are
+                  ///< cancelled; restarts after `duration` (< 0 = never)
+  kLinkDown,      ///< target = link; flows through it stall for `duration`
+  kLinkDegrade,   ///< target = link; bandwidth_factor/extra_loss window
+  kMessageDelay,  ///< flows starting inside the window gain delay_s latency
+  kMessageDrop,   ///< flows starting inside the window vanish w.p. drop_prob
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWorkerPause;
+  double time = 0.0;      ///< virtual start time (seconds)
+  double duration = 0.0;  ///< window length; crash: downtime (< 0 = forever)
+  /// Worker id (worker faults) or link id (link/message faults);
+  /// kAllLinks targets every link for message windows.
+  std::size_t target = kAllLinks;
+  double bandwidth_factor = 1.0;  ///< kLinkDegrade
+  double extra_loss_rate = 0.0;   ///< kLinkDegrade
+  double delay_s = 0.0;           ///< kMessageDelay
+  double drop_prob = 0.0;         ///< kMessageDrop
+};
+
+/// Builder for a timed fault scenario. All mutators validate eagerly and
+/// return *this for chaining. An empty schedule injects nothing and leaves
+/// every healthy-path code path untouched.
+class FaultSchedule {
+ public:
+  FaultSchedule& pause_worker(double at, std::size_t worker, double duration);
+  /// `restart_after < 0` crashes the worker permanently.
+  FaultSchedule& crash_worker(double at, std::size_t worker,
+                              double restart_after = -1.0);
+  FaultSchedule& link_down(double at, LinkId link, double duration);
+  FaultSchedule& degrade_link(double at, LinkId link, double duration,
+                              double bandwidth_factor,
+                              double extra_loss_rate = 0.0);
+  FaultSchedule& delay_messages(double at, double duration, double delay_s,
+                                std::size_t link = kAllLinks);
+  FaultSchedule& drop_messages(double at, double duration, double drop_prob,
+                               std::size_t link = kAllLinks);
+  FaultSchedule& set_seed(std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::uint64_t seed_ = 0xFA17ULL;
+};
+
+/// What actually happened during a run (see RunResult::faults).
+struct FaultStats {
+  std::size_t worker_crashes = 0;
+  std::size_t worker_restarts = 0;
+  std::size_t worker_pauses = 0;
+  std::size_t link_down_events = 0;
+  std::size_t link_degrade_events = 0;
+  std::size_t flows_cancelled = 0;    ///< in-flight flows of crashed workers
+  std::size_t messages_dropped = 0;   ///< drop-window casualties
+  std::size_t messages_delayed = 0;   ///< delay-window hits
+  std::size_t timed_out_rounds = 0;   ///< RS/BSP rounds closed by deadline
+  std::size_t ics_rounds_abandoned = 0;
+  std::size_t catch_up_pulls = 0;     ///< late workers resynced by full pull
+  double worker_downtime_s = 0.0;     ///< crash downtime + pause durations
+
+  [[nodiscard]] bool any() const;
+};
+
+}  // namespace osp::sim

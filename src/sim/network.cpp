@@ -13,6 +13,7 @@ LinkId Network::add_link(double bandwidth_bytes_per_s, double latency_s,
   OSP_CHECK(loss_rate >= 0.0 && loss_rate < 1.0, "loss rate must be in [0,1)");
   OSP_CHECK(incast_alpha >= 0.0, "incast alpha must be non-negative");
   links_.push_back({bandwidth_bytes_per_s, latency_s, loss_rate, incast_alpha});
+  link_state_.push_back({});
   return links_.size() - 1;
 }
 
@@ -32,7 +33,26 @@ FlowId Network::start_flow(std::vector<LinkId> route, double bytes,
   for (LinkId id : route) {
     const LinkSpec& l = link(id);
     latency += l.latency_s;
-    loss_factor *= 1.0 + l.loss_rate;
+    loss_factor *= 1.0 + l.loss_rate + link_state_[id].extra_loss_rate;
+  }
+  // Message-level injection: windows covering this instant and route.
+  if (!injections_.empty()) {
+    const SimTime now = sim_->now();
+    for (const InjectionWindow& win : injections_) {
+      if (now < win.start_s || now >= win.end_s) continue;
+      const bool on_route =
+          win.link == kAllLinks ||
+          std::find(route.begin(), route.end(), win.link) != route.end();
+      if (!on_route) continue;
+      if (win.drop_prob > 0.0 && inject_rng_.bernoulli(win.drop_prob)) {
+        ++messages_dropped_;
+        return next_flow_id_++;  // the message simply never arrives
+      }
+      if (win.delay_s > 0.0) {
+        latency += win.delay_s;
+        ++messages_delayed_;
+      }
+    }
   }
   advance_to_now();
   const FlowId id = next_flow_id_++;
@@ -56,6 +76,69 @@ FlowId Network::start_flow(std::vector<LinkId> route, double bytes,
 double Network::flow_rate(FlowId id) const {
   auto it = flows_.find(id);
   return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+bool Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_to_now();
+  flows_.erase(it);
+  ++flows_cancelled_;
+  recompute_rates();
+  schedule_next_completion();
+  return true;
+}
+
+void Network::set_link_up(LinkId id, bool up) {
+  OSP_CHECK(id < links_.size(), "link id out of range");
+  if (link_state_[id].up == up) return;
+  link_state_[id].up = up;
+  topology_changed();
+}
+
+bool Network::link_up(LinkId id) const {
+  OSP_CHECK(id < links_.size(), "link id out of range");
+  return link_state_[id].up;
+}
+
+void Network::set_link_degradation(LinkId id, double bandwidth_factor,
+                                   double extra_loss_rate) {
+  OSP_CHECK(id < links_.size(), "link id out of range");
+  OSP_CHECK(bandwidth_factor > 0.0, "bandwidth factor must be positive");
+  OSP_CHECK(extra_loss_rate >= 0.0, "extra loss rate must be non-negative");
+  link_state_[id].bandwidth_factor = bandwidth_factor;
+  link_state_[id].extra_loss_rate = extra_loss_rate;
+  topology_changed();
+}
+
+double Network::link_capacity(LinkId id) const {
+  OSP_CHECK(id < links_.size(), "link id out of range");
+  const LinkState& s = link_state_[id];
+  return s.up ? links_[id].bandwidth_bps * s.bandwidth_factor : 0.0;
+}
+
+void Network::add_injection_window(double start_s, double end_s,
+                                   std::size_t link, double delay_s,
+                                   double drop_prob) {
+  OSP_CHECK(start_s >= 0.0 && end_s > start_s, "bad injection window");
+  OSP_CHECK(delay_s >= 0.0, "negative injection delay");
+  OSP_CHECK(drop_prob >= 0.0 && drop_prob <= 1.0, "bad drop probability");
+  OSP_CHECK(link == kAllLinks || link < links_.size(),
+            "injection link out of range");
+  injections_.push_back({start_s, end_s, link, delay_s, drop_prob});
+}
+
+void Network::topology_changed() {
+  advance_to_now();
+  recompute_rates();
+  schedule_next_completion();
+}
+
+bool Network::route_has_down_link(const Flow& flow) const {
+  for (LinkId l : flow.route) {
+    if (!link_state_[l].up) return true;
+  }
+  return false;
 }
 
 double Network::ideal_transfer_time(const std::vector<LinkId>& route,
@@ -96,14 +179,19 @@ void Network::recompute_rates() {
   unfixed.reserve(flows_.size());
   for (auto& [id, flow] : flows_) {
     flow.rate = 0.0;
+    // Flows routed through a down link stall: rate 0, excluded from
+    // water-filling so they don't claim shares on their healthy links.
+    if (route_has_down_link(flow)) continue;
     unfixed.push_back(id);
     for (LinkId l : flow.route) ++crossing[l];
   }
+  if (unfixed.empty()) return;
   for (std::size_t i = 0; i < links_.size(); ++i) {
     const double k = static_cast<double>(crossing[i]);
     const double collapse =
         k > 1.0 ? 1.0 + links_[i].incast_alpha * (k - 1.0) : 1.0;
-    residual[i] = links_[i].bandwidth_bps / collapse;
+    residual[i] =
+        links_[i].bandwidth_bps * link_state_[i].bandwidth_factor / collapse;
   }
   // Deterministic order regardless of hash-map iteration.
   std::sort(unfixed.begin(), unfixed.end());
@@ -172,8 +260,15 @@ void Network::schedule_next_completion() {
       best_id = id;
     }
   }
-  OSP_CHECK(best_dt < std::numeric_limits<double>::infinity(),
-            "active flows but none progressing");
+  if (best_dt == std::numeric_limits<double>::infinity()) {
+    // Every flow is stalled. Legitimate only under a link outage — the up
+    // edge will recompute rates and reschedule; anything else is a bug.
+    for (const auto& [id, flow] : flows_) {
+      OSP_CHECK(route_has_down_link(flow),
+                "active flows but none progressing");
+    }
+    return;
+  }
   const std::uint64_t epoch = epoch_;
   const FlowId id = best_id;
   sim_->schedule(best_dt, [this, epoch, id] {

@@ -9,9 +9,18 @@
 // (BSP), and its absence when pushes are staggered (ASP/R²SP) or overlapped
 // (OSP's ICS).
 //
-// Every topology change (flow start/finish) advances all in-flight flows to
-// the current instant, recomputes rates, and reschedules the next
-// completion. Completion events are invalidated by an epoch counter.
+// Every topology change (flow start/finish, link flap, degradation edge,
+// flow cancellation) advances all in-flight flows to the current instant,
+// recomputes rates, and reschedules the next completion. Completion events
+// are invalidated by an epoch counter.
+//
+// Fault injection (see sim/faults.hpp): links carry dynamic state — an
+// up/down bit and a degradation (bandwidth factor + extra loss). A flow
+// routed through a down link stalls at rate 0 and resumes when the link
+// comes back; rates recompute on every flap edge. Message-level injection
+// windows add latency to, or drop outright, flows that *start* inside the
+// window; drop sampling draws from a dedicated seeded stream so runs stay
+// deterministic.
 #pragma once
 
 #include <cstdint>
@@ -21,11 +30,15 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace osp::sim {
 
 using LinkId = std::size_t;
 using FlowId = std::uint64_t;
+
+/// Sentinel for "every link" in message-injection windows.
+inline constexpr std::size_t kAllLinks = static_cast<std::size_t>(-1);
 
 struct LinkSpec {
   double bandwidth_bps = 1.25e9;  ///< bytes/s (default: 10 Gbit/s)
@@ -66,6 +79,48 @@ class Network {
                     std::function<void()> on_complete,
                     double extra_latency_s = 0.0);
 
+  /// Cancel an in-flight flow: it is removed without firing its completion
+  /// callback (used when a crashed worker's transfers are torn down).
+  /// Returns false when the id is unknown or already finished.
+  bool cancel_flow(FlowId id);
+
+  // ---- dynamic link state (fault injection) ----
+
+  /// Take a link down or bring it back up. Flows routed through a down
+  /// link stall (rate 0) and resume on the up edge; rates recompute on
+  /// both edges.
+  void set_link_up(LinkId id, bool up);
+  [[nodiscard]] bool link_up(LinkId id) const;
+
+  /// Transient degradation: effective bandwidth becomes
+  /// `bandwidth * bandwidth_factor` and flows *starting* while degraded see
+  /// `loss_rate + extra_loss_rate`. Factor 1 / extra loss 0 restores the
+  /// nominal link.
+  void set_link_degradation(LinkId id, double bandwidth_factor,
+                            double extra_loss_rate = 0.0);
+
+  /// Effective capacity in bytes/s right now (0 when down; excludes the
+  /// incast-collapse term, which depends on the instantaneous flow count).
+  [[nodiscard]] double link_capacity(LinkId id) const;
+
+  /// Message-level injection: flows starting in [start_s, end_s) whose
+  /// route crosses `link` (or any link when kAllLinks) gain `delay_s`
+  /// latency and are dropped (no delivery, no callback) with probability
+  /// `drop_prob`, sampled from the seeded injection stream.
+  void add_injection_window(double start_s, double end_s, std::size_t link,
+                            double delay_s, double drop_prob);
+  void set_injection_seed(std::uint64_t seed) { inject_rng_.reseed(seed); }
+
+  [[nodiscard]] std::size_t flows_cancelled() const {
+    return flows_cancelled_;
+  }
+  [[nodiscard]] std::size_t messages_dropped() const {
+    return messages_dropped_;
+  }
+  [[nodiscard]] std::size_t messages_delayed() const {
+    return messages_delayed_;
+  }
+
   /// Number of flows still in flight.
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
 
@@ -91,18 +146,42 @@ class Network {
     std::function<void()> on_complete;
   };
 
+  /// Mutable fault-injection state, parallel to links_.
+  struct LinkState {
+    bool up = true;
+    double bandwidth_factor = 1.0;
+    double extra_loss_rate = 0.0;
+  };
+
+  struct InjectionWindow {
+    double start_s = 0.0;
+    double end_s = 0.0;
+    std::size_t link = kAllLinks;
+    double delay_s = 0.0;
+    double drop_prob = 0.0;
+  };
+
   void advance_to_now();
   void recompute_rates();
   void schedule_next_completion();
   void complete_flow(FlowId id);
+  [[nodiscard]] bool route_has_down_link(const Flow& flow) const;
+  /// Rates changed (flap/degrade/cancel): advance, recompute, reschedule.
+  void topology_changed();
 
   Simulator* sim_;
   std::vector<LinkSpec> links_;
+  std::vector<LinkState> link_state_;
+  std::vector<InjectionWindow> injections_;
+  util::Rng inject_rng_{0xFA17ULL};
   std::unordered_map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;
   std::uint64_t epoch_ = 0;  ///< invalidates stale completion events
   SimTime last_advance_ = 0.0;
   double bytes_delivered_ = 0.0;
+  std::size_t flows_cancelled_ = 0;
+  std::size_t messages_dropped_ = 0;
+  std::size_t messages_delayed_ = 0;
 };
 
 }  // namespace osp::sim

@@ -40,7 +40,9 @@ std::size_t Simulator::run_until(SimTime deadline) {
     ++count;
     ++processed_;
   }
-  now_ = deadline;
+  // Only jump to the deadline when it actually cut the run short; a
+  // drained queue means the simulation ended at its last event.
+  if (!queue_.empty()) now_ = deadline;
   return count;
 }
 

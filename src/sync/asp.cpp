@@ -1,32 +1,35 @@
 #include "sync/asp.hpp"
 
-#include "sync/transfer.hpp"
+#include "runtime/engine.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
 
 void AspSync::on_gradient_ready(std::size_t worker) {
   runtime::Engine& e = eng();
-  transfer(e, e.cluster().route_to_ps(worker), e.model_bytes(),
-           [this, worker] {
-             runtime::Engine& en = eng();
-             // PS applies this worker's gradient alone, immediately.
-             en.apply_global_step(en.worker_gradient(worker),
-                                  en.worker_weight(worker));
-             // Each async update costs a full read-gradient/write-params
-             // pass through the single-threaded PS loop.
-             en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),
-                          [this, worker] {
-               runtime::Engine& e2 = eng();
-               transfer(e2, e2.cluster().route_from_ps(worker),
-                        e2.model_bytes(), [this, worker] {
-                          runtime::Engine& e3 = eng();
-                          util::copy(e3.global_params(),
-                                     e3.worker_params(worker));
-                          e3.finish_sync(worker);
-                        });
-             });
-           });
+  e.worker_transfer(
+      worker, e.cluster().route_to_ps(worker), e.model_bytes(),
+      [this, worker] {
+        runtime::Engine& en = eng();
+        // PS applies this worker's gradient alone, immediately.
+        en.apply_global_step(en.worker_gradient(worker),
+                             en.worker_weight(worker));
+        // Each async update costs a full read-gradient/write-params
+        // pass through the single-threaded PS loop.
+        en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),
+                     [this, worker] {
+          runtime::Engine& e2 = eng();
+          if (!e2.worker_alive(worker)) return;  // restart path re-pulls
+          e2.worker_transfer(worker, e2.cluster().route_from_ps(worker),
+                             e2.model_bytes(), [this, worker] {
+                               runtime::Engine& e3 = eng();
+                               if (!e3.worker_alive(worker)) return;
+                               util::copy(e3.global_params(),
+                                          e3.worker_params(worker));
+                               e3.finish_sync(worker);
+                             });
+        });
+      });
 }
 
 }  // namespace osp::sync

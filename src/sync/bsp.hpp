@@ -4,8 +4,17 @@
 // (simultaneously — the incast), the PS averages them and takes one
 // optimizer step, then broadcasts the updated parameters back; workers
 // resume only after receiving them (global barrier).
+//
+// Survival contract (fault injection): rounds are tagged so late pushes
+// are recognized. A crashed worker stops gating the barrier (its
+// contribution is kept if it already arrived). With a configured
+// rs_timeout_s the round closes after the deadline with the N−k arrivals
+// it has (weights renormalized); healthy workers whose push missed the
+// round — stalled, dropped, or simply late — are resynced with a full
+// parameter pull so the cluster never deadlocks.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -14,14 +23,29 @@ namespace osp::sync {
 
 class BspSync : public runtime::SyncModel {
  public:
+  BspSync() = default;
+  explicit BspSync(runtime::SyncTimeouts timeouts) { set_timeouts(timeouts); }
+
   [[nodiscard]] std::string name() const override { return "BSP"; }
+  void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void on_worker_crashed(std::size_t worker) override;
 
  private:
-  void on_push_arrived();
-  void aggregate_and_broadcast();
+  void arm_round_timer();
+  void on_push_arrived(std::uint64_t round, std::size_t worker);
+  void maybe_close_round();
+  void close_round();
+  void catch_up(std::size_t worker);
 
-  std::size_t arrived_ = 0;
+  std::uint64_t round_ = 0;        ///< rounds closed so far; collecting
+                                   ///< round id is round_ + 1
+  std::vector<bool> arrived_;      ///< push landed this round
+  std::size_t arrived_count_ = 0;
+  std::vector<bool> awaiting_;     ///< pushed, no response delivered yet
+  std::vector<std::uint64_t> awaiting_round_;  ///< round of that push
+  bool timer_armed_ = false;
+  bool survival_ = false;  ///< faults/timeouts in play (see attach)
   std::vector<float> agg_;
 };
 

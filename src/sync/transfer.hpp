@@ -2,6 +2,12 @@
 // and invoke `done` on arrival. An empty route is a loopback (co-located
 // PS on the same node) and completes immediately via the event queue, so
 // callback ordering stays deterministic.
+//
+// For traffic owned by a specific worker, prefer
+// Engine::worker_transfer(worker, route, bytes, done): it behaves
+// identically on a healthy cluster but additionally applies the fault
+// layer (delay/drop injection) and cancels the flow if the worker
+// crashes mid-transfer, so the payload is not delivered posthumously.
 #pragma once
 
 #include <functional>

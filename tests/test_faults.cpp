@@ -1,0 +1,286 @@
+// Chaos suite for the deterministic fault-injection layer: seeded replay,
+// crash/restart survival of the real sync models through the real Engine,
+// link flaps during ICS, RS deadlines, and the golden regression that pins
+// the healthy path (empty FaultSchedule) to the pre-fault-layer
+// trajectories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/osp_sync.hpp"
+#include "models/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "sim/cluster.hpp"
+#include "sim/faults.hpp"
+#include "sync/asp.hpp"
+#include "sync/bsp.hpp"
+#include "util/check.hpp"
+
+namespace osp {
+namespace {
+
+runtime::EngineConfig golden_config() {
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_epochs = 3;
+  cfg.seed = 42;
+  cfg.straggler_jitter = 0.1;
+  return cfg;
+}
+
+runtime::RunResult run_with(runtime::SyncModel& sync,
+                            const runtime::EngineConfig& cfg) {
+  const runtime::WorkloadSpec spec = models::tiny_mlp();
+  runtime::Engine engine(spec, cfg, sync);
+  return engine.run();
+}
+
+/// Resolve the deterministic link ids of the engine's cluster by building
+/// an identically-configured throwaway cluster.
+struct LinkIds {
+  sim::LinkId worker_up0, worker_up1, ps_down;
+  explicit LinkIds(runtime::EngineConfig cfg) {
+    sim::Simulator s;
+    cfg.cluster.num_workers = cfg.num_workers;
+    sim::Cluster c(s, cfg.cluster);
+    worker_up0 = c.worker_uplink(0);
+    worker_up1 = c.worker_uplink(1);
+    ps_down = c.ps_downlink();
+  }
+};
+
+// ---- schedule validation ----
+
+TEST(FaultSchedule, ValidatesEagerly) {
+  sim::FaultSchedule s;
+  EXPECT_THROW(s.pause_worker(-1.0, 0, 1.0), util::CheckError);
+  EXPECT_THROW(s.pause_worker(0.0, 0, 0.0), util::CheckError);
+  EXPECT_THROW(s.link_down(0.0, 0, -0.5), util::CheckError);
+  EXPECT_THROW(s.degrade_link(0.0, 0, 1.0, 0.0), util::CheckError);
+  EXPECT_THROW(s.degrade_link(0.0, 0, 1.0, 1.5), util::CheckError);
+  EXPECT_THROW(s.drop_messages(0.0, 1.0, 1.5), util::CheckError);
+  EXPECT_THROW(s.delay_messages(0.0, 1.0, -0.1), util::CheckError);
+  EXPECT_TRUE(s.empty());
+  s.crash_worker(1.0, 2).pause_worker(0.5, 1, 0.25);
+  EXPECT_EQ(s.events().size(), 2u);
+}
+
+TEST(FaultSchedule, OutOfRangeTargetsRejectedAtInstall) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.faults.crash_worker(0.5, /*worker=*/99);
+  sync::BspSync sync;
+  const runtime::WorkloadSpec spec = models::tiny_mlp();
+  runtime::Engine engine(spec, cfg, sync);
+  EXPECT_THROW((void)engine.run(), util::CheckError);
+}
+
+// ---- golden regression: the empty schedule is the pre-change healthy
+// path, bit-for-bit in event order and arithmetic. Times are pure virtual
+// arithmetic (tight tolerance); losses cross libm so they get slack. ----
+
+TEST(GoldenRegression, BspUnchangedByFaultLayer) {
+  sync::BspSync sync;
+  const runtime::RunResult r = run_with(sync, golden_config());
+  EXPECT_FALSE(r.faults.any());
+  EXPECT_DOUBLE_EQ(r.total_samples, 1536.0);
+  EXPECT_NEAR(r.total_time_s, 1.521459172686775, 1.6e-9);
+  EXPECT_NEAR(r.mean_bst_s, 0.048871746867496256, 5e-11);
+  EXPECT_NEAR(r.mean_bct_s, 0.014522385327786033, 2e-11);
+  EXPECT_NEAR(r.final_loss, 0.024709313136008729, 1e-4);
+  EXPECT_GE(r.best_metric, 0.99);
+}
+
+TEST(GoldenRegression, AspUnchangedByFaultLayer) {
+  sync::AspSync sync;
+  const runtime::RunResult r = run_with(sync, golden_config());
+  EXPECT_FALSE(r.faults.any());
+  EXPECT_DOUBLE_EQ(r.total_samples, 1536.0);
+  EXPECT_NEAR(r.total_time_s, 1.0732457235323365, 1.1e-9);
+  EXPECT_NEAR(r.mean_bst_s, 0.029502788591324276, 3e-11);
+  EXPECT_NEAR(r.final_loss, 0.024488017046545803, 1e-4);
+}
+
+TEST(GoldenRegression, OspUnchangedByFaultLayer) {
+  core::OspSync sync;
+  const runtime::RunResult r = run_with(sync, golden_config());
+  EXPECT_FALSE(r.faults.any());
+  EXPECT_DOUBLE_EQ(r.total_samples, 1536.0);
+  EXPECT_NEAR(r.total_time_s, 1.4668888530338358, 1.5e-9);
+  EXPECT_NEAR(r.mean_bst_s, 0.046476284336904754, 5e-11);
+  EXPECT_NEAR(r.final_loss, 0.024694773532894381, 1e-4);
+}
+
+// ---- determinism: same schedule + same seed ⇒ identical runs ----
+
+TEST(FaultReplay, SeededChaosIsBitDeterministic) {
+  auto chaotic_run = [] {
+    runtime::EngineConfig cfg = golden_config();
+    const LinkIds ids(cfg);
+    cfg.faults.set_seed(99)
+        .crash_worker(0.3, 2, /*restart_after=*/0.25)
+        .pause_worker(0.15, 1, 0.1)
+        .link_down(0.5, ids.ps_down, 0.08)
+        .degrade_link(0.7, ids.worker_up0, 0.2, 0.4, 0.1)
+        .drop_messages(0.9, 0.2, 0.5)
+        .delay_messages(1.1, 0.1, 0.01);
+    core::OspSync sync({}, {.rs_timeout_s = 0.3, .ics_timeout_s = 0.3});
+    return run_with(sync, cfg);
+  };
+  const runtime::RunResult a = chaotic_run();
+  const runtime::RunResult b = chaotic_run();
+  EXPECT_DOUBLE_EQ(a.total_time_s, b.total_time_s);
+  EXPECT_DOUBLE_EQ(a.total_samples, b.total_samples);
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_DOUBLE_EQ(a.mean_bst_s, b.mean_bst_s);
+  EXPECT_EQ(a.faults.worker_crashes, b.faults.worker_crashes);
+  EXPECT_EQ(a.faults.worker_restarts, b.faults.worker_restarts);
+  EXPECT_EQ(a.faults.messages_dropped, b.faults.messages_dropped);
+  EXPECT_EQ(a.faults.messages_delayed, b.faults.messages_delayed);
+  EXPECT_EQ(a.faults.flows_cancelled, b.faults.flows_cancelled);
+  EXPECT_EQ(a.faults.timed_out_rounds, b.faults.timed_out_rounds);
+  EXPECT_EQ(a.faults.catch_up_pulls, b.faults.catch_up_pulls);
+  EXPECT_DOUBLE_EQ(a.faults.worker_downtime_s, b.faults.worker_downtime_s);
+  EXPECT_TRUE(a.faults.any());
+}
+
+// ---- crash survival (no timeouts configured: the crash notification
+// alone must keep the barrier satisfiable) ----
+
+TEST(CrashSurvival, BspPermanentCrashMidRsNoDeadlock) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;  // backstop: a deadlock trips the assert
+  cfg.faults.crash_worker(0.4, 2);
+  sync::BspSync sync;
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 59.0) << "run did not converge (deadlock?)";
+  EXPECT_EQ(r.faults.worker_crashes, 1u);
+  EXPECT_EQ(r.faults.worker_restarts, 0u);
+  EXPECT_GT(r.faults.worker_downtime_s, 0.0);
+  // The three survivors finish all their epochs.
+  EXPECT_GT(r.total_samples, 3 * 128.0 * 3 - 1.0);
+  EXPECT_LT(r.total_samples, 1536.0);
+  EXPECT_TRUE(std::isfinite(r.final_loss));
+}
+
+TEST(CrashSurvival, OspPermanentCrashMidTrainingCompletes) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;
+  cfg.faults.crash_worker(0.5, 1);
+  // Fixed ICS budget so the crash lands with ICS rounds in flight.
+  core::OspOptions opt;
+  opt.fixed_budget_fraction = 0.5;
+  core::OspSync sync(opt);
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 59.0) << "run did not converge (deadlock?)";
+  EXPECT_TRUE(r.faults.any());
+  EXPECT_EQ(r.faults.worker_crashes, 1u);
+  EXPECT_GT(r.faults.worker_downtime_s, 0.0);
+  EXPECT_GT(r.total_samples, 0.0);
+  EXPECT_TRUE(std::isfinite(r.final_loss));
+  // §4.3 fault degradation: with a worker down the GIB collapses to
+  // all-important (RS-only) and stays there.
+  EXPECT_EQ(sync.num_unhealthy(), 1u);
+  EXPECT_EQ(sync.current_gib().count_unimportant(), 0u);
+}
+
+TEST(CrashSurvival, CrashedWorkerRestartsAndRejoins) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;
+  cfg.faults.crash_worker(0.3, 0, /*restart_after=*/0.2);
+  sync::BspSync sync;
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 59.0);
+  EXPECT_EQ(r.faults.worker_crashes, 1u);
+  EXPECT_EQ(r.faults.worker_restarts, 1u);
+  EXPECT_GE(r.faults.worker_downtime_s, 0.2);
+  // The restarted worker finishes its epochs too; the iteration that was
+  // in flight at the crash is recomputed, so up to one extra batch of
+  // samples may be counted.
+  EXPECT_GE(r.total_samples, 1536.0);
+  EXPECT_LE(r.total_samples, 1536.0 + 32.0);
+}
+
+TEST(CrashSurvival, OspCrashRestartResumesIcs) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;
+  cfg.faults.crash_worker(0.4, 3, /*restart_after=*/0.15);
+  core::OspOptions opt;
+  opt.fixed_budget_fraction = 0.5;
+  core::OspSync sync(opt, {.rs_timeout_s = 0.5, .ics_timeout_s = 0.5});
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 59.0);
+  EXPECT_EQ(r.faults.worker_restarts, 1u);
+  EXPECT_EQ(sync.num_unhealthy(), 0u);
+  EXPECT_DOUBLE_EQ(r.total_samples, 1536.0);
+  // After recovery the budget applies again: ICS rounds keep completing.
+  EXPECT_GT(sync.ics_rounds_completed(), 0u);
+}
+
+// ---- link faults during ICS ----
+
+TEST(LinkFaults, FlapDuringIcsConverges) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;
+  const LinkIds ids(cfg);
+  cfg.faults.link_down(0.3, ids.ps_down, 0.1)
+      .link_down(0.6, ids.worker_up1, 0.1)
+      .degrade_link(0.9, ids.ps_down, 0.3, 0.25);
+  core::OspOptions opt;
+  opt.fixed_budget_fraction = 0.5;
+  core::OspSync sync(opt, {.rs_timeout_s = 0.5, .ics_timeout_s = 0.5});
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 59.0) << "run did not converge (deadlock?)";
+  EXPECT_EQ(r.faults.link_down_events, 2u);
+  EXPECT_EQ(r.faults.link_degrade_events, 1u);
+  // Nobody crashed: every worker finishes every epoch.
+  EXPECT_DOUBLE_EQ(r.total_samples, 1536.0);
+  EXPECT_TRUE(std::isfinite(r.final_loss));
+  EXPECT_GT(sync.ics_rounds_completed(), 0u);
+}
+
+// ---- deadlines ----
+
+TEST(Timeouts, RsDeadlineClosesRoundWithSubset) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_epochs = 1;
+  cfg.max_virtual_time_s = 120.0;
+  cfg.cluster.speed_factors = {1.0, 1.0, 1.0, 0.05};  // one hard straggler
+  sync::BspSync sync({.rs_timeout_s = 0.1, .ics_timeout_s = 0.0});
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 119.0);
+  // The fast three proceed on the deadline instead of waiting ~20× compute.
+  EXPECT_GT(r.faults.timed_out_rounds, 0u);
+  EXPECT_GT(r.faults.catch_up_pulls, 0u);
+  EXPECT_DOUBLE_EQ(r.total_samples, 512.0);  // everyone still finishes
+}
+
+TEST(Timeouts, MessageDropsSurvivedViaDeadlines) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_epochs = 2;
+  cfg.max_virtual_time_s = 120.0;
+  cfg.faults.set_seed(1234).drop_messages(0.05, 0.4, /*drop_prob=*/0.6);
+  sync::BspSync sync({.rs_timeout_s = 0.15, .ics_timeout_s = 0.0});
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 119.0) << "run did not converge (deadlock?)";
+  EXPECT_GT(r.faults.messages_dropped, 0u);
+  EXPECT_DOUBLE_EQ(r.total_samples, 1024.0);
+  EXPECT_TRUE(std::isfinite(r.final_loss));
+}
+
+// ---- pauses ----
+
+TEST(Pauses, PauseStretchesRoundButLosesNothing) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.faults.pause_worker(0.2, 0, 0.4);
+  sync::BspSync sync;
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_EQ(r.faults.worker_pauses, 1u);
+  EXPECT_NEAR(r.faults.worker_downtime_s, 0.4, 1e-12);
+  // BSP: everybody waits for the paused worker, so the run stretches by
+  // roughly the pause length relative to the golden 1.5215 s.
+  EXPECT_GT(r.total_time_s, 1.8);
+  EXPECT_DOUBLE_EQ(r.total_samples, 1536.0);
+}
+
+}  // namespace
+}  // namespace osp

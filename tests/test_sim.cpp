@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/cluster.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace osp::sim {
 namespace {
@@ -321,6 +324,239 @@ TEST(ComputeModel, JitterIsOneSided) {
 
 TEST(GbpsConversion, TenGbpsIs1250MBps) {
   EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(10.0), 1.25e9);
+}
+
+// ---- fault injection: dynamic link state ----
+
+TEST(NetworkFaults, LinkDownStallsFlowAndResumes) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  // Down for [0.5, 1.0): the flow moves 500 B, stalls 0.5 s, then finishes
+  // the remaining 500 B → 1.5 s total.
+  sim.schedule(0.5, [&] { net.set_link_up(l, false); });
+  sim.schedule(1.0, [&] { net.set_link_up(l, true); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+TEST(NetworkFaults, FlowStartedOnDownLinkWaitsForUpEdge) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  net.set_link_up(l, false);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  sim.schedule(2.0, [&] { net.set_link_up(l, true); });
+  sim.run();
+  EXPECT_FALSE(net.link_up(l) == false);
+  EXPECT_NEAR(done_at, 3.0, 1e-9);  // 2 s stalled + 1 s transfer
+}
+
+TEST(NetworkFaults, DegradationScalesBandwidthAndRestores) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  net.set_link_degradation(l, 0.5);
+  EXPECT_NEAR(net.link_capacity(l), 500.0, 1e-9);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  // Restore at t=1: 500 B moved at 500 B/s, the rest at 1000 B/s.
+  sim.schedule(1.0, [&] { net.set_link_degradation(l, 1.0); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+  EXPECT_NEAR(net.link_capacity(l), 1000.0, 1e-9);
+}
+
+TEST(NetworkFaults, DegradationExtraLossInflatesNewFlows) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  net.set_link_degradation(l, 1.0, /*extra_loss_rate=*/0.5);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);  // 1000·(1+0.5) wire bytes
+}
+
+TEST(NetworkFaults, CancelFlowSpeedsUpSurvivor) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  bool cancelled_fired = false;
+  double done_at = -1.0;
+  const FlowId doomed =
+      net.start_flow({l}, 1000.0, [&] { cancelled_fired = true; });
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  // Both at 500 B/s; at t=1 cancel one → survivor has 500 B left at
+  // 1000 B/s → done at 1.5 s.
+  sim.schedule(1.0, [&] { EXPECT_TRUE(net.cancel_flow(doomed)); });
+  sim.run();
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+  EXPECT_EQ(net.flows_cancelled(), 1u);
+  EXPECT_FALSE(net.cancel_flow(doomed));  // already gone
+}
+
+TEST(NetworkFaults, DropInjectionSuppressesDelivery) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  net.add_injection_window(0.0, 1.0, l, 0.0, /*drop_prob=*/1.0);
+  bool delivered = false;
+  net.start_flow({l}, 100.0, [&] { delivered = true; });
+  // A flow starting after the window passes normally.
+  double late_done = -1.0;
+  sim.schedule(2.0, [&] {
+    net.start_flow({l}, 100.0, [&] { late_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_NEAR(late_done, 2.1, 1e-9);
+  EXPECT_NEAR(net.bytes_delivered(), 100.0, 1e-9);
+}
+
+TEST(NetworkFaults, DelayInjectionAddsLatency) {
+  Simulator sim;
+  Network net(sim);
+  const LinkId l = net.add_link(1000.0);
+  net.add_injection_window(0.0, 1.0, l, /*delay_s=*/0.25, 0.0);
+  double done_at = -1.0;
+  net.start_flow({l}, 1000.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.25, 1e-9);
+  EXPECT_EQ(net.messages_delayed(), 1u);
+}
+
+TEST(NetworkFaults, DropSamplingIsSeedDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    Network net(sim);
+    const LinkId l = net.add_link(1e6);
+    net.set_injection_seed(seed);
+    net.add_injection_window(0.0, 100.0, kAllLinks, 0.0, 0.5);
+    std::vector<bool> delivered(64, false);
+    for (std::size_t i = 0; i < 64; ++i) {
+      net.start_flow({l}, 10.0, [&delivered, i] { delivered[i] = true; });
+    }
+    sim.run();
+    return delivered;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));       // replay is exact
+  EXPECT_NE(run_once(7), run_once(8));       // and seed-sensitive
+}
+
+// Property test: under an arbitrary seeded sequence of link flaps,
+// degradations, cancellations, and staggered flow starts, the allocation
+// must keep every flow's rate non-negative, never oversubscribe a link,
+// and — once the links heal — deliver exactly the payload of every flow
+// that wasn't dropped or cancelled.
+TEST(NetworkFaults, FlapFuzzPreservesInvariants) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator sim;
+    Network net(sim);
+    const std::vector<LinkId> links = {net.add_link(1000.0),
+                                       net.add_link(500.0),
+                                       net.add_link(2000.0)};
+    util::Rng rng(seed);
+    double expected_payload = 0.0;
+    double cancelled_payload = 0.0;
+    std::size_t completions = 0;
+
+    // Route table: flows cross one or two links.
+    const std::vector<std::vector<LinkId>> routes = {
+        {links[0]}, {links[1]}, {links[2]}, {links[0], links[2]},
+        {links[1], links[2]}};
+
+    struct StartedFlow {
+      FlowId id;
+      std::vector<LinkId> route;
+      double payload;
+    };
+    auto started = std::make_shared<std::vector<StartedFlow>>();
+
+    // Staggered flow starts.
+    for (int i = 0; i < 40; ++i) {
+      const double at = rng.uniform(0.0, 5.0);
+      const auto& route = routes[rng.uniform_u64(routes.size())];
+      const double payload = rng.uniform(100.0, 2000.0);
+      expected_payload += payload;
+      sim.schedule_at(at, [&net, &sim, &completions, route, payload,
+                           started] {
+        const FlowId id = net.start_flow(
+            std::vector<LinkId>(route), payload, [&completions] {
+              ++completions;
+            });
+        started->push_back({id, route, payload});
+      });
+    }
+    // Random flap windows (always matched down/up inside [0, 6)).
+    for (int i = 0; i < 12; ++i) {
+      const LinkId l = links[rng.uniform_u64(links.size())];
+      const double down_at = rng.uniform(0.0, 5.0);
+      const double up_at = down_at + rng.uniform(0.05, 1.0);
+      sim.schedule_at(down_at, [&net, l] { net.set_link_up(l, false); });
+      sim.schedule_at(up_at, [&net, l] { net.set_link_up(l, true); });
+    }
+    // Random degradation windows.
+    for (int i = 0; i < 8; ++i) {
+      const LinkId l = links[rng.uniform_u64(links.size())];
+      const double at = rng.uniform(0.0, 5.0);
+      const double factor = rng.uniform(0.1, 1.0);
+      sim.schedule_at(at, [&net, l, factor] {
+        net.set_link_degradation(l, factor);
+      });
+      sim.schedule_at(at + rng.uniform(0.05, 1.0), [&net, l] {
+        net.set_link_degradation(l, 1.0);
+      });
+    }
+    // A couple of cancellations of whatever happens to be in flight.
+    for (int i = 0; i < 3; ++i) {
+      sim.schedule_at(rng.uniform(1.0, 5.0),
+                      [&net, started, &cancelled_payload] {
+        for (const auto& f : *started) {
+          if (net.cancel_flow(f.id)) {  // true only for in-flight flows
+            cancelled_payload += f.payload;
+            break;
+          }
+        }
+      });
+    }
+    // Invariant probes while the chaos runs.
+    for (double t = 0.25; t < 6.0; t += 0.25) {
+      sim.schedule_at(t, [&net, &links, started] {
+        std::vector<double> load(links.size(), 0.0);
+        for (const auto& f : *started) {
+          const double r = net.flow_rate(f.id);
+          EXPECT_GE(r, 0.0);
+          for (const LinkId l : f.route) load[l] += r;
+        }
+        for (std::size_t li = 0; li < links.size(); ++li) {
+          const double cap = net.link_capacity(links[li]);
+          EXPECT_LE(load[li], cap + 1e-6)
+              << "link " << li << " oversubscribed";
+        }
+      });
+    }
+    // Heal everything at t=6 so every surviving flow can finish.
+    sim.schedule_at(6.0, [&net, &links] {
+      for (const LinkId l : links) {
+        net.set_link_up(l, true);
+        net.set_link_degradation(l, 1.0);
+      }
+    });
+    sim.run();
+
+    EXPECT_EQ(net.active_flows(), 0u) << "seed " << seed;
+    EXPECT_EQ(completions + net.flows_cancelled(), started->size())
+        << "seed " << seed;
+    EXPECT_NEAR(net.bytes_delivered(), expected_payload - cancelled_payload,
+                1e-6 * expected_payload)
+        << "seed " << seed;
+  }
 }
 
 }  // namespace
