@@ -6,8 +6,10 @@
 // its throughput advantage translates into faster convergence with no
 // accuracy loss (§5.3).
 #include <algorithm>
+#include <cstdlib>
 
 #include "bench_common.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -28,6 +30,7 @@ int main() {
   const std::vector<runtime::WorkloadSpec> workloads = {
       models::resnet50_cifar10(), models::vgg16_cifar10(),
       models::inceptionv3_cifar100(), models::resnet101_imagenet()};
+  std::vector<util::JsonObject> records;
   for (const auto& spec : workloads) {
     std::cout << "# Fig. 7: time-to-accuracy, " << spec.name << "\n";
     auto cfg = bench::paper_config();
@@ -38,7 +41,21 @@ int main() {
     for (const auto& named : bench::paper_baselines()) {
       auto sync = named.make();
       results.push_back(bench::run_one(spec, *sync, cfg));
-      horizon = std::max(horizon, results.back().total_time_s);
+      const auto& r = results.back();
+      horizon = std::max(horizon, r.total_time_s);
+      util::JsonObject rec;
+      rec.set("workload", spec.name)
+          .set("sync", named.label)
+          .set("total_time_s", r.total_time_s)
+          .set("best_metric", r.best_metric)
+          .set("final_loss", r.final_loss)
+          .set("throughput", r.throughput)
+          .set("mean_bst_s", r.mean_bst_s)
+          .set("p99_bst_s", r.p99_bst_s);
+      if (r.time_to_target_s) {
+        rec.set("time_to_target_s", *r.time_to_target_s);
+      }
+      records.push_back(std::move(rec));
     }
 
     util::Table table({"time (s)", "ASP", "BSP", "R2SP", "OSP"});
@@ -56,6 +73,11 @@ int main() {
     std::transform(slug.begin(), slug.end(), slug.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     bench::emit(table, "fig7_tta_" + slug);
+  }
+  const char* json_path = std::getenv("OSP_BENCH_JSON");
+  const std::string path = json_path ? json_path : "BENCH_fig7_tta.json";
+  if (osp::util::write_json_array(path, records)) {
+    std::cout << "(json: " << path << ")\n";
   }
   return 0;
 }

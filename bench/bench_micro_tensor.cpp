@@ -1,9 +1,22 @@
 // Micro-benchmarks (google-benchmark): tensor kernels on the hot path of
-// the proxy-model training — matmul orientations, conv via im2col, softmax.
+// the proxy-model training — matmul orientations (square, skewed, and
+// tile-boundary shapes), conv via im2col, softmax, and the rank-2 helpers.
+//
+// Besides the console table, the run writes BENCH_micro_tensor.json
+// (override the path with OSP_BENCH_JSON): one record per benchmark with
+// op, shape, ns/op and GFLOP/s, so successive PRs can diff kernel
+// performance mechanically.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -18,6 +31,21 @@ Tensor random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
   return t;
 }
 
+Tensor random_nchw(std::size_t n, std::size_t c, std::size_t h, std::size_t w,
+                   std::uint64_t seed) {
+  osp::util::Rng rng(seed);
+  Tensor t({n, c, h, w});
+  for (float& v : t.data()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Attach the per-iteration FLOP count; reported as flops/s and picked up
+/// by the JSON reporter as GFLOP/s.
+void set_flops(benchmark::State& state, double flops_per_iter) {
+  state.counters["flops"] = benchmark::Counter(
+      flops_per_iter, benchmark::Counter::kIsIterationInvariantRate);
+}
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Tensor a = random_matrix(n, n, 1);
@@ -29,6 +57,7 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n * n));
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
@@ -41,8 +70,9 @@ void BM_MatmulTn(benchmark::State& state) {
     osp::tensor::matmul_tn(a, b, c);
     benchmark::DoNotOptimize(c.raw());
   }
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
-BENCHMARK(BM_MatmulTn)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatmulTn)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_MatmulNt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -53,8 +83,80 @@ void BM_MatmulNt(benchmark::State& state) {
     osp::tensor::matmul_nt(a, b, c);
     benchmark::DoNotOptimize(c.raw());
   }
+  set_flops(state, 2.0 * static_cast<double>(n) * n * n);
 }
-BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128)->Arg(256);
+
+// Skewed shapes: the training hot path is full of these (batch×features by
+// features×classes, attention scores, conv im2col panels). Args are m, k, n.
+void BM_MatmulSkewed(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const Tensor a = random_matrix(m, k, 11);
+  const Tensor b = random_matrix(k, n, 12);
+  Tensor c({m, n});
+  for (auto _ : state) {
+    osp::tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  set_flops(state, 2.0 * static_cast<double>(m) * k * n);
+}
+BENCHMARK(BM_MatmulSkewed)
+    ->Args({1024, 64, 64})    // tall-skinny: big batch, small layer
+    ->Args({64, 1024, 64})    // deep reduction
+    ->Args({64, 64, 1024})    // wide output
+    ->Args({1, 512, 512})     // single row (vector-matrix)
+    ->Args({512, 512, 1})     // single column (matrix-vector)
+    ->Args({127, 129, 65});   // tile-boundary ±1 tails
+
+// Conv-shape cases: one batched Conv2d forward/backward on the proxy-CNN
+// geometries (3x3, pad 1, CIFAR-scale feature maps).
+// Args: batch, in_c, out_c, side.
+double conv_flops(std::size_t batch, const Conv2dGeom& g, std::size_t out_c) {
+  return 2.0 * static_cast<double>(batch) * g.patches() * g.patch_len() *
+         out_c;
+}
+
+void BM_ConvForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto in_c = static_cast<std::size_t>(state.range(1));
+  const auto out_c = static_cast<std::size_t>(state.range(2));
+  const auto side = static_cast<std::size_t>(state.range(3));
+  osp::util::Rng rng(21);
+  osp::nn::Conv2d conv("bench", in_c, out_c, side, side, 3, 1, 1, rng);
+  const Tensor input = random_nchw(batch, in_c, side, side, 22);
+  for (auto _ : state) {
+    Tensor out = conv.forward(input, /*train=*/true);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  set_flops(state, conv_flops(batch, conv.geometry(), out_c));
+}
+BENCHMARK(BM_ConvForward)
+    ->Args({16, 3, 16, 32})
+    ->Args({16, 16, 32, 32})
+    ->Args({16, 32, 32, 16});
+
+void BM_ConvBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto in_c = static_cast<std::size_t>(state.range(1));
+  const auto out_c = static_cast<std::size_t>(state.range(2));
+  const auto side = static_cast<std::size_t>(state.range(3));
+  osp::util::Rng rng(31);
+  osp::nn::Conv2d conv("bench", in_c, out_c, side, side, 3, 1, 1, rng);
+  const Tensor input = random_nchw(batch, in_c, side, side, 32);
+  const Tensor grad = random_nchw(batch, out_c, side, side, 33);
+  (void)conv.forward(input, /*train=*/true);
+  for (auto _ : state) {
+    Tensor dx = conv.backward(grad);
+    benchmark::DoNotOptimize(dx.raw());
+  }
+  // backward ~= 2x forward GEMM work (dW and dx) plus col2im.
+  set_flops(state, 2.0 * conv_flops(batch, conv.geometry(), out_c));
+}
+BENCHMARK(BM_ConvBackward)
+    ->Args({16, 16, 32, 32})
+    ->Args({16, 32, 32, 16});
 
 void BM_Im2col(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
@@ -81,6 +183,77 @@ void BM_SoftmaxRows(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxRows)->Arg(10)->Arg(100)->Arg(1000);
 
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_matrix(n, n, 9);
+  Tensor b({n, n});
+  for (auto _ : state) {
+    osp::tensor::transpose(a, b);
+    benchmark::DoNotOptimize(b.raw());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(128)->Arg(512);
+
+void BM_SumRows(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  const Tensor x = random_matrix(64, cols, 10);
+  std::vector<float> out(cols, 0.0f);
+  for (auto _ : state) {
+    osp::tensor::sum_rows(x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SumRows)->Arg(256)->Arg(4096);
+
+/// Prints the normal console table and also collects every finished run
+/// for the machine-readable perf record.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      osp::util::JsonObject rec;
+      const std::string name = run.benchmark_name();
+      // "BM_Matmul/256" -> op "Matmul", shape "256".
+      std::string op = name, shape;
+      if (op.rfind("BM_", 0) == 0) op = op.substr(3);
+      if (const auto slash = op.find('/'); slash != std::string::npos) {
+        shape = op.substr(slash + 1);
+        op = op.substr(0, slash);
+      }
+      const double ns_per_op = run.GetAdjustedRealTime();
+      rec.set("op", op).set("shape", shape).set("ns_op", ns_per_op);
+      const auto it = run.counters.find("flops");
+      // "flops" is a rate counter: already flops/second after adjustment.
+      rec.set("gflops",
+              it != run.counters.end() ? it->second.value / 1e9 : 0.0);
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  void WriteJson() {
+    const char* env = std::getenv("OSP_BENCH_JSON");
+    const std::string path = env != nullptr ? env : "BENCH_micro_tensor.json";
+    if (!osp::util::write_json_array(path, records_)) {
+      std::cerr << "bench_micro_tensor: failed to write " << path << "\n";
+    } else {
+      std::cout << "(json: " << path << ")\n";
+    }
+  }
+
+ private:
+  std::vector<osp::util::JsonObject> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.WriteJson();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,16 +1,30 @@
 #!/bin/bash
 # Regenerates every figure/table: one binary per paper figure + ablations,
 # extensions, and google-benchmark micros. OSP_BENCH_EPOCHS trims run length.
+#
+# Exits non-zero if any bench binary fails, naming each failing binary on
+# stderr; ALL_BENCHES_DONE is only appended when every binary succeeded.
 set -u
 cd "$(dirname "$0")"
 : "${OSP_BENCH_EPOCHS:=20}"
 export OSP_BENCH_EPOCHS
 out="${1:-bench_output.txt}"
 : > "$out"
+failed=()
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $b (OSP_BENCH_EPOCHS=$OSP_BENCH_EPOCHS) =====" >> "$out"
   "$b" >> "$out" 2>&1
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAILED: $b (exit $status)" | tee -a "$out" >&2
+    failed+=("$b")
+  fi
   echo >> "$out"
 done
+if [ "${#failed[@]}" -ne 0 ]; then
+  echo "${#failed[@]} bench binaries failed:" >&2
+  printf '  %s\n' "${failed[@]}" >&2
+  exit 1
+fi
 echo "ALL_BENCHES_DONE" >> "$out"

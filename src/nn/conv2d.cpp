@@ -5,6 +5,7 @@
 
 #include "tensor/init.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osp::nn {
 
@@ -26,6 +27,14 @@ Conv2d::Conv2d(std::string name, std::size_t in_channels,
   tensor::he_normal(weight_, geom_.patch_len(), rng);
 }
 
+void Conv2d::ensure_scratch(std::size_t batch) {
+  const std::size_t rows = batch * geom_.patches();
+  if (cols_all_.rank() == 2 && cols_all_.dim(0) == rows) return;
+  cols_all_ = Tensor({rows, geom_.patch_len()});
+  g_all_ = Tensor({rows, out_channels_});
+  dcols_all_ = Tensor({rows, geom_.patch_len()});
+}
+
 Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   OSP_CHECK(input.rank() == 4, "Conv2d expects NCHW input");
   OSP_CHECK(input.dim(1) == geom_.in_channels && input.dim(2) == geom_.in_h &&
@@ -33,61 +42,83 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
             "Conv2d input geometry mismatch");
   const std::size_t batch = input.dim(0);
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  const std::size_t patches = geom_.patches();
+  const std::size_t plen = geom_.patch_len();
   const std::size_t img = geom_.in_channels * geom_.in_h * geom_.in_w;
 
-  input_ = input;
-  cols_.assign(batch, Tensor({oh * ow, geom_.patch_len()}));
+  batch_ = batch;
+  ensure_scratch(batch);
   Tensor out({batch, out_channels_, oh, ow});
 
-  for (std::size_t b = 0; b < batch; ++b) {
-    tensor::im2col(input.data().subspan(b * img, img), geom_, cols_[b]);
-    // out[b] = weight · colsᵀ, i.e. per output channel the dot with patches.
-    // Compute as cols[patches, plen] · weightᵀ[plen, out_c] -> [patches, out_c]
-    Tensor prod({oh * ow, out_channels_});
-    tensor::matmul_nt(cols_[b], weight_, prod);
-    // Transpose into NCHW layout with bias.
-    float* po = out.raw() + b * out_channels_ * oh * ow;
-    const float* pp = prod.raw();
-    for (std::size_t p = 0; p < oh * ow; ++p) {
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        po[oc * oh * ow + p] = pp[p * out_channels_ + oc] + bias_[oc];
-      }
-    }
-  }
+  // Expand the whole batch (samples in parallel, disjoint row blocks)…
+  const auto in_data = input.data();
+  float* cols = cols_all_.raw();
+  util::ThreadPool::global().parallel_for(
+      batch,
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          tensor::im2col_rows(in_data.subspan(b * img, img), geom_,
+                              cols + b * patches * plen);
+        }
+      },
+      1);
+  // …then one batched GEMM; the NCHW transpose + bias live in its store
+  // epilogue, so there is no separate pass over the output.
+  tensor::conv_forward_gemm(cols_all_, weight_, bias_.data(), batch, patches,
+                            out);
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  const std::size_t batch = input_.dim(0);
+  const std::size_t batch = batch_;
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  OSP_CHECK(batch > 0, "Conv2d backward before forward");
   OSP_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == batch &&
                 grad_out.dim(1) == out_channels_ && grad_out.dim(2) == oh &&
                 grad_out.dim(3) == ow,
             "Conv2d grad shape mismatch");
+  const std::size_t patches = geom_.patches();
+  const std::size_t plen = geom_.patch_len();
   const std::size_t img = geom_.in_channels * geom_.in_h * geom_.in_w;
   Tensor dx({batch, geom_.in_channels, geom_.in_h, geom_.in_w});
 
-  for (std::size_t b = 0; b < batch; ++b) {
-    // g[b] in [out_c, patches] layout -> [patches, out_c] matrix.
-    Tensor g({oh * ow, out_channels_});
-    const float* pg = grad_out.raw() + b * out_channels_ * oh * ow;
-    float* pgm = g.raw();
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      for (std::size_t p = 0; p < oh * ow; ++p) {
-        pgm[p * out_channels_ + oc] = pg[oc * oh * ow + p];
-      }
-    }
-    // dW += gᵀ · cols : [out_c, patches]·[patches, plen]
-    Tensor wg({out_channels_, geom_.patch_len()});
-    tensor::matmul_tn(g, cols_[b], wg);
-    for (std::size_t i = 0; i < wg.numel(); ++i) wgrad_[i] += wg[i];
-    // db += per-channel sum of g.
-    tensor::sum_rows(g, bgrad_.data());
-    // dcols = g · W : [patches, out_c]·[out_c, plen]
-    Tensor dcols({oh * ow, geom_.patch_len()});
-    tensor::matmul(g, weight_, dcols);
-    tensor::col2im(dcols, geom_, dx.data().subspan(b * img, img));
-  }
+  // grad_out is NCHW ([out_c, patches] per sample); flip each sample into
+  // its [patches, out_c] row block of the batched gradient matrix.
+  const float* pg_all = grad_out.raw();
+  float* pgm_all = g_all_.raw();
+  util::ThreadPool::global().parallel_for(
+      batch,
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          const float* pg = pg_all + b * out_channels_ * patches;
+          float* pgm = pgm_all + b * patches * out_channels_;
+          for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+            for (std::size_t p = 0; p < patches; ++p) {
+              pgm[p * out_channels_ + oc] = pg[oc * patches + p];
+            }
+          }
+        }
+      },
+      1);
+  // dW += Σ_b g_bᵀ · cols_b, one fresh product per sample added in batch
+  // order — the same float grouping as the per-sample implementation, so
+  // training trajectories are bit-identical to it.
+  tensor::matmul_tn_blocked_acc(g_all_, cols_all_, batch, wgrad_);
+  // db += per-channel sums over every (sample, patch) row.
+  tensor::sum_rows(g_all_, bgrad_.data());
+  // dcols = g_all · W : [batch*patches, out_c]·[out_c, plen]
+  tensor::matmul(g_all_, weight_, dcols_all_);
+  const float* dcols = dcols_all_.raw();
+  auto dx_data = dx.data();
+  util::ThreadPool::global().parallel_for(
+      batch,
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          tensor::col2im_rows(dcols + b * patches * plen, geom_,
+                              dx_data.subspan(b * img, img));
+        }
+      },
+      1);
   return dx;
 }
 

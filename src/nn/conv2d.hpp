@@ -21,14 +21,23 @@ class Conv2d : public Layer {
   [[nodiscard]] std::size_t out_channels() const { return out_channels_; }
 
  private:
+  /// (Re)sizes the batched scratch matrices when the batch size changes;
+  /// steady-state iterations reuse them without allocating.
+  void ensure_scratch(std::size_t batch);
+
   tensor::Conv2dGeom geom_;
   std::size_t out_channels_;
   tensor::Tensor weight_;  // [out_c, C*k*k]
   tensor::Tensor bias_;    // [out_c]
   tensor::Tensor wgrad_;
   tensor::Tensor bgrad_;
-  tensor::Tensor input_;           // cached NCHW input
-  std::vector<tensor::Tensor> cols_;  // cached im2col per image
+  std::size_t batch_ = 0;  // batch of the last forward (for backward checks)
+  // Persistent batched scratch: every sample's rows back-to-back, so the
+  // whole batch runs through ONE GEMM per pass instead of `batch` small
+  // ones, and no per-sample Tensors are allocated on the hot path.
+  tensor::Tensor cols_all_;   // im2col rows        [batch*patches, C*k*k]
+  tensor::Tensor g_all_;      // grad as matrix     [batch*patches, out_c]
+  tensor::Tensor dcols_all_;  // col gradient       [batch*patches, C*k*k]
 };
 
 class MaxPool2d : public Layer {

@@ -1,11 +1,15 @@
-// Tensor kernels: threaded blocked matmul, transpose variants, elementwise
-// ops, row softmax, and im2col/col2im for convolution.
+// Tensor kernels: cache-blocked register-tiled matmul, transpose variants,
+// elementwise ops, row softmax, and im2col/col2im for convolution.
 //
 // Matmul comes in the three orientations backprop needs:
 //   matmul:    C = A·B        (forward)
-//   matmul_tn: C = Aᵀ·B       (weight gradient)
+//   matmul_tn: C = Aᵀ·B       (weight gradient; _acc accumulates into C)
 //   matmul_nt: C = A·Bᵀ       (input gradient)
-// All kernels parallelize over output rows via the global ThreadPool.
+// All orientations route through one shared packed GEMM kernel
+// (MC/KC/NC blocking, kMR×kNR register tile) parallelized over output-row
+// strips via the global ThreadPool. Each C element is accumulated by a
+// single accumulator in ascending-k order, so results are bit-identical
+// across thread counts and blocking parameters.
 #pragma once
 
 #include <span>
@@ -23,10 +27,30 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
 /// A is [m,k], B is [n,k], C = A·Bᵀ is [m,n].
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
 
+/// C += Aᵀ·B (accumulating matmul_tn; the GEMM adds straight into the
+/// destination instead of materializing a temporary).
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Block-wise accumulating Aᵀ·B: A and B are `blocks` stacked row blocks
+/// ([blocks*rows, k] and [blocks*rows, n]); for each block
+/// C += A_blockᵀ·B_block. Each block's product is materialized with a
+/// fresh accumulator and then added to C — the exact float grouping of a
+/// per-sample loop. Conv2d's weight gradient uses this so the batched
+/// implementation stays bit-identical to the per-sample one it replaced.
+void matmul_tn_blocked_acc(const Tensor& a, const Tensor& b,
+                           std::size_t blocks, Tensor& c);
+
 /// out[r] = in[r] + bias for every row of a rank-2 tensor (in place).
 void add_bias_rows(Tensor& x, std::span<const float> bias);
 
-/// Accumulate the per-column sum of a rank-2 tensor into `out` (+=).
+/// Accumulate the per-column sum of a rank-2 tensor into `out`.
+///
+/// CONTRACT: this ACCUMULATES (`out[c] += Σ_r x[r,c]`); it never zeroes
+/// `out` first. Callers that want a plain sum must zero-fill beforehand.
+/// The bias-gradient paths (`nn/linear.cpp`, `nn/conv2d.cpp`) rely on the
+/// accumulate behavior to add into persistent gradient buffers that the
+/// optimizer zeroes between steps. Rows are added in ascending order per
+/// column regardless of thread count.
 void sum_rows(const Tensor& x, std::span<float> out);
 
 /// Row-wise softmax of a rank-2 tensor, written into `out` (same shape).
@@ -63,7 +87,27 @@ struct Conv2dGeom {
 /// [patches, patch_len]. Out-of-bounds (padding) reads as 0.
 void im2col(std::span<const float> image, const Conv2dGeom& g, Tensor& cols);
 
+/// im2col writing into a raw row block (one sample's [patches, patch_len]
+/// slice of a batched scratch matrix). No shape checks; callers guarantee
+/// `cols` has room for patches()*patch_len() floats.
+void im2col_rows(std::span<const float> image, const Conv2dGeom& g,
+                 float* cols);
+
 /// Scatter-add the column matrix back into an image gradient (+=).
 void col2im(const Tensor& cols, const Conv2dGeom& g, std::span<float> image);
+
+/// col2im from a raw row block (one sample's slice of a batched matrix).
+void col2im_rows(const float* cols, const Conv2dGeom& g,
+                 std::span<float> image);
+
+/// Batched conv-forward GEMM with fused epilogue. `cols_all` holds every
+/// sample's im2col rows back-to-back ([batch*patches, patch_len]), `weight`
+/// is [out_c, patch_len]. Computes cols·weightᵀ and scatters the result
+/// into `out_nchw` ([batch, out_c, oh, ow]) with `bias` added — the NCHW
+/// transpose+bias pass lives inside the GEMM's store epilogue instead of a
+/// separate sweep over the output.
+void conv_forward_gemm(const Tensor& cols_all, const Tensor& weight,
+                       std::span<const float> bias, std::size_t batch,
+                       std::size_t patches, Tensor& out_nchw);
 
 }  // namespace osp::tensor

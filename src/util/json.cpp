@@ -1,0 +1,101 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace osp::util {
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string number_repr(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(json_quote(key), json_quote(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  fields_.emplace_back(json_quote(key), number_repr(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::size_t value) {
+  fields_.emplace_back(json_quote(key), std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  fields_.emplace_back(json_quote(key), value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += fields_[i].first;
+    out.push_back(':');
+    out += fields_[i].second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string json_array(const std::vector<JsonObject>& items) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out += "  ";
+    out += items[i].str();
+    if (i + 1 != items.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out += "]\n";
+  return out;
+}
+
+bool write_json_array(const std::string& path,
+                      const std::vector<JsonObject>& items) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json_array(items);
+  return static_cast<bool>(out);
+}
+
+}  // namespace osp::util

@@ -1,0 +1,44 @@
+// Minimal JSON emission for machine-readable bench/perf artifacts.
+//
+// The bench harnesses emit flat arrays of records (BENCH_*.json) that the
+// perf-trajectory tooling diffs across PRs. Only what that needs is
+// implemented: objects of scalar fields, arrays of objects, and correct
+// string escaping. Field order is preserved (insertion order) so diffs
+// stay stable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace osp::util {
+
+/// One flat JSON object: ordered key -> scalar (string/double/integer/bool).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::size_t value);
+  JsonObject& set(const std::string& key, bool value);
+
+  /// Serialized form, e.g. {"op":"matmul","gflops":12.3}.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  // Values are stored pre-serialized; keys escaped at set() time.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Serialize a list of objects as a pretty-printed JSON array.
+[[nodiscard]] std::string json_array(const std::vector<JsonObject>& items);
+
+/// Write a JSON array of records to `path`. Returns false on I/O failure.
+bool write_json_array(const std::string& path,
+                      const std::vector<JsonObject>& items);
+
+/// Escape and quote a string for embedding in JSON output.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+}  // namespace osp::util

@@ -1,15 +1,28 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace osp::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace {
+
+std::atomic<ThreadPool*> g_global_override{nullptr};
+
+std::size_t default_pool_size() {
+  if (const char* env = std::getenv("OSP_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_pool_size();
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -41,33 +54,62 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
-    std::size_t grain) {
-  if (n == 0) return;
-  grain = std::max<std::size_t>(grain, 1);
-  const std::size_t max_chunks = size();
-  if (n <= grain || max_chunks <= 1) {
-    fn(0, n);
-    return;
+void ThreadPool::drain_job(detail::ParallelForJob& job) {
+  std::size_t mine = 0;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) break;
+    const std::size_t begin = c * job.chunk;
+    const std::size_t end = std::min(job.n, begin + job.chunk);
+    job.invoke(job.fn, begin, end);
+    ++mine;
   }
-  const std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
-  const std::size_t block = (n + chunks - 1) / chunks;
-  // The calling thread takes the first block; the pool takes the rest. This
-  // keeps the caller busy instead of blocking in wait_idle immediately.
-  for (std::size_t c = 1; c < chunks; ++c) {
-    const std::size_t begin = c * block;
-    const std::size_t end = std::min(n, begin + block);
-    if (begin >= end) break;
-    submit([&fn, begin, end] { fn(begin, end); });
+  if (mine > 0) {
+    bool all_done;
+    {
+      std::scoped_lock lock(job.mu);
+      job.completed += mine;
+      all_done = job.completed == job.num_chunks;
+    }
+    if (all_done) job.done.notify_all();
   }
-  fn(0, std::min(block, n));
-  wait_idle();
+}
+
+void ThreadPool::run_job(const std::shared_ptr<detail::ParallelForJob>& job) {
+  // The caller takes chunks too, so at most num_chunks - 1 helpers are
+  // useful. Each helper shares ownership of the control block; the
+  // callable itself stays on the caller's stack and is only dereferenced
+  // while a claimed chunk runs — i.e. strictly before the completion wait
+  // below returns.
+  const std::size_t helpers =
+      std::min(workers_.size(), job->num_chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([job] { drain_job(*job); });
+  }
+  drain_job(*job);
+  // Wait for every chunk to finish. Helpers that have not even started yet
+  // can never claim one at this point (next is exhausted), so this wait
+  // only covers helpers mid-chunk — it cannot deadlock, even when this
+  // caller is itself a pool worker inside an outer parallel_for.
+  std::unique_lock lock(job->mu);
+  job->done.wait(lock, [&] { return job->completed == job->num_chunks; });
 }
 
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* override_pool =
+          g_global_override.load(std::memory_order_acquire)) {
+    return *override_pool;
+  }
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool::ScopedGlobal::ScopedGlobal(ThreadPool& pool)
+    : previous_(g_global_override.exchange(&pool, std::memory_order_acq_rel)) {
+}
+
+ThreadPool::ScopedGlobal::~ScopedGlobal() {
+  g_global_override.store(previous_, std::memory_order_release);
 }
 
 void ThreadPool::worker_loop() {
@@ -75,7 +117,8 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock lock(mu_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -1,24 +1,60 @@
 // A fixed-size worker pool with an OpenMP-style parallel_for.
 //
-// The tensor kernels (matmul, conv) decompose their iteration space into
-// contiguous blocks, one per worker, mirroring the static scheduling idiom
-// from the OpenMP examples guide. The pool is created once and reused; tasks
-// never allocate threads on the hot path.
+// The tensor kernels (matmul, conv, the rank-2 helpers) and the vec_math
+// aggregation kernels decompose their iteration space into chunks that the
+// pool's workers claim off an atomic cursor (dynamic scheduling, so skewed
+// loops balance). parallel_for is a template: the callable is invoked
+// through a single type-erased function pointer held in a stack-allocated
+// job record — no per-chunk std::function, no per-chunk heap allocation.
+// The pool is created once and reused; tasks never allocate threads on the
+// hot path.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace osp::util {
 
+namespace detail {
+
+/// Shared control block for one parallel_for call (one allocation per call
+/// that actually splits; chunks themselves never allocate). Workers claim
+/// chunk indices from `next` until exhausted; the caller participates and
+/// then blocks until every *chunk* has completed. Helper tasks hold the
+/// block by shared_ptr, so one that starts after the call returned simply
+/// finds no chunks left and exits without touching the callable (which
+/// lives on the caller's stack and is only dereferenced while executing a
+/// claimed chunk). Waiting on chunk completion rather than helper exit is
+/// what makes nested parallel_for deadlock-free: a caller inside a worker
+/// never depends on queued-but-unstarted tasks, because it can drain all
+/// remaining chunks itself.
+struct ParallelForJob {
+  const void* fn = nullptr;
+  void (*invoke)(const void*, std::size_t, std::size_t) = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done;
+  std::size_t completed = 0;  // guarded by mu
+};
+
+}  // namespace detail
+
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1),
+  /// overridable through the OSP_NUM_THREADS environment variable.
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
 
@@ -33,18 +69,58 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
-  /// Run fn(begin, end) over [0, n) split into contiguous blocks across the
-  /// pool (and the calling thread). Blocks until all chunks complete.
-  /// `grain` is the minimum block size; small loops run inline.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn,
-                    std::size_t grain = 1024);
+  /// Run fn(begin, end) over [0, n) in chunks claimed dynamically by the
+  /// pool's workers and the calling thread. Blocks until all chunks
+  /// complete. `grain` is the minimum chunk size; loops no larger than one
+  /// grain run inline on the caller.
+  ///
+  /// Chunk *boundaries* depend on the pool size, so callers that need
+  /// results independent of thread count must make each index's work
+  /// independent (all tensor kernels do) or partition explicitly.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1024) {
+    using F = std::remove_reference_t<Fn>;
+    if (n == 0) return;
+    grain = std::max<std::size_t>(grain, 1);
+    if (n <= grain || size() <= 1) {
+      fn(0, n);
+      return;
+    }
+    auto job = std::make_shared<detail::ParallelForJob>();
+    job->fn = static_cast<const void*>(&fn);
+    job->invoke = [](const void* f, std::size_t begin, std::size_t end) {
+      (*static_cast<const F*>(f))(begin, end);
+    };
+    job->n = n;
+    // ~4 chunks per worker bounds the scheduling overhead while leaving
+    // dynamic slack for skewed iterations.
+    job->chunk = std::max(grain, n / (4 * size()) + 1);
+    job->num_chunks = (n + job->chunk - 1) / job->chunk;
+    run_job(job);
+  }
 
-  /// Process-wide default pool (lazily constructed, hardware threads).
+  /// Process-wide default pool (lazily constructed; size from
+  /// OSP_NUM_THREADS or hardware_concurrency). Tests can substitute a pool
+  /// with ScopedGlobal.
   static ThreadPool& global();
+
+  /// RAII override of the pool returned by global() — lets tests run the
+  /// tensor kernels under specific thread counts in one process.
+  class ScopedGlobal {
+   public:
+    explicit ScopedGlobal(ThreadPool& pool);
+    ~ScopedGlobal();
+    ScopedGlobal(const ScopedGlobal&) = delete;
+    ScopedGlobal& operator=(const ScopedGlobal&) = delete;
+
+   private:
+    ThreadPool* previous_;
+  };
 
  private:
   void worker_loop();
+  void run_job(const std::shared_ptr<detail::ParallelForJob>& job);
+  static void drain_job(detail::ParallelForJob& job);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -4,17 +4,68 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osp::util {
 
+namespace {
+
+// Elementwise kernels run in parallel once a block is large enough that the
+// pool handoff is amortized; below the threshold they run inline. The split
+// never changes results (every element is computed independently).
+constexpr std::size_t kElemwiseGrain = 1 << 16;
+
+// Reductions are chunked into fixed-size partials summed in chunk order, so
+// the result is deterministic and independent of the pool size. The chunk
+// grouping does reassociate the double accumulation, so the threshold is
+// set high: blocks below ~1M elements (every proxy-model layer block)
+// reduce serially and keep their historical bit pattern.
+constexpr std::size_t kReduceParallelMin = 1 << 20;
+constexpr std::size_t kReduceChunk = 1 << 18;
+
+/// Deterministic parallel reduction: partial[i] covers the fixed range
+/// [i*kReduceChunk, ...); partials are combined in index order.
+template <typename PartialFn>
+double chunked_reduce(std::size_t n, const PartialFn& partial) {
+  const std::size_t num_chunks = (n + kReduceChunk - 1) / kReduceChunk;
+  std::vector<double> partials(num_chunks, 0.0);
+  ThreadPool::global().parallel_for(
+      num_chunks,
+      [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const std::size_t begin = c * kReduceChunk;
+          const std::size_t end = std::min(n, begin + kReduceChunk);
+          partials[c] = partial(begin, end);
+        }
+      },
+      1);
+  double s = 0.0;
+  for (double p : partials) s += p;
+  return s;
+}
+
+}  // namespace
+
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   OSP_CHECK(x.size() == y.size(), "axpy size mismatch");
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  const float* px = x.data();
+  float* py = y.data();
+  ThreadPool::global().parallel_for(
+      x.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) py[i] += alpha * px[i];
+      },
+      kElemwiseGrain);
 }
 
 void scale(std::span<float> x, float alpha) {
-  for (float& v : x) v *= alpha;
+  float* px = x.data();
+  ThreadPool::global().parallel_for(
+      x.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) px[i] *= alpha;
+      },
+      kElemwiseGrain);
 }
 
 void copy(std::span<const float> src, std::span<float> dst) {
@@ -30,50 +81,92 @@ void fill(std::span<float> x, float value) {
 
 double dot(std::span<const float> a, std::span<const float> b) {
   OSP_CHECK(a.size() == b.size(), "dot size mismatch");
-  double s = 0.0;
   const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return s;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const auto range = [&](std::size_t begin, std::size_t end) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      s += static_cast<double>(pa[i]) * static_cast<double>(pb[i]);
+    }
+    return s;
+  };
+  if (n < kReduceParallelMin) return range(0, n);
+  return chunked_reduce(n, range);
 }
 
 double abs_prod_sum(std::span<const float> a, std::span<const float> b) {
   OSP_CHECK(a.size() == b.size(), "abs_prod_sum size mismatch");
-  double s = 0.0;
   const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    s += std::abs(static_cast<double>(a[i]) * static_cast<double>(b[i]));
-  }
-  return s;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const auto range = [&](std::size_t begin, std::size_t end) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      s += std::abs(static_cast<double>(pa[i]) * static_cast<double>(pb[i]));
+    }
+    return s;
+  };
+  if (n < kReduceParallelMin) return range(0, n);
+  return chunked_reduce(n, range);
 }
 
 double l2_norm(std::span<const float> x) {
-  double s = 0.0;
-  for (float v : x) s += static_cast<double>(v) * static_cast<double>(v);
+  const std::size_t n = x.size();
+  const float* px = x.data();
+  const auto range = [&](std::size_t begin, std::size_t end) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      s += static_cast<double>(px[i]) * static_cast<double>(px[i]);
+    }
+    return s;
+  };
+  const double s = n < kReduceParallelMin ? range(0, n) : chunked_reduce(n, range);
   return std::sqrt(s);
 }
 
 double l1_norm(std::span<const float> x) {
-  double s = 0.0;
-  for (float v : x) s += std::abs(static_cast<double>(v));
-  return s;
+  const std::size_t n = x.size();
+  const float* px = x.data();
+  const auto range = [&](std::size_t begin, std::size_t end) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      s += std::abs(static_cast<double>(px[i]));
+    }
+    return s;
+  };
+  if (n < kReduceParallelMin) return range(0, n);
+  return chunked_reduce(n, range);
 }
 
 void sub(std::span<const float> a, std::span<const float> b,
          std::span<float> dst) {
   OSP_CHECK(a.size() == b.size() && a.size() == dst.size(),
             "sub size mismatch");
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pd = dst.data();
+  ThreadPool::global().parallel_for(
+      a.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) pd[i] = pa[i] - pb[i];
+      },
+      kElemwiseGrain);
 }
 
 void add(std::span<const float> a, std::span<const float> b,
          std::span<float> dst) {
   OSP_CHECK(a.size() == b.size() && a.size() == dst.size(),
             "add size mismatch");
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pd = dst.data();
+  ThreadPool::global().parallel_for(
+      a.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) pd[i] = pa[i] + pb[i];
+      },
+      kElemwiseGrain);
 }
 
 }  // namespace osp::util

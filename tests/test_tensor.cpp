@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osp::tensor {
 namespace {
@@ -158,6 +160,130 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(33, 17, 9),
                       std::make_tuple(64, 48, 32),
                       std::make_tuple(128, 70, 5)));
+
+// Shapes chosen to stress the blocked kernel's edges: degenerate rows and
+// columns, primes, register-tile boundaries ±1 (the tile is 4×8), and a k
+// that crosses the 512-wide kc panel so the accumulator round-trips
+// through C.
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, MatmulSizes,
+    ::testing::Values(std::make_tuple(1, 257, 1), std::make_tuple(257, 1, 9),
+                      std::make_tuple(1, 9, 257),
+                      std::make_tuple(13, 29, 31),
+                      std::make_tuple(63, 65, 64),
+                      std::make_tuple(65, 64, 63),
+                      std::make_tuple(127, 129, 65),
+                      std::make_tuple(31, 520, 17)));
+
+TEST(Ops, MatmulTnAccAccumulatesIntoC) {
+  util::Rng rng(61);
+  const Tensor a = random_matrix(30, 7, rng);
+  const Tensor b = random_matrix(30, 11, rng);
+  Tensor fresh({7, 11});
+  matmul_tn(a, b, fresh);
+  Tensor acc({7, 11}, 1.5f);
+  matmul_tn_acc(a, b, acc);
+  for (std::size_t i = 0; i < acc.numel(); ++i) {
+    EXPECT_NEAR(acc[i], fresh[i] + 1.5f, 1e-5f);
+  }
+}
+
+TEST(Ops, MatmulTnBlockedAccMatchesPerSampleGrouping) {
+  // The batched call must reproduce the per-sample loop exactly: each
+  // block's product from a fresh accumulator, added to C in block order.
+  util::Rng rng(62);
+  const std::size_t blocks = 3, rows = 40, k = 6, n = 9;
+  const Tensor a = random_matrix(blocks * rows, k, rng);
+  const Tensor b = random_matrix(blocks * rows, n, rng);
+  Tensor batched({k, n}, 0.25f);
+  matmul_tn_blocked_acc(a, b, blocks, batched);
+
+  Tensor expected({k, n}, 0.25f);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    Tensor ab({rows, k}), bb({rows, n});
+    std::memcpy(ab.raw(), a.raw() + blk * rows * k, rows * k * sizeof(float));
+    std::memcpy(bb.raw(), b.raw() + blk * rows * n, rows * n * sizeof(float));
+    Tensor wg({k, n});
+    matmul_tn(ab, bb, wg);
+    for (std::size_t i = 0; i < wg.numel(); ++i) expected.raw()[i] += wg[i];
+  }
+  EXPECT_EQ(std::memcmp(batched.raw(), expected.raw(),
+                        batched.numel() * sizeof(float)),
+            0);
+}
+
+TEST(Ops, KernelsBitIdenticalAcrossThreadCounts) {
+  // The parallel decomposition must never change results: run the same
+  // inputs under pools of 1, 2, and 5 threads and require byte-equal
+  // outputs. Sizes are chosen to cross the parallel thresholds.
+  util::Rng rng(5150);
+  const Tensor a = random_matrix(127, 130, rng);
+  const Tensor b = random_matrix(130, 129, rng);
+  const Tensor a2 = random_matrix(127, 33, rng);
+  const Tensor bt = random_matrix(129, 130, rng);
+  const Tensor wide = random_matrix(5, 9001, rng);
+
+  auto run_all = [&](Tensor& mm, Tensor& tn, Tensor& nt, Tensor& sm,
+                     std::vector<float>& sums) {
+    matmul(a, b, mm);
+    matmul_tn(a, a2, tn);  // [130,127]·[127,33]
+    matmul_nt(a, bt, nt);
+    softmax_rows(a, sm);
+    sum_rows(wide, sums);
+  };
+
+  Tensor mm1({127, 129}), tn1({130, 33}), nt1({127, 129}), sm1({127, 130});
+  std::vector<float> sums1(9001, 0.0f);
+  {
+    util::ThreadPool solo(1);
+    util::ThreadPool::ScopedGlobal guard(solo);
+    run_all(mm1, tn1, nt1, sm1, sums1);
+  }
+  for (std::size_t threads : {2, 5}) {
+    util::ThreadPool pool(threads);
+    util::ThreadPool::ScopedGlobal guard(pool);
+    Tensor mm({127, 129}), tn({130, 33}), nt({127, 129}), sm({127, 130});
+    std::vector<float> sums(9001, 0.0f);
+    run_all(mm, tn, nt, sm, sums);
+    EXPECT_EQ(
+        std::memcmp(mm.raw(), mm1.raw(), mm.numel() * sizeof(float)), 0)
+        << "matmul diverged at " << threads << " threads";
+    EXPECT_EQ(
+        std::memcmp(tn.raw(), tn1.raw(), tn.numel() * sizeof(float)), 0)
+        << "matmul_tn diverged at " << threads << " threads";
+    EXPECT_EQ(
+        std::memcmp(nt.raw(), nt1.raw(), nt.numel() * sizeof(float)), 0)
+        << "matmul_nt diverged at " << threads << " threads";
+    EXPECT_EQ(
+        std::memcmp(sm.raw(), sm1.raw(), sm.numel() * sizeof(float)), 0)
+        << "softmax_rows diverged at " << threads << " threads";
+    EXPECT_EQ(std::memcmp(sums.data(), sums1.data(),
+                          sums.size() * sizeof(float)),
+              0)
+        << "sum_rows diverged at " << threads << " threads";
+  }
+}
+
+TEST(Ops, SumRowsWideMatrixAccumulates) {
+  // Wide enough that the column range splits across workers; the +=
+  // contract and per-column row order must survive the parallel path.
+  const std::size_t rows = 6, cols = 9001;
+  Tensor x({rows, cols});
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      x.at(r, c) = static_cast<float>(r + 1) + 0.25f * static_cast<float>(c % 4);
+    }
+  }
+  std::vector<float> out(cols, 2.0f);  // pre-seeded: must accumulate
+  util::ThreadPool pool(4);
+  util::ThreadPool::ScopedGlobal guard(pool);
+  sum_rows(x, out);
+  for (std::size_t c = 0; c < cols; c += 997) {
+    float expect = 2.0f;
+    for (std::size_t r = 0; r < rows; ++r) expect += x.at(r, c);
+    EXPECT_FLOAT_EQ(out[c], expect) << "column " << c;
+  }
+}
 
 TEST(Ops, MatmulShapeMismatchThrows) {
   Tensor a({2, 3}), b({4, 5}), c({2, 5});

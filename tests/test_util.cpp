@@ -281,6 +281,67 @@ TEST(ThreadPool, SizeReflectsConstruction) {
   EXPECT_EQ(pool.size(), 3u);
 }
 
+TEST(ThreadPool, ParallelForSkewedWorkCoversExactlyOnce) {
+  // Dynamic chunk claiming must still visit every index exactly once when
+  // per-index cost is wildly skewed (front-loaded work).
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  std::atomic<long long> sink{0};
+  pool.parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          long long acc = 0;
+          const std::size_t spin = i < 64 ? 20000 : 1;
+          for (std::size_t s = 0; s < spin; ++s) acc += static_cast<long long>(s ^ i);
+          sink.fetch_add(acc, std::memory_order_relaxed);
+          hits[i].fetch_add(1);
+        }
+      },
+      16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // An inner parallel_for issued from inside an outer chunk must not
+  // deadlock: the inner caller can always drain its own chunks.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(
+      64,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          pool.parallel_for(
+              64,
+              [&, i](std::size_t b2, std::size_t e2) {
+                for (std::size_t j = b2; j < e2; ++j) {
+                  hits[i * 64 + j].fetch_add(1);
+                }
+              },
+              4);
+        }
+      },
+      1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ScopedGlobalOverridesAndRestores) {
+  ThreadPool& original = ThreadPool::global();
+  {
+    ThreadPool pool(2);
+    ThreadPool::ScopedGlobal guard(pool);
+    EXPECT_EQ(&ThreadPool::global(), &pool);
+    {
+      ThreadPool inner(5);
+      ThreadPool::ScopedGlobal nested(inner);
+      EXPECT_EQ(&ThreadPool::global(), &inner);
+    }
+    EXPECT_EQ(&ThreadPool::global(), &pool);
+  }
+  EXPECT_EQ(&ThreadPool::global(), &original);
+}
+
 TEST(Table, AlignsAndCounts) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});
@@ -341,6 +402,43 @@ TEST(VecMath, AbsProdSum) {
   std::vector<float> a = {1, -2, 3};
   std::vector<float> b = {-4, 5, 6};
   EXPECT_DOUBLE_EQ(abs_prod_sum(a, b), 4.0 + 10.0 + 18.0);
+}
+
+TEST(VecMath, LargeReductionsMatchSerialAndThreadCounts) {
+  // Above ~1M elements the reductions switch to fixed-chunk parallel
+  // partials; the result must be deterministic across pool sizes and
+  // close to the straight serial sum.
+  const std::size_t n = (1u << 20) + 1234;
+  std::vector<float> a(n), b(n);
+  Rng rng(31337);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  double serial = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    serial += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  double d1, d5;
+  {
+    ThreadPool pool(1);
+    ThreadPool::ScopedGlobal guard(pool);
+    d1 = dot(a, b);
+  }
+  {
+    ThreadPool pool(5);
+    ThreadPool::ScopedGlobal guard(pool);
+    d5 = dot(a, b);
+  }
+  EXPECT_EQ(d1, d5);  // bit-deterministic across thread counts
+  EXPECT_NEAR(d1, serial, 1e-6 * n);
+  {
+    ThreadPool pool(3);
+    ThreadPool::ScopedGlobal guard(pool);
+    EXPECT_GT(l2_norm(a), 0.0);
+    EXPECT_GT(l1_norm(a), 0.0);
+    EXPECT_GT(abs_prod_sum(a, b), 0.0);
+  }
 }
 
 TEST(VecMath, CopyFillSubAdd) {
