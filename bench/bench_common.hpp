@@ -7,6 +7,7 @@
 //   OSP_BENCH_EPOCHS=4 ./build/bench/bench_fig6a_throughput
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
@@ -22,6 +23,7 @@
 #include "sync/bsp.hpp"
 #include "sync/r2sp.hpp"
 #include "sync/ssp.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace osp::bench {
@@ -66,6 +68,53 @@ inline runtime::RunResult run_one(const runtime::WorkloadSpec& spec,
                                   const runtime::EngineConfig& cfg) {
   runtime::Engine engine(spec, cfg, sync);
   return engine.run();
+}
+
+// ---- parallel multi-run harness -----------------------------------------
+
+/// One simulation job's outcome plus host wall-clock seconds and an
+/// optional sync-specific extra value (e.g. OSP's U_max) the job chooses
+/// to surface.
+struct TimedResult {
+  runtime::RunResult result;
+  double wall_s = 0.0;
+  double aux = 0.0;
+};
+
+/// A self-contained simulation job: constructs its own sync model and
+/// engine so it can run concurrently with its siblings.
+using BenchJob = std::function<TimedResult()>;
+
+/// Build the common job shape: run `spec` under the sync model `make()`
+/// produces with `cfg`, timing the host wall clock. `aux_of` (optional)
+/// extracts the extra value from the sync model after the run.
+template <typename MakeSync,
+          typename AuxOf = double (*)(const runtime::SyncModel&)>
+BenchJob make_job(
+    const runtime::WorkloadSpec& spec, MakeSync make,
+    runtime::EngineConfig cfg,
+    AuxOf aux_of = [](const runtime::SyncModel&) { return 0.0; }) {
+  return [&spec, make = std::move(make), cfg, aux_of]() {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto sync = make();
+    TimedResult out;
+    out.result = run_one(spec, *sync, cfg);
+    out.aux = aux_of(*sync);
+    out.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return out;
+  };
+}
+
+/// Fan the jobs out across the global thread pool, returning results in
+/// job order. Every job owns its Simulator/Engine/sync state, so each
+/// result is bit-identical to what a serial run would produce — only the
+/// host wall-clock differs.
+inline std::vector<TimedResult> run_jobs_parallel(
+    const std::vector<BenchJob>& jobs) {
+  return util::parallel_map(jobs.size(),
+                            [&jobs](std::size_t i) { return jobs[i](); });
 }
 
 /// Print the table and also drop a CSV under bench_out/.

@@ -7,6 +7,7 @@
 // accuracy loss (§5.3).
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 
 #include "bench_common.hpp"
 #include "util/json.hpp"
@@ -75,7 +76,13 @@ int main() {
     bench::emit(table, "fig7_tta_" + slug);
   }
   const char* json_path = std::getenv("OSP_BENCH_JSON");
-  const std::string path = json_path ? json_path : "BENCH_fig7_tta.json";
+  // Default into bench_out/ with the other emitters; the curated top-level
+  // BENCH_fig7_tta.json is refreshed deliberately from a blessed run.
+  const std::string path =
+      json_path ? json_path : "bench_out/BENCH_fig7_tta.json";
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
   if (osp::util::write_json_array(path, records)) {
     std::cout << "(json: " << path << ")\n";
   }

@@ -2,17 +2,16 @@
 // the proxy-model training — matmul orientations (square, skewed, and
 // tile-boundary shapes), conv via im2col, softmax, and the rank-2 helpers.
 //
-// Besides the console table, the run writes BENCH_micro_tensor.json
+// Besides the console table, the run writes bench_out/BENCH_micro_tensor.json
 // (override the path with OSP_BENCH_JSON): one record per benchmark with
 // op, shape, ns/op and GFLOP/s, so successive PRs can diff kernel
-// performance mechanically.
+// performance mechanically. The curated copy lives at the repo top level.
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
-#include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "nn/conv2d.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
@@ -205,55 +204,12 @@ void BM_SumRows(benchmark::State& state) {
 }
 BENCHMARK(BM_SumRows)->Arg(256)->Arg(4096);
 
-/// Prints the normal console table and also collects every finished run
-/// for the machine-readable perf record.
-class JsonCollectingReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    benchmark::ConsoleReporter::ReportRuns(runs);
-    for (const Run& run : runs) {
-      if (run.error_occurred) continue;
-      osp::util::JsonObject rec;
-      const std::string name = run.benchmark_name();
-      // "BM_Matmul/256" -> op "Matmul", shape "256".
-      std::string op = name, shape;
-      if (op.rfind("BM_", 0) == 0) op = op.substr(3);
-      if (const auto slash = op.find('/'); slash != std::string::npos) {
-        shape = op.substr(slash + 1);
-        op = op.substr(0, slash);
-      }
-      const double ns_per_op = run.GetAdjustedRealTime();
-      rec.set("op", op).set("shape", shape).set("ns_op", ns_per_op);
-      const auto it = run.counters.find("flops");
-      // "flops" is a rate counter: already flops/second after adjustment.
-      rec.set("gflops",
-              it != run.counters.end() ? it->second.value / 1e9 : 0.0);
-      records_.push_back(std::move(rec));
-    }
-  }
-
-  void WriteJson() {
-    const char* env = std::getenv("OSP_BENCH_JSON");
-    const std::string path = env != nullptr ? env : "BENCH_micro_tensor.json";
-    if (!osp::util::write_json_array(path, records_)) {
-      std::cerr << "bench_micro_tensor: failed to write " << path << "\n";
-    } else {
-      std::cout << "(json: " << path << ")\n";
-    }
-  }
-
- private:
-  std::vector<osp::util::JsonObject> records_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  JsonCollectingReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  reporter.WriteJson();
-  benchmark::Shutdown();
-  return 0;
+  // always_emit_gflops keeps the historical record shape: every tensor
+  // record carries a gflops field even when the op reports no FLOPs.
+  return osp::bench::run_benchmarks_with_json(
+      argc, argv, "bench_out/BENCH_micro_tensor.json",
+      /*always_emit_gflops=*/true);
 }

@@ -27,4 +27,9 @@ if [ "${#failed[@]}" -ne 0 ]; then
   printf '  %s\n' "${failed[@]}" >&2
   exit 1
 fi
+# Machine-readable artifacts land in bench_out/ (JSON + the figure CSVs).
+# Promote a blessed run over the curated top-level copies with e.g.:
+#   cp bench_out/BENCH_micro_network.json .
+echo "JSON artifacts:" >> "$out"
+ls bench_out/BENCH_*.json >> "$out" 2>&1
 echo "ALL_BENCHES_DONE" >> "$out"

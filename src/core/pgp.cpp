@@ -23,12 +23,21 @@ std::vector<double> pgp_importance(
 }
 
 std::vector<std::size_t> rank_ascending(std::span<const double> importance) {
-  std::vector<std::size_t> order(importance.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return importance[a] < importance[b];
+  // Sort (importance, index) pairs instead of indices with an indirect
+  // comparator: the sort's compares then read adjacent pairs rather than
+  // gathering through the index, and stable_sort on the pre-paired keys
+  // preserves the same ascending-index tie order the indirect form had.
+  std::vector<std::pair<double, std::size_t>> keyed(importance.size());
+  for (std::size_t i = 0; i < importance.size(); ++i) {
+    keyed[i] = {importance[i], i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const std::pair<double, std::size_t>& a,
+                      const std::pair<double, std::size_t>& b) {
+                     return a.first < b.first;
                    });
+  std::vector<std::size_t> order(importance.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
   return order;
 }
 

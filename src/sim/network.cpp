@@ -14,12 +14,67 @@ LinkId Network::add_link(double bandwidth_bytes_per_s, double latency_s,
   OSP_CHECK(incast_alpha >= 0.0, "incast alpha must be non-negative");
   links_.push_back({bandwidth_bytes_per_s, latency_s, loss_rate, incast_alpha});
   link_state_.push_back({});
+  link_flows_.emplace_back();
+  residual_.push_back(0.0);
+  crossing_.push_back(0);
+  link_mark_.push_back(0);
   return links_.size() - 1;
 }
 
 const LinkSpec& Network::link(LinkId id) const {
   OSP_CHECK(id < links_.size(), "link id out of range");
   return links_[id];
+}
+
+std::uint32_t Network::alloc_slot() {
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    flow_mark_.push_back(0);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  Flow& f = slots_[slot];
+  f.rate = 0.0;
+  f.down_links = 0;
+  f.active_pos = kNpos;
+  return slot;
+}
+
+void Network::set_rate(std::uint32_t slot, double rate) {
+  Flow& f = slots_[slot];
+  const bool was_active = f.rate > 0.0;
+  const bool is_active = rate > 0.0;
+  f.rate = rate;
+  if (is_active && !was_active) {
+    f.active_pos = static_cast<std::uint32_t>(active_.size());
+    active_.push_back(slot);
+  } else if (!is_active && was_active) {
+    const std::uint32_t last = active_.back();
+    active_[f.active_pos] = last;
+    slots_[last].active_pos = f.active_pos;
+    active_.pop_back();
+    f.active_pos = kNpos;
+  }
+}
+
+void Network::remove_flow(std::uint32_t slot) {
+  Flow& f = slots_[slot];
+  set_rate(slot, 0.0);
+  for (std::size_t i = 0; i < f.route.size(); ++i) {
+    std::vector<LinkFlowRef>& refs = link_flows_[f.route[i]];
+    const std::uint32_t pos = f.link_pos[i];
+    refs[pos] = refs.back();
+    // refs[pos] now holds the moved-in occurrence; repoint its owner (which
+    // may be this same flow when its route crosses the link twice).
+    slots_[refs[pos].slot].link_pos[refs[pos].route_pos] = pos;
+    refs.pop_back();
+  }
+  id_to_slot_.erase(f.id);
+  f.on_complete = nullptr;
+  f.in_use = false;
+  free_slots_.push_back(slot);
+  --num_flows_;
 }
 
 FlowId Network::start_flow(std::vector<LinkId> route, double bytes,
@@ -61,30 +116,45 @@ FlowId Network::start_flow(std::vector<LinkId> route, double bytes,
     if (on_complete != nullptr) sim_->schedule(latency, std::move(on_complete));
     return id;
   }
-  Flow flow;
-  flow.route = std::move(route);
-  flow.payload_bytes = bytes;
-  flow.wire_bytes_remaining = bytes * loss_factor;
-  flow.latency = latency;
-  flow.on_complete = std::move(on_complete);
-  flows_.emplace(id, std::move(flow));
-  recompute_rates();
+  const std::uint32_t slot = alloc_slot();
+  Flow& f = slots_[slot];
+  f.id = id;
+  f.route = std::move(route);
+  f.payload_bytes = bytes;
+  f.wire_bytes_remaining = bytes * loss_factor;
+  f.latency = latency;
+  f.on_complete = std::move(on_complete);
+  f.in_use = true;
+  f.link_pos.resize(f.route.size());
+  f.down_links = 0;
+  for (std::size_t i = 0; i < f.route.size(); ++i) {
+    const LinkId l = f.route[i];
+    f.link_pos[i] = static_cast<std::uint32_t>(link_flows_[l].size());
+    link_flows_[l].push_back({slot, static_cast<std::uint32_t>(i)});
+    if (!link_state_[l].up) ++f.down_links;
+  }
+  id_to_slot_[id] = slot;
+  ++num_flows_;
+  seed_flows_.assign(1, slot);
+  recompute_incremental(seed_flows_, {});
   schedule_next_completion();
   return id;
 }
 
 double Network::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const auto it = id_to_slot_.find(id);
+  return it == id_to_slot_.end() ? 0.0 : slots_[it->second].rate;
 }
 
 bool Network::cancel_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  const std::uint32_t slot = it->second;
   advance_to_now();
-  flows_.erase(it);
+  seed_links_.assign(slots_[slot].route.begin(), slots_[slot].route.end());
+  remove_flow(slot);
   ++flows_cancelled_;
-  recompute_rates();
+  recompute_incremental({}, seed_links_);
   schedule_next_completion();
   return true;
 }
@@ -93,7 +163,24 @@ void Network::set_link_up(LinkId id, bool up) {
   OSP_CHECK(id < links_.size(), "link id out of range");
   if (link_state_[id].up == up) return;
   link_state_[id].up = up;
-  topology_changed();
+  // Maintain the per-flow down-hop counters on the edge itself so the
+  // solver never rescans routes: one increment/decrement per occurrence of
+  // this link on a crossing flow's route.
+  seed_flows_.clear();
+  for (const LinkFlowRef& ref : link_flows_[id]) {
+    Flow& f = slots_[ref.slot];
+    if (up) {
+      OSP_CHECK(f.down_links > 0, "down-link counter underflow");
+      --f.down_links;
+    } else {
+      ++f.down_links;
+    }
+    seed_flows_.push_back(ref.slot);
+  }
+  advance_to_now();
+  seed_links_.assign(1, id);
+  recompute_incremental(seed_flows_, seed_links_);
+  schedule_next_completion();
 }
 
 bool Network::link_up(LinkId id) const {
@@ -108,7 +195,10 @@ void Network::set_link_degradation(LinkId id, double bandwidth_factor,
   OSP_CHECK(extra_loss_rate >= 0.0, "extra loss rate must be non-negative");
   link_state_[id].bandwidth_factor = bandwidth_factor;
   link_state_[id].extra_loss_rate = extra_loss_rate;
-  topology_changed();
+  advance_to_now();
+  seed_links_.assign(1, id);
+  recompute_incremental({}, seed_links_);
+  schedule_next_completion();
 }
 
 double Network::link_capacity(LinkId id) const {
@@ -126,19 +216,6 @@ void Network::add_injection_window(double start_s, double end_s,
   OSP_CHECK(link == kAllLinks || link < links_.size(),
             "injection link out of range");
   injections_.push_back({start_s, end_s, link, delay_s, drop_prob});
-}
-
-void Network::topology_changed() {
-  advance_to_now();
-  recompute_rates();
-  schedule_next_completion();
-}
-
-bool Network::route_has_down_link(const Flow& flow) const {
-  for (LinkId l : flow.route) {
-    if (!link_state_[l].up) return true;
-  }
-  return false;
 }
 
 double Network::ideal_transfer_time(const std::vector<LinkId>& route,
@@ -161,135 +238,222 @@ void Network::advance_to_now() {
   const double dt = now - last_advance_;
   last_advance_ = now;
   if (dt <= 0.0) return;
-  for (auto& [id, flow] : flows_) {
-    flow.wire_bytes_remaining =
-        std::max(0.0, flow.wire_bytes_remaining - flow.rate * dt);
+  // Zero-rate flows do not move, so only the active list is touched.
+  for (const std::uint32_t slot : active_) {
+    Flow& f = slots_[slot];
+    f.wire_bytes_remaining =
+        std::max(0.0, f.wire_bytes_remaining - f.rate * dt);
   }
 }
 
-void Network::recompute_rates() {
+void Network::recompute_incremental(std::span<const std::uint32_t> seed_flows,
+                                    std::span<const LinkId> seed_links) {
   ++epoch_;
-  if (flows_.empty()) return;
-  // Progressive water-filling. Track per-link residual capacity and the
-  // number of still-unfixed flows crossing it. A link's usable capacity
-  // shrinks under incast collapse when many flows converge on it.
-  std::vector<double> residual(links_.size());
-  std::vector<std::size_t> crossing(links_.size(), 0);
-  std::vector<FlowId> unfixed;
-  unfixed.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
-    flow.rate = 0.0;
+  if (num_flows_ == 0) return;
+  ++stats_.solves;
+  if (use_reference_solver_) {
+    solve_reference();
+    return;
+  }
+  // Closure over the flow↔link bipartite graph: a link pulls in every
+  // participating (non-stalled) flow crossing it; a flow pulls in every
+  // link on its route. Stalled flows claim no capacity, so they do not
+  // couple links and the BFS does not expand through them — but seeded
+  // flows always expand (a flow that just stalled frees capacity on its
+  // healthy links, and a new or just-unstalled flow claims some).
+  ++mark_stamp_;
+  affected_.clear();
+  touched_links_.clear();
+  auto mark_link = [this](LinkId l) {
+    if (link_mark_[l] != mark_stamp_) {
+      link_mark_[l] = mark_stamp_;
+      touched_links_.push_back(l);
+    }
+  };
+  for (const std::uint32_t slot : seed_flows) {
+    if (flow_mark_[slot] == mark_stamp_) continue;
+    flow_mark_[slot] = mark_stamp_;
+    affected_.push_back(slot);
+    for (const LinkId l : slots_[slot].route) mark_link(l);
+  }
+  for (const LinkId l : seed_links) mark_link(l);
+  for (std::size_t i = 0; i < touched_links_.size(); ++i) {
+    for (const LinkFlowRef& ref : link_flows_[touched_links_[i]]) {
+      if (flow_mark_[ref.slot] == mark_stamp_) continue;
+      flow_mark_[ref.slot] = mark_stamp_;
+      const Flow& f = slots_[ref.slot];
+      if (f.down_links != 0) continue;  // stalled: stays at rate 0
+      affected_.push_back(ref.slot);
+      for (const LinkId l : f.route) mark_link(l);
+    }
+  }
+  if (affected_.size() == num_flows_) ++stats_.full_solves;
+  solve_over(affected_, touched_links_);
+  if (check_reference_) verify_against_reference();
+}
+
+void Network::solve_over(const std::vector<std::uint32_t>& flow_set,
+                         const std::vector<LinkId>& links) {
+  // Progressive water-filling restricted to the affected sub-problem. The
+  // arithmetic mirrors solve_reference() exactly: because the sub-problem
+  // is closed (no outside flow crosses a touched link), every residual,
+  // crossing count, and min-share below takes the same values the full
+  // solve would produce for these flows — rates stay bit-identical.
+  stats_.flow_visits += flow_set.size();
+  unfixed_.clear();
+  for (const std::uint32_t slot : flow_set) {
+    set_rate(slot, 0.0);
     // Flows routed through a down link stall: rate 0, excluded from
     // water-filling so they don't claim shares on their healthy links.
-    if (route_has_down_link(flow)) continue;
-    unfixed.push_back(id);
-    for (LinkId l : flow.route) ++crossing[l];
+    if (slots_[slot].down_links == 0) unfixed_.push_back(slot);
   }
-  if (unfixed.empty()) return;
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    const double k = static_cast<double>(crossing[i]);
+  if (unfixed_.empty()) return;
+  for (const LinkId l : links) crossing_[l] = 0;
+  for (const std::uint32_t slot : unfixed_) {
+    for (const LinkId l : slots_[slot].route) ++crossing_[l];
+  }
+  for (const LinkId l : links) {
+    const double k = static_cast<double>(crossing_[l]);
+    // A link's usable capacity shrinks under incast collapse when many
+    // flows converge on it.
     const double collapse =
-        k > 1.0 ? 1.0 + links_[i].incast_alpha * (k - 1.0) : 1.0;
-    residual[i] =
-        links_[i].bandwidth_bps * link_state_[i].bandwidth_factor / collapse;
+        k > 1.0 ? 1.0 + links_[l].incast_alpha * (k - 1.0) : 1.0;
+    residual_[l] =
+        links_[l].bandwidth_bps * link_state_[l].bandwidth_factor / collapse;
   }
-  // Deterministic order regardless of hash-map iteration.
-  std::sort(unfixed.begin(), unfixed.end());
+  // Deterministic order: ascending flow id == start order.
+  std::sort(unfixed_.begin(), unfixed_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].id < slots_[b].id;
+            });
 
-  while (!unfixed.empty()) {
+  while (!unfixed_.empty()) {
     // Find the most constrained link among those carrying unfixed flows.
     double min_share = std::numeric_limits<double>::infinity();
-    for (std::size_t l = 0; l < links_.size(); ++l) {
-      if (crossing[l] == 0) continue;
+    for (const LinkId l : links) {
+      if (crossing_[l] == 0) continue;
       min_share = std::min(min_share,
-                           residual[l] / static_cast<double>(crossing[l]));
+                           residual_[l] / static_cast<double>(crossing_[l]));
     }
     OSP_CHECK(min_share < std::numeric_limits<double>::infinity(),
               "water-filling found no constrained link");
     // Fix every unfixed flow that crosses a link achieving min_share.
-    std::vector<FlowId> still_unfixed;
-    still_unfixed.reserve(unfixed.size());
-    for (FlowId id : unfixed) {
-      Flow& flow = flows_.at(id);
+    still_unfixed_.clear();
+    for (const std::uint32_t slot : unfixed_) {
+      ++stats_.flow_visits;
+      Flow& flow = slots_[slot];
       bool bottlenecked = false;
-      for (LinkId l : flow.route) {
+      for (const LinkId l : flow.route) {
         const double share =
-            residual[l] / static_cast<double>(crossing[l]);
+            residual_[l] / static_cast<double>(crossing_[l]);
         if (share <= min_share * (1.0 + 1e-12)) {
           bottlenecked = true;
           break;
         }
       }
       if (bottlenecked) {
-        flow.rate = min_share;
-        for (LinkId l : flow.route) {
-          residual[l] -= min_share;
-          --crossing[l];
+        set_rate(slot, min_share);
+        for (const LinkId l : flow.route) {
+          residual_[l] -= min_share;
+          --crossing_[l];
         }
       } else {
-        still_unfixed.push_back(id);
+        still_unfixed_.push_back(slot);
       }
     }
     // Guard against numerical stalls: if nothing was fixed, fix everything
     // remaining at the current min share.
-    if (still_unfixed.size() == unfixed.size()) {
-      for (FlowId id : unfixed) {
-        Flow& flow = flows_.at(id);
-        flow.rate = min_share;
-        for (LinkId l : flow.route) {
-          residual[l] -= min_share;
-          --crossing[l];
+    if (still_unfixed_.size() == unfixed_.size()) {
+      for (const std::uint32_t slot : unfixed_) {
+        set_rate(slot, min_share);
+        for (const LinkId l : slots_[slot].route) {
+          residual_[l] -= min_share;
+          --crossing_[l];
         }
       }
-      still_unfixed.clear();
+      still_unfixed_.clear();
     }
-    unfixed = std::move(still_unfixed);
+    unfixed_.swap(still_unfixed_);
+  }
+}
+
+void Network::solve_reference() {
+  // The pre-incremental algorithm: water-fill from scratch over every flow
+  // and every link. Kept as the ground truth the incremental solver is
+  // asserted against, and as the "before" configuration for benches.
+  affected_.clear();
+  touched_links_.clear();
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].in_use) affected_.push_back(slot);
+  }
+  for (LinkId l = 0; l < links_.size(); ++l) touched_links_.push_back(l);
+  ++stats_.full_solves;
+  solve_over(affected_, touched_links_);
+}
+
+void Network::verify_against_reference() {
+  rate_snapshot_.clear();
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].in_use) rate_snapshot_.emplace_back(slot, slots_[slot].rate);
+  }
+  // The reference run is verification overhead, not solver work: keep it
+  // out of the counters the benches report.
+  const SolveStats saved = stats_;
+  solve_reference();
+  stats_ = saved;
+  for (const auto& [slot, rate] : rate_snapshot_) {
+    OSP_CHECK(slots_[slot].rate == rate,
+              "incremental rate solver diverged from reference");
   }
 }
 
 void Network::schedule_next_completion() {
-  if (flows_.empty()) return;
-  // Find the earliest-finishing flow under current rates.
+  if (num_flows_ == 0) return;
+  // Find the earliest-finishing flow under current rates. Only flows with
+  // a nonzero rate can finish, so the scan touches the active list alone.
   double best_dt = std::numeric_limits<double>::infinity();
   FlowId best_id = 0;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.rate <= 0.0) continue;
+  std::uint32_t best_slot = kNpos;
+  for (const std::uint32_t slot : active_) {
+    const Flow& flow = slots_[slot];
     const double dt = flow.wire_bytes_remaining / flow.rate;
-    if (dt < best_dt || (dt == best_dt && id < best_id)) {
+    if (dt < best_dt || (dt == best_dt && flow.id < best_id)) {
       best_dt = dt;
-      best_id = id;
+      best_id = flow.id;
+      best_slot = slot;
     }
   }
-  if (best_dt == std::numeric_limits<double>::infinity()) {
+  if (best_slot == kNpos) {
     // Every flow is stalled. Legitimate only under a link outage — the up
     // edge will recompute rates and reschedule; anything else is a bug.
-    for (const auto& [id, flow] : flows_) {
-      OSP_CHECK(route_has_down_link(flow),
+    for (const Flow& flow : slots_) {
+      OSP_CHECK(!flow.in_use || flow.down_links > 0,
                 "active flows but none progressing");
     }
     return;
   }
   const std::uint64_t epoch = epoch_;
-  const FlowId id = best_id;
-  sim_->schedule(best_dt, [this, epoch, id] {
+  const std::uint32_t slot = best_slot;
+  sim_->schedule(best_dt, [this, epoch, slot] {
     if (epoch != epoch_) return;  // stale: rates changed since scheduling
-    complete_flow(id);
+    complete_flow(slot);
   });
 }
 
-void Network::complete_flow(FlowId id) {
+void Network::complete_flow(std::uint32_t slot) {
   advance_to_now();
-  auto it = flows_.find(id);
-  OSP_CHECK(it != flows_.end(), "completing unknown flow");
-  const double latency = it->second.latency;
-  auto cb = std::move(it->second.on_complete);
-  bytes_delivered_ += it->second.payload_bytes;
-  flows_.erase(it);
+  Flow& f = slots_[slot];
+  OSP_CHECK(f.in_use, "completing unknown flow");
+  const double latency = f.latency;
+  std::function<void()> cb = std::move(f.on_complete);
+  bytes_delivered_ += f.payload_bytes;
+  seed_links_.assign(f.route.begin(), f.route.end());
+  remove_flow(slot);
   // Last byte leaves now; it arrives after the route's propagation delay.
   if (cb != nullptr) {
     sim_->schedule(latency, std::move(cb));
   }
-  recompute_rates();
+  recompute_incremental({}, seed_links_);
   schedule_next_completion();
 }
 

@@ -14,18 +14,31 @@
 // recomputes rates, and reschedules the next completion. Completion events
 // are invalidated by an epoch counter.
 //
+// Scalability: the solver is *incremental*. A link→flows adjacency index
+// lets each topology change re-run water-filling only over the connected
+// component of flows/links reachable from the changed flow or link —
+// disjoint components share no links, so their allocations are independent
+// and untouched rates stay valid bit-for-bit. Flows live in a slot-indexed
+// table (stable indices, free-list reuse) with an active-flow list so
+// advancing in-flight bytes and rescheduling completions touch only flows
+// whose rate is nonzero. A from-scratch reference solver is kept behind
+// set_use_reference_solver() / set_check_against_reference() and asserted
+// bitwise-equal in the property tests.
+//
 // Fault injection (see sim/faults.hpp): links carry dynamic state — an
 // up/down bit and a degradation (bandwidth factor + extra loss). A flow
 // routed through a down link stalls at rate 0 and resumes when the link
-// comes back; rates recompute on every flap edge. Message-level injection
-// windows add latency to, or drop outright, flows that *start* inside the
-// window; drop sampling draws from a dedicated seeded stream so runs stay
-// deterministic.
+// comes back; rates recompute on every flap edge. Per-flow down-link
+// counters are maintained on the flap edges themselves, so recomputes
+// never rescan routes for link health. Message-level injection windows add
+// latency to, or drop outright, flows that *start* inside the window; drop
+// sampling draws from a dedicated seeded stream so runs stay deterministic.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -122,7 +135,7 @@ class Network {
   }
 
   /// Number of flows still in flight.
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return num_flows_; }
 
   /// Current fair-share rate of a flow (bytes/s); 0 if unknown/finished.
   [[nodiscard]] double flow_rate(FlowId id) const;
@@ -136,14 +149,49 @@ class Network {
   [[nodiscard]] double ideal_transfer_time(const std::vector<LinkId>& route,
                                            double bytes) const;
 
+  // ---- solver instrumentation & debugging ----
+
+  /// Work counters for the rate solver (reset-free, monotonic).
+  struct SolveStats {
+    std::uint64_t solves = 0;       ///< rate recomputations executed
+    std::uint64_t full_solves = 0;  ///< recomputations that spanned all flows
+    /// Flow entries examined across all solves: one per flow in the setup
+    /// pass plus one per (flow, water-filling round). The incremental
+    /// solver's headline win is reducing this count.
+    std::uint64_t flow_visits = 0;
+  };
+  [[nodiscard]] const SolveStats& solve_stats() const { return stats_; }
+
+  /// Debug: route every recomputation through the from-scratch reference
+  /// water-filling over all flows × links (the pre-incremental algorithm).
+  void set_use_reference_solver(bool on) { use_reference_solver_ = on; }
+
+  /// Debug: after every incremental solve, re-run the reference solver and
+  /// assert every flow's rate is bitwise identical (slow; for tests).
+  void set_check_against_reference(bool on) { check_reference_ = on; }
+
  private:
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
   struct Flow {
+    FlowId id = 0;
     std::vector<LinkId> route;
     double payload_bytes = 0.0;         ///< size as requested by the caller
     double wire_bytes_remaining = 0.0;  ///< includes (1+lr) inflation
     double rate = 0.0;                  ///< bytes/s, set by water-filling
     double latency = 0.0;               ///< route latency to add at the end
     std::function<void()> on_complete;
+    /// Position of this flow's entry in link_flows_[route[i]], per hop.
+    std::vector<std::uint32_t> link_pos;
+    std::uint32_t down_links = 0;    ///< route hops currently down
+    std::uint32_t active_pos = kNpos;  ///< index in active_, kNpos if rate 0
+    bool in_use = false;
+  };
+
+  /// One flow occurrence on a link: slot index + which hop of its route.
+  struct LinkFlowRef {
+    std::uint32_t slot;
+    std::uint32_t route_pos;
   };
 
   /// Mutable fault-injection state, parallel to links_.
@@ -162,19 +210,64 @@ class Network {
   };
 
   void advance_to_now();
-  void recompute_rates();
   void schedule_next_completion();
-  void complete_flow(FlowId id);
-  [[nodiscard]] bool route_has_down_link(const Flow& flow) const;
-  /// Rates changed (flap/degrade/cancel): advance, recompute, reschedule.
-  void topology_changed();
+  void complete_flow(std::uint32_t slot);
+
+  std::uint32_t alloc_slot();
+  /// Unlink from the adjacency index, drop from the active list, free the
+  /// slot. Does not recompute rates.
+  void remove_flow(std::uint32_t slot);
+  /// Set a flow's rate, maintaining the active list.
+  void set_rate(std::uint32_t slot, double rate);
+
+  /// Recompute rates over the connected component(s) reachable from the
+  /// seed flows/links; bumps the completion epoch. Falls through to the
+  /// reference solver when requested.
+  void recompute_incremental(std::span<const std::uint32_t> seed_flows,
+                             std::span<const LinkId> seed_links);
+  /// Progressive water-filling restricted to `flow_set` / `links` (the
+  /// closed sub-problem collected by recompute_incremental).
+  void solve_over(const std::vector<std::uint32_t>& flow_set,
+                  const std::vector<LinkId>& links);
+  /// From-scratch water-filling over every flow and link.
+  void solve_reference();
+  /// Assert the reference solver reproduces the current rates bitwise.
+  void verify_against_reference();
 
   Simulator* sim_;
   std::vector<LinkSpec> links_;
   std::vector<LinkState> link_state_;
   std::vector<InjectionWindow> injections_;
   util::Rng inject_rng_{0xFA17ULL};
-  std::unordered_map<FlowId, Flow> flows_;
+
+  // Slot-indexed flow table + adjacency.
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<FlowId, std::uint32_t> id_to_slot_;
+  std::vector<std::vector<LinkFlowRef>> link_flows_;  ///< parallel to links_
+  std::vector<std::uint32_t> active_;  ///< slots with rate > 0
+  std::size_t num_flows_ = 0;
+
+  // Solver scratch (persistent to avoid per-solve allocation). residual_/
+  // crossing_ values are only meaningful for the links touched by the
+  // current solve; *_mark_ stamps identify membership per BFS.
+  std::vector<double> residual_;
+  std::vector<std::size_t> crossing_;
+  std::vector<std::uint64_t> link_mark_;
+  std::vector<std::uint64_t> flow_mark_;
+  std::uint64_t mark_stamp_ = 0;
+  std::vector<std::uint32_t> affected_;
+  std::vector<LinkId> touched_links_;
+  std::vector<std::uint32_t> unfixed_;
+  std::vector<std::uint32_t> still_unfixed_;
+  std::vector<LinkId> seed_links_;
+  std::vector<std::uint32_t> seed_flows_;
+  std::vector<std::pair<std::uint32_t, double>> rate_snapshot_;
+
+  SolveStats stats_;
+  bool use_reference_solver_ = false;
+  bool check_reference_ = false;
+
   FlowId next_flow_id_ = 1;
   std::uint64_t epoch_ = 0;  ///< invalidates stale completion events
   SimTime last_advance_ = 0.0;

@@ -3,16 +3,32 @@
 // Virtual time is a double in seconds. Events scheduled at equal times fire
 // in schedule order (a monotonically increasing sequence number breaks
 // ties), which keeps every run fully deterministic.
+//
+// The event queue is a hand-rolled binary heap over a vector rather than
+// std::priority_queue: priority_queue only exposes a const top(), which
+// forces a copy of the callback out of the queue on every pop. With a
+// move-only small-buffer callback (util::SmallFunction) the hot loop moves
+// events out of the heap and never touches the allocator for captures up
+// to the inline buffer size. The (time, seq) comparator is a strict total
+// order, so the pop sequence — and therefore determinism — is independent
+// of the heap's internal layout.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/small_function.hpp"
 
 namespace osp::sim {
 
 using SimTime = double;
+
+/// Event callback: 32 inline bytes covers every capture the simulator's
+/// clients create on the hot path (network completions capture 24 bytes;
+/// a moved-in std::function is exactly 32), and keeps the whole Event
+/// record — time, seq, callback — at one 64-byte cache line so heap
+/// sifts stay cheap. Larger captures spill to the heap.
+using EventFn = util::SmallFunction<void(), 32>;
 
 class Simulator {
  public:
@@ -24,10 +40,10 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  void schedule(SimTime delay, std::function<void()> fn);
+  void schedule(SimTime delay, EventFn fn);
 
   /// Schedule `fn` at absolute time `when` (must be >= now()).
-  void schedule_at(SimTime when, std::function<void()> fn);
+  void schedule_at(SimTime when, EventFn fn);
 
   /// Run until the event queue drains. Returns events processed.
   std::size_t run();
@@ -39,27 +55,32 @@ class Simulator {
   /// Drop all pending events (used between experiment repetitions).
   void clear();
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
  private:
   struct Event {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// True when `a` must fire before `b`.
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Remove and return the earliest event.
+  Event pop_min();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;  ///< min-heap ordered by earlier()
 };
 
 }  // namespace osp::sim

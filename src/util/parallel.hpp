@@ -1,0 +1,44 @@
+// Parallel map over independent, self-contained jobs.
+//
+// The bench harnesses run many (seed, config) simulation repetitions where
+// every repetition owns its Simulator/Network/Engine — embarrassingly
+// parallel work. parallel_map fans the jobs out across a ThreadPool while
+// keeping each job's result bit-identical to a serial run: the only shared
+// state is the output vector, and every job writes its own element.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace osp::util {
+
+/// Evaluate fn(0) … fn(n-1) across `pool`, returning results in index
+/// order. fn must be callable concurrently from multiple threads and each
+/// invocation must be self-contained (own RNG / simulator state), which is
+/// what makes the per-index results independent of the pool size and of
+/// scheduling order. R must be default-constructible and movable.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallel_map results must be default-constructible");
+  std::vector<R> out(n);
+  pool.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+/// parallel_map over the process-global pool.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn) {
+  return parallel_map(ThreadPool::global(), n, std::forward<Fn>(fn));
+}
+
+}  // namespace osp::util

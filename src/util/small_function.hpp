@@ -1,0 +1,141 @@
+// A move-only callable with small-buffer optimization.
+//
+// std::function heap-allocates any capture larger than ~16 bytes, which
+// makes every simulator event (capturing this + epoch + flow id, or the
+// runtime's fatter completion lambdas) a malloc/free pair on the hottest
+// loop in the codebase. SmallFunction stores captures up to `BufferSize`
+// bytes inline in the event record and only falls back to the heap beyond
+// that. It is move-only: events are scheduled once, moved into the queue,
+// and consumed once, so copyability buys nothing and would force captured
+// state to be copyable too.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace osp::util {
+
+template <typename Signature, std::size_t BufferSize = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t BufferSize>
+class SmallFunction<R(Args...), BufferSize> {
+ public:
+  SmallFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kInline<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      invoke_ = [](SmallFunction& self, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(self.buffer_)))(
+            std::forward<Args>(args)...);
+      };
+      if constexpr (std::is_trivially_copyable_v<Fn>) {
+        // All trivially-copyable callables share one manage function;
+        // move_from/reset recognize its address and inline the work
+        // (memcpy / no-op), skipping the indirect call on the event
+        // queue's sift path.
+        manage_ = &trivial_manage;
+      } else {
+        manage_ = [](SmallFunction* self, SmallFunction* from) {
+          if (from != nullptr) {
+            Fn* src = std::launder(reinterpret_cast<Fn*>(from->buffer_));
+            ::new (static_cast<void*>(self->buffer_)) Fn(std::move(*src));
+            src->~Fn();
+          } else {
+            std::launder(reinterpret_cast<Fn*>(self->buffer_))->~Fn();
+          }
+        };
+      }
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](SmallFunction& self, Args&&... args) -> R {
+        return (*static_cast<Fn*>(self.heap_))(std::forward<Args>(args)...);
+      };
+      manage_ = [](SmallFunction* self, SmallFunction* from) {
+        if (from != nullptr) {
+          self->heap_ = from->heap_;
+          from->heap_ = nullptr;
+        } else {
+          delete static_cast<Fn*>(self->heap_);
+        }
+      };
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(*this, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  template <typename Fn>
+  static constexpr bool kInline =
+      sizeof(Fn) <= BufferSize &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  /// Shared manage for trivially-copyable inline callables: move is a raw
+  /// buffer copy, destroy is a no-op. Kept as a real function so manage_
+  /// is never null while a callable is held, but both call sites test for
+  /// this address and inline the operation.
+  static void trivial_manage(SmallFunction* self, SmallFunction* from) {
+    if (from != nullptr) std::memcpy(self->buffer_, from->buffer_, BufferSize);
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ == &trivial_manage) {
+      std::memcpy(buffer_, other.buffer_, BufferSize);
+    } else if (manage_ != nullptr) {
+      manage_(this, &other);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr && manage_ != &trivial_manage) {
+      manage_(this, nullptr);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buffer_[BufferSize];
+    void* heap_;
+  };
+  R (*invoke_)(SmallFunction&, Args&&...) = nullptr;
+  /// Moves `*from` into `*self` when from != nullptr, destroys `*self`'s
+  /// callable otherwise. One pointer covers both operations so the event
+  /// record stays at two words of overhead.
+  void (*manage_)(SmallFunction*, SmallFunction*) = nullptr;
+};
+
+}  // namespace osp::util

@@ -2,13 +2,16 @@
 // serialization, Eq. 5 / Algorithm 1 budget tuning, and LGP (Eq. 6–7).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "core/gib.hpp"
 #include "core/lgp.hpp"
 #include "core/pgp.hpp"
 #include "core/tuning.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace osp::core {
 namespace {
@@ -45,6 +48,24 @@ TEST(Pgp, RankAscendingStableTies) {
   std::vector<double> imp = {3.0, 1.0, 2.0, 1.0};
   const auto order = rank_ascending(imp);
   EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(Pgp, RankAscendingTieOrderMatchesIndirectSort) {
+  // Regression for the pre-paired (importance, index) sort: on heavily
+  // tied inputs the order must stay what a stable indirect sort over
+  // indices produces — equal importances rank in ascending-index order.
+  osp::util::Rng rng(99);
+  std::vector<double> imp(257);
+  for (double& v : imp) {
+    v = static_cast<double>(rng.uniform_u64(8));  // many duplicates
+  }
+  std::vector<std::size_t> expected(imp.size());
+  std::iota(expected.begin(), expected.end(), 0u);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&imp](std::size_t a, std::size_t b) {
+                     return imp[a] < imp[b];
+                   });
+  EXPECT_EQ(rank_ascending(imp), expected);
 }
 
 TEST(Pgp, MagnitudeIgnoresParams) {

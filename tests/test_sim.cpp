@@ -559,5 +559,131 @@ TEST(NetworkFaults, FlapFuzzPreservesInvariants) {
   }
 }
 
+// ---- incremental rate solver vs. from-scratch reference -----------------
+
+/// Drives one seeded random workload — random topology, staggered flow
+/// starts over random routes, link flaps — against `net`/`sim` and returns
+/// per-flow completion times (index = start order; -1 for flows that never
+/// finished). Used to compare the incremental and reference solvers on
+/// bit-identical inputs.
+std::vector<double> run_random_workload(Simulator& sim, Network& net,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t num_links = 2 + rng.uniform_u64(8);  // 2..9 links
+  std::vector<LinkId> links;
+  for (std::size_t l = 0; l < num_links; ++l) {
+    links.push_back(net.add_link(rng.uniform(200.0, 3000.0),
+                                 rng.uniform(0.0, 0.01),
+                                 rng.uniform(0.0, 0.1),
+                                 rng.uniform(0.0, 0.05)));
+  }
+  const std::size_t num_flows = 20 + rng.uniform_u64(30);
+  auto done = std::make_shared<std::vector<double>>(num_flows, -1.0);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    // Random route of 1..3 distinct-ish links (duplicates are legal).
+    std::vector<LinkId> route;
+    const std::size_t hops = 1 + rng.uniform_u64(3);
+    for (std::size_t h = 0; h < hops; ++h) {
+      route.push_back(links[rng.uniform_u64(links.size())]);
+    }
+    const double at = rng.uniform(0.0, 4.0);
+    const double payload = rng.uniform(50.0, 3000.0);
+    sim.schedule_at(at, [&net, &sim, done, i, route, payload] {
+      net.start_flow(std::vector<LinkId>(route), payload,
+                     [&sim, done, i] { (*done)[i] = sim.now(); });
+    });
+  }
+  // Matched down/up flap windows so everything can eventually drain.
+  for (int i = 0; i < 10; ++i) {
+    const LinkId l = links[rng.uniform_u64(links.size())];
+    const double down_at = rng.uniform(0.0, 4.0);
+    sim.schedule_at(down_at, [&net, l] { net.set_link_up(l, false); });
+    sim.schedule_at(down_at + rng.uniform(0.05, 0.8),
+                    [&net, l] { net.set_link_up(l, true); });
+  }
+  sim.run();
+  return *done;
+}
+
+// Property test: with check-against-reference enabled, every single rate
+// recomputation re-runs the from-scratch solver internally and OSP_CHECKs
+// that each flow's rate is bitwise identical — across random topologies,
+// staggered arrivals, random routes, and link flaps.
+TEST(NetworkIncremental, RandomChurnMatchesReferenceBitwise) {
+  for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+    Simulator sim;
+    Network net(sim);
+    net.set_check_against_reference(true);
+    const auto done = run_random_workload(sim, net, seed);
+    EXPECT_EQ(net.active_flows(), 0u) << "seed " << seed;
+    EXPECT_GT(net.solve_stats().solves, 0u) << "seed " << seed;
+    for (double d : done) EXPECT_GT(d, 0.0) << "seed " << seed;
+  }
+}
+
+// The same workload simulated end-to-end under each solver must produce
+// bitwise-identical completion times, delivered bytes, and event counts.
+TEST(NetworkIncremental, PairedRunsCompleteBitIdentical) {
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    Simulator sim_inc;
+    Network net_inc(sim_inc);
+    const auto done_inc = run_random_workload(sim_inc, net_inc, seed);
+
+    Simulator sim_ref;
+    Network net_ref(sim_ref);
+    net_ref.set_use_reference_solver(true);
+    const auto done_ref = run_random_workload(sim_ref, net_ref, seed);
+
+    ASSERT_EQ(done_inc.size(), done_ref.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < done_inc.size(); ++i) {
+      EXPECT_EQ(done_inc[i], done_ref[i])  // bitwise, not approximate
+          << "seed " << seed << " flow " << i;
+    }
+    EXPECT_EQ(net_inc.bytes_delivered(), net_ref.bytes_delivered())
+        << "seed " << seed;
+    EXPECT_EQ(sim_inc.events_processed(), sim_ref.events_processed())
+        << "seed " << seed;
+    // The reference solver can only do full solves; the incremental one
+    // must never visit more flow entries than it.
+    EXPECT_LE(net_inc.solve_stats().flow_visits,
+              net_ref.solve_stats().flow_visits)
+        << "seed " << seed;
+  }
+}
+
+// Disjoint components keep the incremental solver local: with flows spread
+// over independent links, it must visit at least 5x fewer flow entries
+// than the from-scratch reference (the PR's headline scaling win).
+TEST(NetworkIncremental, ShardedComponentsReduceVisits) {
+  auto run_sharded = [](bool reference) {
+    Simulator sim;
+    Network net(sim);
+    constexpr std::size_t kShards = 8;
+    constexpr std::size_t kFlowsPerShard = 6;
+    std::vector<LinkId> links;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      links.push_back(net.add_link(1000.0));
+    }
+    net.set_use_reference_solver(reference);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::size_t f = 0; f < kFlowsPerShard; ++f) {
+        // Stagger starts so churn interleaves across shards.
+        sim.schedule_at(static_cast<double>(f * kShards + s) * 0.01,
+                        [&net, &links, s, f] {
+                          net.start_flow({links[s]},
+                                         500.0 + static_cast<double>(f) * 40.0,
+                                         nullptr);
+                        });
+      }
+    }
+    sim.run();
+    return net.solve_stats().flow_visits;
+  };
+  const std::uint64_t inc = run_sharded(false);
+  const std::uint64_t ref = run_sharded(true);
+  EXPECT_GE(static_cast<double>(ref), 5.0 * static_cast<double>(inc))
+      << "ref=" << ref << " inc=" << inc;
+}
+
 }  // namespace
 }  // namespace osp::sim

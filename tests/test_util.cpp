@@ -2,14 +2,19 @@
 // online statistics, the thread pool, tables, and flat-vector kernels.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/small_function.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -460,6 +465,111 @@ TEST(VecMath, ScaleInPlace) {
   scale(a, -2.0f);
   EXPECT_FLOAT_EQ(a[0], -2.0f);
   EXPECT_FLOAT_EQ(a[1], 4.0f);
+}
+
+TEST(SmallFunction, InvokesInlineCapture) {
+  int hits = 0;
+  SmallFunction<void()> fn = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, DefaultConstructedIsEmpty) {
+  SmallFunction<int(int)> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFunction, PassesArgumentsAndReturnsValues) {
+  SmallFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(SmallFunction, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  SmallFunction<void()> a = [&hits] { ++hits; };
+  SmallFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFunction, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(41);
+  SmallFunction<int()> fn = [p = std::move(p)] { return *p + 1; };
+  SmallFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 42);
+}
+
+TEST(SmallFunction, DestroysCaptureExactlyOnce) {
+  // Counts destructions of a live (non-moved-from) capture through
+  // construct, two moves, and destruction — exactly one net destroy.
+  static int live = 0;
+  struct Probe {
+    bool owner = true;
+    Probe() { ++live; }
+    Probe(Probe&& o) noexcept : owner(o.owner) { o.owner = false; }
+    Probe(const Probe& o) : owner(o.owner) {}
+    ~Probe() {
+      if (owner) --live;
+    }
+  };
+  live = 0;
+  {
+    SmallFunction<void()> a = [probe = Probe{}] { (void)probe; };
+    EXPECT_EQ(live, 1);
+    SmallFunction<void()> b = std::move(a);
+    SmallFunction<void()> c;
+    c = std::move(b);
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SmallFunction, LargeCapturesSpillToHeap) {
+  // A capture bigger than the inline buffer still works (heap path) and
+  // survives moves.
+  std::array<double, 32> big{};
+  big[0] = 1.5;
+  big[31] = 2.5;
+  SmallFunction<double(), 16> fn = [big] { return big[0] + big[31]; };
+  SmallFunction<double(), 16> moved = std::move(fn);
+  EXPECT_DOUBLE_EQ(moved(), 4.0);
+}
+
+TEST(ParallelMap, ReturnsResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  const auto out = parallel_map(pool, 57, [&calls](std::size_t i) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(calls.load(), 57);
+  EXPECT_EQ(out.size(), 57u);
+}
+
+TEST(ParallelMap, EmptyAndSingle) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(parallel_map(pool, 0, [](std::size_t) { return 1; }).empty());
+  const auto one = parallel_map(pool, 1, [](std::size_t i) { return i + 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7u);
+}
+
+TEST(ParallelMap, GlobalPoolOverload) {
+  const auto out = parallel_map(16, [](std::size_t i) { return 2 * i; });
+  ASSERT_EQ(out.size(), 16u);
+  EXPECT_EQ(out[15], 30u);
 }
 
 }  // namespace

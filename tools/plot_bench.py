@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""Plot the figure CSVs produced by the bench harnesses.
+"""Plot the figure CSVs and bench JSON produced by the bench harnesses.
 
 Usage:
     python3 tools/plot_bench.py [bench_out_dir] [output_dir]
 
 Reads every CSV in bench_out/ (written by `./run_benches.sh`) and renders
-one PNG per figure under plots/. Requires matplotlib; the script degrades
-to printing a summary when it is unavailable, so CI without matplotlib
-still exercises the parsing path.
+one PNG per figure under plots/. The worker-scaling sweep
+(ext_scaling_workers.csv) additionally gets a dedicated throughput-vs-
+workers plot on a numeric log2 x-axis. BENCH_micro_network.json (the
+network micro-bench emitter) is rendered as the incremental-solver
+flow-visit ratio vs worker count. Requires matplotlib; the script
+degrades to printing a summary when it is unavailable, so CI without
+matplotlib still exercises the parsing path.
 """
 
 import csv
+import json
 import pathlib
 import sys
 
@@ -33,6 +38,81 @@ def numeric(cell: str):
         return float(token)
     except ValueError:
         return None
+
+
+def plot_worker_scaling(path: pathlib.Path, dst: pathlib.Path, plt) -> int:
+    """Throughput vs worker count from ext_scaling_workers.csv, with the
+    worker count as a real numeric (log2) axis rather than categories."""
+    header, rows = read_csv(path)
+    if not rows:
+        return 0
+    workers = [numeric(row[0]) for row in rows]
+    if any(w is None for w in workers):
+        return 0
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    plotted = False
+    for col, name in enumerate(header):
+        if not name.endswith("tput"):
+            continue
+        values = [numeric(row[col]) for row in rows]
+        if any(v is None for v in values):
+            continue
+        ax.plot(workers, values, marker="o", label=name)
+        plotted = True
+    if not plotted:
+        plt.close(fig)
+        return 0
+    ax.set_xscale("log", base=2)
+    ax.set_xticks(workers)
+    ax.set_xticklabels([str(int(w)) for w in workers])
+    ax.set_xlabel("workers")
+    ax.set_ylabel("throughput (images/s)")
+    ax.set_title("worker scaling, single PS (ext §6.1a)")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    dst.mkdir(parents=True, exist_ok=True)
+    fig.savefig(dst / "ext_scaling_throughput_vs_workers.png", dpi=130)
+    plt.close(fig)
+    return 1
+
+
+def plot_network_json(path: pathlib.Path, dst: pathlib.Path, plt) -> int:
+    """Flow-visit reduction (reference / incremental solver) vs worker
+    count from the RoundTripChurn records of BENCH_micro_network.json."""
+    try:
+        records = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as err:
+        print(f"{path.name}: unreadable ({err})")
+        return 0
+    churn = [r for r in records if r.get("op") == "RoundTripChurn"
+             and "workers" in r and "visit_ratio" in r]
+    print(f"{path.name}: {len(records)} records, {len(churn)} churn points")
+    if not churn or plt is None:
+        return 0
+    # One series per rack count (shape is "racks/workers_per_rack").
+    by_racks = {}
+    for r in sorted(churn, key=lambda r: r["workers"]):
+        racks = r.get("shape", "?").split("/")[0]
+        by_racks.setdefault(racks, []).append((r["workers"],
+                                               r["visit_ratio"]))
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    for racks, points in sorted(by_racks.items()):
+        ax.plot([p[0] for p in points], [p[1] for p in points],
+                marker="o", label=f"{racks} PS shard(s)")
+    ax.axhline(5.0, linestyle="--", alpha=0.5, label="5x target")
+    ax.set_xscale("log", base=2)
+    ax.set_yscale("log")
+    ax.set_xlabel("workers")
+    ax.set_ylabel("flow visits: reference / incremental")
+    ax.set_title("incremental rate-solver reduction (micro_network)")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    dst.mkdir(parents=True, exist_ok=True)
+    fig.savefig(dst / "micro_network_visit_ratio.png", dpi=130)
+    plt.close(fig)
+    return 1
 
 
 def plot_all(src: pathlib.Path, dst: pathlib.Path) -> int:
@@ -78,6 +158,12 @@ def plot_all(src: pathlib.Path, dst: pathlib.Path) -> int:
         fig.savefig(dst / f"{path.stem}.png", dpi=130)
         plt.close(fig)
         count += 1
+    if plt is not None:
+        scaling = src / "ext_scaling_workers.csv"
+        if scaling.is_file():
+            count += plot_worker_scaling(scaling, dst, plt)
+    for json_path in sorted(src.glob("BENCH_micro_network.json")):
+        count += plot_network_json(json_path, dst, plt)
     return count
 
 
