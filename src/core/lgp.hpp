@@ -64,6 +64,12 @@ class EmaLgp {
   [[nodiscard]] std::span<const float> ema() const { return ema_; }
   [[nodiscard]] bool has_history() const { return has_history_; }
 
+  /// Restore EMA state from a checkpoint.
+  void restore(std::span<const float> ema, bool has_history) {
+    ema_.assign(ema.begin(), ema.end());
+    has_history_ = has_history;
+  }
+
  private:
   double beta_;
   double ema_alpha_;

@@ -6,6 +6,7 @@
 #include "runtime/engine.hpp"
 #include "sync/sharding.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::core {
@@ -506,6 +507,91 @@ void OspSync::check_ics_round(std::uint64_t round) {
 void OspSync::on_epoch_complete(std::size_t epoch, double mean_loss) {
   if (options_.fixed_budget_fraction >= 0.0) return;  // ablation: fixed
   ics_budget_ = tuner_->on_epoch_loss(epoch, mean_loss);
+}
+
+void OspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // OSP state version
+  w.u64(round_);
+  const std::vector<std::uint8_t> gib_bytes = gib_.serialize();
+  w.bytes(gib_bytes);
+  w.f64(ics_budget_);
+  // Algorithm 1 state: u_max is reconstructed from the cluster config in
+  // attach(); the loss-driven part must travel.
+  w.f64(tuner_->reference_loss());
+  w.f64(tuner_->current_budget());
+  w.boolean(tuner_->initialized());
+  const util::RngState rng = rng_.state();
+  for (std::uint64_t word : rng.s) w.u64(word);
+  w.boolean(rng.have_spare_normal);
+  w.f64(rng.spare_normal);
+  w.boolean(ema_lgp_ != nullptr);
+  if (ema_lgp_ != nullptr) {
+    w.f32_vec(ema_lgp_->ema());
+    w.boolean(ema_lgp_->has_history());
+  }
+  w.u64_vec(last_ics_applied_);
+  w.u64(ics_rounds_completed_);
+  w.u64(unhealthy_);
+  w.size_vec(rs_shards_arrived_);
+  w.bool_vec(rs_contributed_);
+  w.u64(rs_contributed_count_);
+  w.bool_vec(rs_awaiting_);
+  w.u64_vec(rs_awaiting_round_);
+  w.size_vec(rs_pending_);
+}
+
+void OspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported OSP state version");
+  round_ = r.u64();
+  gib_ = Gib::deserialize(r.bytes());
+  OSP_CHECK(gib_.size() == eng().num_blocks(),
+            "OSP checkpoint GIB block count mismatch");
+  ics_budget_ = r.f64();
+  const double ref_loss = r.f64();
+  const double budget = r.f64();
+  const bool initialized = r.boolean();
+  tuner_->restore(ref_loss, budget, initialized);
+  util::RngState rng;
+  for (std::uint64_t& word : rng.s) word = r.u64();
+  rng.have_spare_normal = r.boolean();
+  rng.spare_normal = r.f64();
+  rng_.set_state(rng);
+  const bool has_ema = r.boolean();
+  OSP_CHECK(has_ema == (ema_lgp_ != nullptr),
+            "OSP checkpoint EMA-LGP configuration mismatch");
+  if (has_ema) {
+    std::vector<float> ema = r.f32_vec();
+    const bool has_history = r.boolean();
+    OSP_CHECK(ema.size() == eng().global_params().size(),
+              "OSP checkpoint EMA length mismatch");
+    ema_lgp_->restore(ema, has_history);
+  }
+  last_ics_applied_ = r.u64_vec();
+  ics_rounds_completed_ = static_cast<std::size_t>(r.u64());
+  unhealthy_ = static_cast<std::size_t>(r.u64());
+  rs_shards_arrived_ = r.size_vec();
+  rs_contributed_ = r.bool_vec();
+  rs_contributed_count_ = static_cast<std::size_t>(r.u64());
+  rs_awaiting_ = r.bool_vec();
+  rs_awaiting_round_ = r.u64_vec();
+  rs_pending_ = r.size_vec();
+  const std::size_t n = eng().num_workers();
+  OSP_CHECK(last_ics_applied_.size() == n && rs_shards_arrived_.size() == n &&
+                rs_contributed_.size() == n && rs_awaiting_.size() == n &&
+                rs_awaiting_round_.size() == n && rs_pending_.size() == n,
+            "OSP checkpoint worker count mismatch");
+  rs_timer_armed_ = false;  // re-armed by the next push
+  ics_inflight_.clear();    // drained before every snapshot
+}
+
+bool OspSync::drained() const {
+  return ics_inflight_.empty() && !rs_timer_armed_ &&
+         rs_contributed_count_ == 0 &&
+         std::none_of(rs_awaiting_.begin(), rs_awaiting_.end(),
+                      [](bool b) { return b; }) &&
+         std::all_of(rs_pending_.begin(), rs_pending_.end(),
+                     [](std::size_t v) { return v == 0; });
 }
 
 }  // namespace osp::core

@@ -108,6 +108,10 @@ class OspSync : public runtime::SyncModel {
   /// Currently-crashed worker count (drives the §4.3 fault degradation).
   [[nodiscard]] std::size_t num_unhealthy() const { return unhealthy_; }
 
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override;
+
  private:
   // ---- RS ----
   void arm_rs_timer();

@@ -49,6 +49,15 @@ class SguTuner {
   [[nodiscard]] double u_max() const { return u_max_; }
   [[nodiscard]] double current_budget() const { return budget_; }
   [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double reference_loss() const { return reference_loss_; }
+
+  /// Restore tuner state from a checkpoint (u_max is reconstructed from
+  /// the cluster config, not serialized).
+  void restore(double reference_loss, double budget, bool initialized) {
+    reference_loss_ = reference_loss;
+    budget_ = budget;
+    initialized_ = initialized;
+  }
 
  private:
   double u_max_;

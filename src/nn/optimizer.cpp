@@ -60,6 +60,17 @@ void SgdOptimizer::step_range(std::span<float> params,
   }
 }
 
+void SgdOptimizer::set_velocity(std::span<const float> v) {
+  if (momentum_ > 0.0) {
+    OSP_CHECK(v.size() == num_params_,
+              "checkpoint velocity length does not match optimizer");
+    std::copy(v.begin(), v.end(), velocity_.begin());
+  } else {
+    OSP_CHECK(v.empty(),
+              "checkpoint carries momentum state but optimizer has none");
+  }
+}
+
 void SgdOptimizer::reset_state() {
   std::fill(velocity_.begin(), velocity_.end(), 0.0f);
 }

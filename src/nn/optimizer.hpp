@@ -50,6 +50,13 @@ class SgdOptimizer {
   [[nodiscard]] std::size_t num_params() const { return num_params_; }
   [[nodiscard]] double momentum() const { return momentum_; }
 
+  /// Momentum velocity buffer; empty when momentum is disabled.
+  [[nodiscard]] std::span<const float> velocity() const { return velocity_; }
+
+  /// Restore the velocity buffer from a checkpoint. Must be empty when
+  /// momentum is disabled and exactly num_params long otherwise.
+  void set_velocity(std::span<const float> v);
+
   void reset_state();
 
  private:

@@ -1,85 +1,55 @@
 #include "nn/serialize.hpp"
 
-#include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/serde.hpp"
 
 namespace osp::nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'O', 'S', 'P', 'C', 'K', 'P', 'T', '1'};
-
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  OSP_CHECK(static_cast<bool>(in), "checkpoint truncated");
-  return value;
-}
+// Version 2 moved to the shared serde envelope (util/serde.hpp), which
+// adds a payload CRC and exact-length validation: truncated, corrupted,
+// and trailing-garbage files are all rejected before any field is used.
+constexpr char kMagic[] = "OSPCKPT2";
+constexpr std::uint32_t kVersion = 1;
 
 }  // namespace
 
 void save_checkpoint(const FlatModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  OSP_CHECK(static_cast<bool>(out), "cannot open checkpoint for writing");
-  out.write(kMagic, sizeof(kMagic));
-  write_pod<std::uint64_t>(out, model.num_blocks());
+  util::serde::Writer w;
+  w.u64(model.num_blocks());
   for (const LayerBlockInfo& block : model.blocks()) {
-    write_pod<std::uint32_t>(out,
-                             static_cast<std::uint32_t>(block.name.size()));
-    out.write(block.name.data(),
-              static_cast<std::streamsize>(block.name.size()));
-    write_pod<std::uint64_t>(out, block.offset);
-    write_pod<std::uint64_t>(out, block.numel);
+    w.str(block.name);
+    w.u64(block.offset);
+    w.u64(block.numel);
   }
-  write_pod<std::uint64_t>(out, model.total_params());
   std::vector<float> params(model.total_params());
   model.gather_params(params);
-  out.write(reinterpret_cast<const char*>(params.data()),
-            static_cast<std::streamsize>(params.size() * sizeof(float)));
-  OSP_CHECK(static_cast<bool>(out), "checkpoint write failed");
+  w.f32_vec(params);
+  util::serde::write_file(path, kMagic, kVersion, w.data());
 }
 
 void load_checkpoint(FlatModel& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  OSP_CHECK(static_cast<bool>(in), "cannot open checkpoint for reading");
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  OSP_CHECK(static_cast<bool>(in) &&
-                std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-            "not an OSP checkpoint");
-  const auto block_count = read_pod<std::uint64_t>(in);
+  const auto file = util::serde::read_file(path, kMagic, kVersion);
+  util::serde::Reader r(file.payload);
+  const auto block_count = r.u64();
   OSP_CHECK(block_count == model.num_blocks(),
             "checkpoint block count mismatch");
   for (std::size_t b = 0; b < block_count; ++b) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    OSP_CHECK(name_len < 4096, "implausible block name length");
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    OSP_CHECK(static_cast<bool>(in), "checkpoint truncated");
-    const auto offset = read_pod<std::uint64_t>(in);
-    const auto numel = read_pod<std::uint64_t>(in);
+    const std::string name = r.str();
+    const auto offset = r.u64();
+    const auto numel = r.u64();
     const LayerBlockInfo& expected = model.block(b);
     OSP_CHECK(name == expected.name, "checkpoint block name mismatch");
     OSP_CHECK(offset == expected.offset && numel == expected.numel,
               "checkpoint block geometry mismatch");
   }
-  const auto total = read_pod<std::uint64_t>(in);
-  OSP_CHECK(total == model.total_params(),
+  const std::vector<float> params = r.f32_vec();
+  r.expect_done();
+  OSP_CHECK(params.size() == model.total_params(),
             "checkpoint parameter count mismatch");
-  std::vector<float> params(total);
-  in.read(reinterpret_cast<char*>(params.data()),
-          static_cast<std::streamsize>(params.size() * sizeof(float)));
-  OSP_CHECK(static_cast<bool>(in), "checkpoint truncated");
   model.scatter_params(params);
 }
 

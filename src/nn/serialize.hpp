@@ -1,12 +1,13 @@
 // Model checkpointing: save/load a FlatModel's parameters to a small
 // self-describing binary format.
 //
-// Layout (little-endian):
-//   magic "OSPCKPT1" (8 bytes)
+// The file is a standard serde envelope (util/serde.hpp, magic
+// "OSPCKPT2"): little-endian, length-prefixed, CRC-checked — truncated or
+// bit-corrupted files and files with trailing garbage are rejected with
+// util::CheckError before any field is interpreted. Payload:
 //   u64 block_count
-//   per block: u32 name_len, name bytes, u64 offset, u64 numel
-//   u64 total_params
-//   total_params × f32 parameter data
+//   per block: str name, u64 offset, u64 numel
+//   f32 array: the flat parameter vector
 // Loading validates the structural header against the live model, so a
 // checkpoint cannot be scattered into a mismatched architecture.
 #pragma once

@@ -1,0 +1,220 @@
+#include "runtime/checkpoint.hpp"
+
+#include "util/check.hpp"
+
+namespace osp::runtime {
+namespace {
+
+constexpr char kMagic[] = "OSPRUN01";
+constexpr std::uint32_t kVersion = 1;
+
+void write_rng(util::serde::Writer& w, const util::RngState& st) {
+  for (std::uint64_t word : st.s) w.u64(word);
+  w.boolean(st.have_spare_normal);
+  w.f64(st.spare_normal);
+}
+
+util::RngState read_rng(util::serde::Reader& r) {
+  util::RngState st;
+  for (auto& word : st.s) word = r.u64();
+  st.have_spare_normal = r.boolean();
+  st.spare_normal = r.f64();
+  return st;
+}
+
+void write_stats(util::serde::Writer& w, const util::OnlineStats& st) {
+  w.u64(st.count());
+  w.f64(st.mean());
+  w.f64(st.m2());
+  w.f64(st.min());
+  w.f64(st.max());
+  w.f64(st.sum());
+}
+
+util::OnlineStats read_stats(util::serde::Reader& r) {
+  const auto count = static_cast<std::size_t>(r.u64());
+  const double mean = r.f64();
+  const double m2 = r.f64();
+  const double min = r.f64();
+  const double max = r.f64();
+  const double sum = r.f64();
+  return util::OnlineStats::from_state(count, mean, m2, min, max, sum);
+}
+
+void write_fault_stats(util::serde::Writer& w, const sim::FaultStats& fs) {
+  w.u64(fs.worker_crashes);
+  w.u64(fs.worker_restarts);
+  w.u64(fs.worker_pauses);
+  w.u64(fs.link_down_events);
+  w.u64(fs.link_degrade_events);
+  w.u64(fs.flows_cancelled);
+  w.u64(fs.messages_dropped);
+  w.u64(fs.messages_delayed);
+  w.u64(fs.timed_out_rounds);
+  w.u64(fs.ics_rounds_abandoned);
+  w.u64(fs.catch_up_pulls);
+  w.u64(fs.checkpoint_restores);
+  w.f64(fs.worker_downtime_s);
+}
+
+sim::FaultStats read_fault_stats(util::serde::Reader& r) {
+  sim::FaultStats fs;
+  fs.worker_crashes = static_cast<std::size_t>(r.u64());
+  fs.worker_restarts = static_cast<std::size_t>(r.u64());
+  fs.worker_pauses = static_cast<std::size_t>(r.u64());
+  fs.link_down_events = static_cast<std::size_t>(r.u64());
+  fs.link_degrade_events = static_cast<std::size_t>(r.u64());
+  fs.flows_cancelled = static_cast<std::size_t>(r.u64());
+  fs.messages_dropped = static_cast<std::size_t>(r.u64());
+  fs.messages_delayed = static_cast<std::size_t>(r.u64());
+  fs.timed_out_rounds = static_cast<std::size_t>(r.u64());
+  fs.ics_rounds_abandoned = static_cast<std::size_t>(r.u64());
+  fs.catch_up_pulls = static_cast<std::size_t>(r.u64());
+  fs.checkpoint_restores = static_cast<std::size_t>(r.u64());
+  fs.worker_downtime_s = r.f64();
+  return fs;
+}
+
+void write_worker(util::serde::Writer& w, const WorkerCheckpoint& wc) {
+  w.f32_vec(wc.params);
+  write_rng(w, wc.rng);
+  w.u64(wc.iteration);
+  w.u64(wc.epoch);
+  w.f64(wc.epoch_loss_sum);
+  w.u64(wc.epoch_loss_count);
+  w.boolean(wc.done);
+  w.boolean(wc.parked);
+  w.boolean(wc.crashed);
+  w.f64(wc.crashed_at);
+  w.f64(wc.pause_until);
+  w.f64(wc.restart_at);
+}
+
+WorkerCheckpoint read_worker(util::serde::Reader& r) {
+  WorkerCheckpoint wc;
+  wc.params = r.f32_vec();
+  wc.rng = read_rng(r);
+  wc.iteration = r.u64();
+  wc.epoch = r.u64();
+  wc.epoch_loss_sum = r.f64();
+  wc.epoch_loss_count = r.u64();
+  wc.done = r.boolean();
+  wc.parked = r.boolean();
+  wc.crashed = r.boolean();
+  wc.crashed_at = r.f64();
+  wc.pause_until = r.f64();
+  wc.restart_at = r.f64();
+  return wc;
+}
+
+}  // namespace
+
+void RunCheckpoint::serialize(util::serde::Writer& w) const {
+  w.str(workload_name);
+  w.str(sync_name);
+  w.u64(num_workers);
+  w.u64(max_epochs);
+  w.u64(seed);
+  w.u64(num_ps);
+  w.u64(total_params);
+  w.u64(num_blocks);
+  w.u64(batches_per_epoch);
+  w.f64(momentum);
+
+  w.f64(sim_time);
+  w.u64(checkpoint_iter);
+  w.u64(checkpoints_taken);
+
+  w.f32_vec(global_params);
+  w.f32_vec(optimizer_velocity);
+  w.f64(samples_processed);
+  w.f64(next_eval_at_samples);
+  w.size_vec(epoch_done_counts);
+  w.f64_vec(epoch_loss_sums);
+  w.f64_vec(ps_busy_until);
+  write_fault_stats(w, fault_stats);
+
+  write_stats(w, bct);
+  write_stats(w, bst);
+  w.f64_vec(bst_samples);
+  w.u64(curve.size());
+  for (const EvalPoint& p : curve) {
+    w.f64(p.time_s);
+    w.f64(p.samples);
+    w.f64(p.metric);
+    w.f64(p.loss);
+  }
+  w.f64_vec(epoch_losses);
+
+  w.bytes(network_state);
+  w.u64(workers.size());
+  for (const WorkerCheckpoint& wc : workers) write_worker(w, wc);
+  w.bytes(sync_state);
+}
+
+RunCheckpoint RunCheckpoint::deserialize(util::serde::Reader& r) {
+  RunCheckpoint c;
+  c.workload_name = r.str();
+  c.sync_name = r.str();
+  c.num_workers = r.u64();
+  c.max_epochs = r.u64();
+  c.seed = r.u64();
+  c.num_ps = r.u64();
+  c.total_params = r.u64();
+  c.num_blocks = r.u64();
+  c.batches_per_epoch = r.u64();
+  c.momentum = r.f64();
+
+  c.sim_time = r.f64();
+  c.checkpoint_iter = r.u64();
+  c.checkpoints_taken = r.u64();
+
+  c.global_params = r.f32_vec();
+  c.optimizer_velocity = r.f32_vec();
+  c.samples_processed = r.f64();
+  c.next_eval_at_samples = r.f64();
+  c.epoch_done_counts = r.size_vec();
+  c.epoch_loss_sums = r.f64_vec();
+  c.ps_busy_until = r.f64_vec();
+  c.fault_stats = read_fault_stats(r);
+
+  c.bct = read_stats(r);
+  c.bst = read_stats(r);
+  c.bst_samples = r.f64_vec();
+  const auto curve_len = static_cast<std::size_t>(r.u64());
+  c.curve.reserve(curve_len);
+  for (std::size_t i = 0; i < curve_len; ++i) {
+    EvalPoint p;
+    p.time_s = r.f64();
+    p.samples = r.f64();
+    p.metric = r.f64();
+    p.loss = r.f64();
+    c.curve.push_back(p);
+  }
+  c.epoch_losses = r.f64_vec();
+
+  c.network_state = r.bytes();
+  const auto num = static_cast<std::size_t>(r.u64());
+  OSP_CHECK(num == c.num_workers,
+            "checkpoint worker array does not match its header");
+  c.workers.reserve(num);
+  for (std::size_t i = 0; i < num; ++i) c.workers.push_back(read_worker(r));
+  c.sync_state = r.bytes();
+  return c;
+}
+
+void RunCheckpoint::save(const std::string& path) const {
+  util::serde::Writer w;
+  serialize(w);
+  util::serde::write_file(path, kMagic, kVersion, w.data());
+}
+
+RunCheckpoint RunCheckpoint::load(const std::string& path) {
+  auto file = util::serde::read_file(path, kMagic, kVersion);
+  util::serde::Reader r(file.payload);
+  RunCheckpoint c = deserialize(r);
+  r.expect_done();
+  return c;
+}
+
+}  // namespace osp::runtime

@@ -183,14 +183,61 @@ RunResult Engine::run() {
   OSP_CHECK(!ran_, "Engine::run is single-use");
   ran_ = true;
   sync_->attach(*this);
-  install_faults();
-  for (std::size_t w = 0; w < config_.num_workers; ++w) begin_compute(w);
-  if (config_.max_virtual_time_s > 0.0) {
-    sim_.run_until(config_.max_virtual_time_s);
+
+  next_checkpoint_iter_ = config_.checkpoint.every_iters;
+  if (!config_.checkpoint.resume_from.empty()) {
+    const RunCheckpoint ckpt =
+        RunCheckpoint::load(config_.checkpoint.resume_from);
+    restore_checkpoint(ckpt);
+    // Rebuild the event queue the snapshot made empty. Setup order mirrors
+    // the original run's same-time sequence order: the barrier release
+    // first (in the original run the parked workers resumed the instant
+    // the snapshot was taken), the static fault schedule next, pending
+    // crash restarts (dynamically scheduled there, so always last among
+    // equal-time events) at the end.
+    sim_.schedule_at(ckpt.sim_time, [this] { release_parked(); });
+    install_faults(ckpt.sim_time);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].crashed || workers_[w].restart_at < 0.0) continue;
+      sim_.schedule_at(workers_[w].restart_at, [this, w] {
+        maybe_checkpoint_now();
+        if (halted_) return;
+        restart_worker(w);
+      });
+    }
   } else {
-    sim_.run();
+    install_faults();
+    for (std::size_t w = 0; w < config_.num_workers; ++w) begin_compute(w);
   }
-  maybe_evaluate(/*force=*/true);
+
+  while (true) {
+    if (config_.max_virtual_time_s > 0.0) {
+      sim_.run_until(config_.max_virtual_time_s);
+    } else {
+      sim_.run();
+    }
+    if (halted_ || !drain_pending_) break;
+    if (!sim_.empty()) break;  // hit the virtual-time cap mid-drain
+    // The queue starved with a drain pending: every worker is parked (or
+    // done/crashed-forever) and no future fault event is left to trigger
+    // the snapshot, so take it here and release the barrier.
+    if (maybe_checkpoint_now()) {
+      if (halted_) break;
+      continue;
+    }
+    // The drain barrier deadlocked. After a crash a straggler can run a
+    // round or two behind the pack in a barrier model, and its pending
+    // round needs the parked workers' gradients to close — so the cut
+    // can never go quiescent at this boundary. Skip it: release everyone
+    // and re-arm the snapshot at the next cadence point.
+    OSP_CHECK(std::any_of(workers_.begin(), workers_.end(),
+                          [](const WorkerState& ws) { return ws.parked; }),
+              "checkpoint drain stalled");
+    next_checkpoint_iter_ += config_.checkpoint.every_iters;
+    drain_pending_ = false;
+    release_parked();
+  }
+  if (!halted_) maybe_evaluate(/*force=*/true);
 
   // Close out downtime of workers still crashed at run end.
   for (std::size_t w = 0; w < workers_.size(); ++w) {
@@ -246,6 +293,8 @@ RunResult Engine::run() {
         hit->samples / static_cast<double>(spec_->batch_size *
                                            config_.num_workers);
   }
+  result.checkpoints_taken = checkpoints_taken_;
+  result.halted_at_checkpoint = halted_;
   return result;
 }
 
@@ -256,6 +305,17 @@ void Engine::begin_compute(std::size_t w) {
     ws.done = true;
     stopping_ = std::all_of(workers_.begin(), workers_.end(),
                             [](const WorkerState& s) { return s.done; });
+    return;
+  }
+  if (should_park(w)) {
+    // Checkpoint drain barrier: hold the worker at this iteration boundary
+    // until the snapshot is taken (take_checkpoint releases everyone).
+    ws.parked = true;
+    drain_pending_ = true;
+    // If this was the last worker the cut was waiting on, snapshot right
+    // now — otherwise the drain would sit idle until the next queued
+    // event (e.g. a fault scheduled minutes ahead) fires the gate.
+    maybe_checkpoint_now();
     return;
   }
   if (sim_.now() < ws.pause_until) {
@@ -383,7 +443,7 @@ void Engine::worker_transfer(std::size_t owner,
   if (route.empty()) {
     // Loopback (co-located PS): not a network flow, so not cancellable —
     // guard at delivery instead.
-    sim_.schedule(overhead, [this, owner, done = std::move(done)] {
+    loopback_transfer(overhead, [this, owner, done = std::move(done)] {
       if (workers_[owner].crashed) return;
       done();
     });
@@ -397,43 +457,82 @@ void Engine::worker_transfer(std::size_t owner,
       [this, owner, id_box, done = std::move(done)] {
         WorkerState& s = workers_[owner];
         std::erase(s.flows, *id_box);
-        if (s.crashed) return;
-        done();
+        if (!s.crashed) done();
+        maybe_checkpoint_now();
       },
       overhead);
   *id_box = id;
   ws.flows.push_back(id);
 }
 
-void Engine::install_faults() {
+void Engine::loopback_transfer(double delay, std::function<void()> done) {
+  OSP_CHECK(delay >= 0.0, "negative loopback delay");
+  OSP_CHECK(done != nullptr, "loopback transfer needs a completion");
+  ++loopback_pending_;
+  sim_.schedule(delay, [this, done = std::move(done)] {
+    --loopback_pending_;
+    done();
+    maybe_checkpoint_now();
+  });
+}
+
+void Engine::install_faults(double resume_time) {
+  const bool resuming = resume_time >= 0.0;
   sim::Network& net = cluster_->network();
-  net.set_injection_seed(config_.faults.seed());
+  // On resume the injection RNG mid-stream state was already restored with
+  // the network; reseeding would rewind it.
+  if (!resuming) net.set_injection_seed(config_.faults.seed());
+  // Every event is gated on the pending-drain check: with all workers
+  // parked the queue holds only future fault events, so the first one to
+  // fire takes the snapshot — *before* its own effect, which therefore
+  // replays on resume. Events already executed before the snapshot are
+  // filtered out here; an event at exactly the snapshot time fired after
+  // it (its gate is where the snapshot happened), so `>=` keeps it.
+  auto gated = [this](const sim::FaultEvent& ev) {
+    sim_.schedule_at(ev.time, [this, ev] {
+      maybe_checkpoint_now();
+      if (halted_) return;
+      apply_fault(ev);
+    });
+  };
   for (const sim::FaultEvent& ev : config_.faults.events()) {
+    const bool start_pending = !resuming || ev.time >= resume_time;
+    const bool end_pending =
+        !resuming || ev.time + ev.duration >= resume_time;
     switch (ev.kind) {
       case sim::FaultKind::kWorkerPause:
       case sim::FaultKind::kWorkerCrash:
         OSP_CHECK(ev.target < config_.num_workers,
                   "fault worker id out of range");
-        sim_.schedule_at(ev.time, [this, ev] { apply_fault(ev); });
+        if (start_pending) gated(ev);
         break;
       case sim::FaultKind::kLinkDown:
         OSP_CHECK(ev.target < net.num_links(), "fault link id out of range");
-        sim_.schedule_at(ev.time, [this, ev] { apply_fault(ev); });
-        sim_.schedule_at(ev.time + ev.duration, [this, ev] {
-          cluster_->network().set_link_up(ev.target, true);
-        });
+        if (start_pending) gated(ev);
+        if (end_pending) {
+          sim_.schedule_at(ev.time + ev.duration, [this, ev] {
+            maybe_checkpoint_now();
+            if (halted_) return;
+            cluster_->network().set_link_up(ev.target, true);
+          });
+        }
         break;
       case sim::FaultKind::kLinkDegrade:
         OSP_CHECK(ev.target < net.num_links(), "fault link id out of range");
-        sim_.schedule_at(ev.time, [this, ev] { apply_fault(ev); });
-        sim_.schedule_at(ev.time + ev.duration, [this, ev] {
-          cluster_->network().set_link_degradation(ev.target, 1.0, 0.0);
-        });
+        if (start_pending) gated(ev);
+        if (end_pending) {
+          sim_.schedule_at(ev.time + ev.duration, [this, ev] {
+            maybe_checkpoint_now();
+            if (halted_) return;
+            cluster_->network().set_link_degradation(ev.target, 1.0, 0.0);
+          });
+        }
         break;
       case sim::FaultKind::kMessageDelay:
       case sim::FaultKind::kMessageDrop:
         OSP_CHECK(ev.target == sim::kAllLinks || ev.target < net.num_links(),
                   "injection link id out of range");
+        // Windows are passive state, not events: always reinstall.
         net.add_injection_window(ev.time, ev.time + ev.duration, ev.target,
                                  ev.delay_s, ev.drop_prob);
         break;
@@ -487,6 +586,7 @@ void Engine::crash_worker(std::size_t w, double restart_after) {
   if (ws.crashed || ws.done) return;
   ws.crashed = true;
   ws.crashed_at = sim_.now();
+  ws.parked = false;  // a dead worker cannot hold the drain barrier
   ++fault_stats_.worker_crashes;
   ++ws.compute_epoch;  // cancels the in-flight compute completion
   ws.compute_pending = false;
@@ -496,12 +596,21 @@ void Engine::crash_worker(std::size_t w, double restart_after) {
   ws.flows.clear();
   sync_->on_worker_crashed(w);
   if (restart_after >= 0.0) {
-    sim_.schedule(restart_after, [this, w] { restart_worker(w); });
+    // Gated like fault-schedule events (see install_faults): a pending
+    // drain snapshots before the restart runs, and the restart time is
+    // checkpointed so a resumed run can re-schedule it.
+    ws.restart_at = sim_.now() + restart_after;
+    sim_.schedule(restart_after, [this, w] {
+      maybe_checkpoint_now();
+      if (halted_) return;
+      restart_worker(w);
+    });
   }
 }
 
 void Engine::restart_worker(std::size_t w) {
   WorkerState& ws = workers_[w];
+  ws.restart_at = -1.0;
   if (!ws.crashed) return;
   fault_stats_.worker_downtime_s += sim_.now() - ws.crashed_at;
   ++fault_stats_.worker_restarts;
@@ -510,6 +619,25 @@ void Engine::restart_worker(std::size_t w) {
                 TracePhase::kDowntime});
   }
   ws.crashed = false;
+  if (config_.checkpoint.restore_crashed_from_checkpoint && last_checkpoint_) {
+    // Second recovery path: read the replica back from the latest run
+    // checkpoint on local disk instead of pulling the full model from the
+    // PS over the (possibly congested) network. The replica is as of the
+    // checkpoint iteration; the sync model's ordinary catch-up machinery
+    // brings the worker forward.
+    ++fault_stats_.checkpoint_restores;
+    auto ckpt = last_checkpoint_;
+    const double rate =
+        std::max(config_.checkpoint.restore_read_bytes_per_s, 1.0);
+    loopback_transfer(model_bytes() / rate, [this, w, ckpt] {
+      WorkerState& s = workers_[w];
+      if (s.crashed) return;  // re-crashed during the disk read
+      s.params = ckpt->workers[w].params;
+      sync_->on_worker_restarted(w);
+      begin_compute(w);
+    });
+    return;
+  }
   // Local state died with the process: re-pull the global model, then
   // rejoin the training loop (redoing the batch the crash cancelled).
   worker_transfer(w, cluster_->route_from_ps(w), model_bytes(),
@@ -519,6 +647,202 @@ void Engine::restart_worker(std::size_t w) {
                     sync_->on_worker_restarted(w);
                     begin_compute(w);
                   });
+}
+
+bool Engine::should_park(std::size_t w) const {
+  return next_checkpoint_iter_ > 0 && !halted_ &&
+         workers_[w].iteration >= next_checkpoint_iter_;
+}
+
+bool Engine::all_parked() const {
+  return std::all_of(workers_.begin(), workers_.end(),
+                     [](const WorkerState& ws) {
+                       return ws.parked || ws.done || ws.crashed;
+                     });
+}
+
+bool Engine::quiescent() const {
+  if (cluster_->network().active_flows() != 0) return false;
+  if (loopback_pending_ != 0) return false;
+  for (double t : ps_busy_until_) {
+    if (t > sim_.now()) return false;
+  }
+  for (const WorkerState& ws : workers_) {
+    if (!ws.flows.empty()) return false;
+  }
+  return sync_->drained();
+}
+
+bool Engine::maybe_checkpoint_now() {
+  if (!drain_pending_ || halted_) return false;
+  if (!all_parked() || !quiescent()) return false;
+  take_checkpoint();
+  return true;
+}
+
+void Engine::take_checkpoint() {
+  ++checkpoints_taken_;
+  last_checkpoint_ =
+      std::make_shared<const RunCheckpoint>(make_checkpoint());
+  if (!config_.checkpoint.path.empty()) {
+    last_checkpoint_->save(config_.checkpoint.path);
+  }
+  drain_pending_ = false;
+  next_checkpoint_iter_ += config_.checkpoint.every_iters;
+  if (config_.checkpoint.halt_after_checkpoint) {
+    // Model a preempted job: the run stops here; a resumed run picks up
+    // from the file just written.
+    halted_ = true;
+    sim_.clear();
+    for (WorkerState& ws : workers_) ws.parked = false;
+    return;
+  }
+  release_parked();
+}
+
+void Engine::release_parked() {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].parked) continue;
+    workers_[w].parked = false;
+    begin_compute(w);
+  }
+}
+
+RunCheckpoint Engine::make_checkpoint() const {
+  RunCheckpoint c;
+  c.workload_name = spec_->name;
+  c.sync_name = sync_->name();
+  c.num_workers = config_.num_workers;
+  c.max_epochs = config_.max_epochs;
+  c.seed = config_.seed;
+  c.num_ps = ps_busy_until_.size();
+  c.total_params = flat_->total_params();
+  c.num_blocks = flat_->num_blocks();
+  c.batches_per_epoch = workers_[0].loader->batches_per_epoch();
+  c.momentum = config_.momentum;
+
+  c.sim_time = sim_.now();
+  c.checkpoint_iter = next_checkpoint_iter_;
+  c.checkpoints_taken = checkpoints_taken_;
+
+  c.global_params = global_params_;
+  c.optimizer_velocity.assign(optimizer_->velocity().begin(),
+                              optimizer_->velocity().end());
+  c.samples_processed = samples_processed_;
+  c.next_eval_at_samples = next_eval_at_samples_;
+  c.epoch_done_counts = epoch_done_counts_;
+  c.epoch_loss_sums = epoch_loss_sums_;
+  c.ps_busy_until = ps_busy_until_;
+  c.fault_stats = fault_stats_;
+
+  c.bct = metrics_.bct();
+  c.bst = metrics_.bst();
+  c.bst_samples = metrics_.bst_samples();
+  c.curve = metrics_.curve();
+  c.epoch_losses = metrics_.epoch_losses();
+
+  {
+    util::serde::Writer w;
+    cluster_->network().save_state(w);
+    c.network_state = w.take();
+  }
+  c.workers.reserve(workers_.size());
+  for (const WorkerState& ws : workers_) {
+    WorkerCheckpoint wc;
+    wc.params = ws.params;
+    wc.rng = ws.rng.state();
+    wc.iteration = ws.iteration;
+    wc.epoch = ws.epoch;
+    wc.epoch_loss_sum = ws.epoch_loss_sum;
+    wc.epoch_loss_count = ws.epoch_loss_count;
+    wc.done = ws.done;
+    wc.parked = ws.parked;
+    wc.crashed = ws.crashed;
+    wc.crashed_at = ws.crashed_at;
+    wc.pause_until = ws.pause_until;
+    wc.restart_at = ws.restart_at;
+    c.workers.push_back(std::move(wc));
+  }
+  {
+    util::serde::Writer w;
+    sync_->save_state(w);
+    c.sync_state = w.take();
+  }
+  return c;
+}
+
+void Engine::restore_checkpoint(const RunCheckpoint& ckpt) {
+  OSP_CHECK(ckpt.workload_name == spec_->name,
+            "checkpoint is for a different workload");
+  OSP_CHECK(ckpt.sync_name == sync_->name(),
+            "checkpoint is for a different sync model");
+  OSP_CHECK(ckpt.num_workers == config_.num_workers,
+            "checkpoint worker count mismatch");
+  OSP_CHECK(ckpt.max_epochs == config_.max_epochs,
+            "checkpoint epoch budget mismatch");
+  OSP_CHECK(ckpt.seed == config_.seed, "checkpoint seed mismatch");
+  OSP_CHECK(ckpt.num_ps == ps_busy_until_.size(),
+            "checkpoint PS count mismatch");
+  OSP_CHECK(ckpt.total_params == flat_->total_params(),
+            "checkpoint model size mismatch");
+  OSP_CHECK(ckpt.num_blocks == flat_->num_blocks(),
+            "checkpoint block layout mismatch");
+  OSP_CHECK(ckpt.batches_per_epoch == workers_[0].loader->batches_per_epoch(),
+            "checkpoint dataset sharding mismatch");
+  OSP_CHECK(ckpt.momentum == config_.momentum,
+            "checkpoint optimizer config mismatch");
+  OSP_CHECK(ckpt.global_params.size() == global_params_.size(),
+            "checkpoint parameter vector mismatch");
+
+  global_params_ = ckpt.global_params;
+  optimizer_->set_velocity(ckpt.optimizer_velocity);
+  samples_processed_ = ckpt.samples_processed;
+  next_eval_at_samples_ = ckpt.next_eval_at_samples;
+  epoch_done_counts_ = ckpt.epoch_done_counts;
+  epoch_loss_sums_ = ckpt.epoch_loss_sums;
+  ps_busy_until_ = ckpt.ps_busy_until;
+  fault_stats_ = ckpt.fault_stats;
+  metrics_.restore(ckpt.bct, ckpt.bst, ckpt.bst_samples, ckpt.curve,
+                   ckpt.epoch_losses);
+
+  {
+    util::serde::Reader r(ckpt.network_state);
+    cluster_->network().load_state(r);
+    r.expect_done();
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& ws = workers_[w];
+    const WorkerCheckpoint& wc = ckpt.workers[w];
+    OSP_CHECK(wc.params.size() == ws.params.size(),
+              "checkpoint replica size mismatch");
+    ws.params = wc.params;
+    ws.rng.set_state(wc.rng);
+    ws.iteration = wc.iteration;
+    ws.epoch = wc.epoch;
+    ws.epoch_loss_sum = wc.epoch_loss_sum;
+    ws.epoch_loss_count = wc.epoch_loss_count;
+    ws.done = wc.done;
+    ws.parked = wc.parked;
+    ws.crashed = wc.crashed;
+    ws.crashed_at = wc.crashed_at;
+    ws.pause_until = wc.pause_until;
+    ws.restart_at = wc.restart_at;
+  }
+  {
+    util::serde::Reader r(ckpt.sync_state);
+    sync_->load_state(r);
+    r.expect_done();
+  }
+
+  checkpoints_taken_ = ckpt.checkpoints_taken;
+  last_checkpoint_ = std::make_shared<const RunCheckpoint>(ckpt);
+  next_checkpoint_iter_ =
+      config_.checkpoint.every_iters > 0
+          ? static_cast<std::size_t>(ckpt.checkpoint_iter) +
+                config_.checkpoint.every_iters
+          : 0;
+  stopping_ = std::all_of(workers_.begin(), workers_.end(),
+                          [](const WorkerState& ws) { return ws.done; });
 }
 
 void Engine::maybe_evaluate(bool force) {

@@ -39,6 +39,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/registry.hpp"
 #include "data/loader.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/sync_model.hpp"
@@ -73,6 +74,10 @@ struct EngineConfig {
   bool balance_batch_to_speed = false;
   /// Deterministic fault scenario executed during the run (empty = none).
   sim::FaultSchedule faults;
+  /// Periodic run-level checkpointing / resume (see runtime/checkpoint.hpp;
+  /// default-disabled: every_iters == 0 and resume_from empty leave every
+  /// code path of a plain run untouched).
+  CheckpointPolicy checkpoint;
 };
 
 class Engine {
@@ -184,6 +189,12 @@ class Engine {
   void worker_transfer(std::size_t owner, std::vector<sim::LinkId> route,
                        double bytes, std::function<void()> done);
 
+  /// Complete `done` after `delay` virtual seconds of node-local activity
+  /// (co-located-PS loopback, checkpoint disk reads). Equivalent to
+  /// sim().schedule but tracked, so the checkpoint drain barrier sees
+  /// pending loopbacks and does not snapshot across them.
+  void loopback_transfer(double delay, std::function<void()> done);
+
   /// Fault-accounting hooks for sync models.
   void record_round_timeout() { ++fault_stats_.timed_out_rounds; }
   void record_ics_abandoned() { ++fault_stats_.ics_rounds_abandoned; }
@@ -218,10 +229,14 @@ class Engine {
     std::size_t epoch_loss_count = 0;
     double compute_overhead = 0.0;
     bool done = false;
+    // Checkpoint drain barrier: the worker reached the checkpoint
+    // iteration and is held before its next compute until the snapshot.
+    bool parked = false;
     // Fault-injection state.
     bool crashed = false;
     double crashed_at = 0.0;
     double pause_until = 0.0;       // compute stalls until this instant
+    double restart_at = -1.0;       // pending restart event time (< 0: none)
     std::uint64_t compute_epoch = 0;  // invalidates in-flight completions
     bool compute_pending = false;
     double compute_end_time = 0.0;
@@ -235,11 +250,27 @@ class Engine {
   void maybe_evaluate(bool force);
   void evaluate_now();
   void complete_epoch(std::size_t w);
-  void install_faults();
+  /// Install the fault schedule. `resume_time >= 0` means we are resuming
+  /// a checkpoint taken at that virtual time: already-executed events are
+  /// filtered out and the injection RNG is restored from the checkpointed
+  /// network state instead of being reseeded.
+  void install_faults(double resume_time = -1.0);
   void apply_fault(const sim::FaultEvent& ev);
   void crash_worker(std::size_t w, double restart_after);
   void restart_worker(std::size_t w);
   void pause_worker(std::size_t w, double duration);
+
+  // ---- checkpointing ----
+  [[nodiscard]] bool should_park(std::size_t w) const;
+  [[nodiscard]] bool all_parked() const;
+  [[nodiscard]] bool quiescent() const;
+  /// If a drain is pending and the cluster is fully parked + quiescent,
+  /// take the checkpoint now. Returns true when a checkpoint was taken.
+  bool maybe_checkpoint_now();
+  void take_checkpoint();
+  void release_parked();
+  [[nodiscard]] RunCheckpoint make_checkpoint() const;
+  void restore_checkpoint(const RunCheckpoint& ckpt);
 
   const WorkloadSpec* spec_;
   EngineConfig config_;
@@ -271,6 +302,15 @@ class Engine {
   std::vector<double> epoch_loss_sums_;
   bool stopping_ = false;
   bool ran_ = false;
+
+  // Checkpoint policy state. next_checkpoint_iter_ == 0 means the policy
+  // is disabled and every checkpoint hook is a no-op.
+  std::size_t next_checkpoint_iter_ = 0;
+  bool drain_pending_ = false;     // waiting for park + quiescence
+  bool halted_ = false;            // halt_after_checkpoint fired
+  std::uint64_t checkpoints_taken_ = 0;
+  std::shared_ptr<const RunCheckpoint> last_checkpoint_;
+  std::size_t loopback_pending_ = 0;  // in-flight loopback_transfer events
 };
 
 }  // namespace osp::runtime

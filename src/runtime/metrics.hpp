@@ -4,6 +4,7 @@
 // batch computation time (BCT) for the co-located-PS experiment (§5.4).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,6 +51,21 @@ class MetricsRecorder {
   /// First eval point at or above `target`, if any.
   [[nodiscard]] std::optional<EvalPoint> first_reaching(double target) const;
 
+  [[nodiscard]] const std::vector<double>& bst_samples() const {
+    return bst_samples_;
+  }
+
+  /// Replace the full recorder state from a checkpoint.
+  void restore(util::OnlineStats bct, util::OnlineStats bst,
+               std::vector<double> bst_samples, std::vector<EvalPoint> curve,
+               std::vector<double> epoch_losses) {
+    bct_ = bct;
+    bst_ = bst;
+    bst_samples_ = std::move(bst_samples);
+    curve_ = std::move(curve);
+    epoch_losses_ = std::move(epoch_losses);
+  }
+
  private:
   util::OnlineStats bct_;
   util::OnlineStats bst_;
@@ -82,6 +98,13 @@ struct RunResult {
   /// Fault accounting: crashes, downtime, cancelled flows, timed-out
   /// rounds, … All-zero for a run with an empty FaultSchedule.
   sim::FaultStats faults;
+  /// Checkpoints taken during this run (including any the run was resumed
+  /// from, so an interrupted+resumed pair reports the same count as an
+  /// uninterrupted run).
+  std::uint64_t checkpoints_taken = 0;
+  /// True when the run stopped at a checkpoint barrier instead of training
+  /// to completion (CheckpointPolicy::halt_after_checkpoint).
+  bool halted_at_checkpoint = false;
 };
 
 }  // namespace osp::runtime

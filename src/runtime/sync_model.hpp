@@ -18,6 +18,11 @@
 #include <cstddef>
 #include <string>
 
+namespace osp::util::serde {
+class Writer;
+class Reader;
+}  // namespace osp::util::serde
+
 namespace osp::runtime {
 
 class Engine;
@@ -64,6 +69,26 @@ class SyncModel {
 
   void set_timeouts(const SyncTimeouts& timeouts) { timeouts_ = timeouts; }
   [[nodiscard]] const SyncTimeouts& timeouts() const { return timeouts_; }
+
+  // ---- checkpointing ----
+  //
+  // The engine only snapshots at a drain barrier: every worker parked at
+  // an iteration boundary, no flows in flight, and drained() true. A model
+  // therefore only serializes state that survives across rounds (round
+  // counters, error-feedback residuals, tuner state, RNG streams) — never
+  // in-flight round bookkeeping, which is empty by construction at the
+  // barrier. The default implementations suit stateless models.
+
+  /// Serialize persistent model state. Called only when drained().
+  virtual void save_state(util::serde::Writer& w) const { (void)w; }
+
+  /// Restore state written by save_state. Called after attach(), before
+  /// any worker resumes.
+  virtual void load_state(util::serde::Reader& r) { (void)r; }
+
+  /// True when no synchronization round is in progress and no model-owned
+  /// timer or transfer is pending — i.e. state is snapshot-safe.
+  [[nodiscard]] virtual bool drained() const { return true; }
 
  protected:
   [[nodiscard]] Engine& eng() { return *eng_; }

@@ -89,6 +89,8 @@ struct FaultStats {
   std::size_t timed_out_rounds = 0;   ///< RS/BSP rounds closed by deadline
   std::size_t ics_rounds_abandoned = 0;
   std::size_t catch_up_pulls = 0;     ///< late workers resynced by full pull
+  std::size_t checkpoint_restores = 0;  ///< crashed workers restored from a
+                                        ///< run checkpoint instead of a pull
   double worker_downtime_s = 0.0;     ///< crash downtime + pause durations
 
   [[nodiscard]] bool any() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/serde.hpp"
 
 namespace osp::sim {
 
@@ -455,6 +456,52 @@ void Network::complete_flow(std::uint32_t slot) {
   }
   recompute_incremental({}, seed_links_);
   schedule_next_completion();
+}
+
+void Network::save_state(util::serde::Writer& w) const {
+  OSP_CHECK(num_flows_ == 0,
+            "network checkpoint requires a quiescent network (flows in "
+            "flight)");
+  w.u8(1);  // network state version
+  w.u64(link_state_.size());
+  for (const LinkState& ls : link_state_) {
+    w.boolean(ls.up);
+    w.f64(ls.bandwidth_factor);
+    w.f64(ls.extra_loss_rate);
+  }
+  const util::RngState rng = inject_rng_.state();
+  for (std::uint64_t word : rng.s) w.u64(word);
+  w.boolean(rng.have_spare_normal);
+  w.f64(rng.spare_normal);
+  w.u64(next_flow_id_);
+  w.f64(bytes_delivered_);
+  w.u64(flows_cancelled_);
+  w.u64(messages_dropped_);
+  w.u64(messages_delayed_);
+}
+
+void Network::load_state(util::serde::Reader& r) {
+  OSP_CHECK(num_flows_ == 0, "network restore requires no flows in flight");
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported network state version");
+  const std::uint64_t n = r.u64();
+  OSP_CHECK(n == link_state_.size(),
+            "checkpoint link count does not match topology");
+  for (LinkState& ls : link_state_) {
+    ls.up = r.boolean();
+    ls.bandwidth_factor = r.f64();
+    ls.extra_loss_rate = r.f64();
+  }
+  util::RngState rng;
+  for (std::uint64_t& word : rng.s) word = r.u64();
+  rng.have_spare_normal = r.boolean();
+  rng.spare_normal = r.f64();
+  inject_rng_.set_state(rng);
+  next_flow_id_ = r.u64();
+  bytes_delivered_ = r.f64();
+  flows_cancelled_ = static_cast<std::size_t>(r.u64());
+  messages_dropped_ = static_cast<std::size_t>(r.u64());
+  messages_delayed_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace osp::sim

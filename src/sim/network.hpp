@@ -45,6 +45,11 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace osp::util::serde {
+class Writer;
+class Reader;
+}  // namespace osp::util::serde
+
 namespace osp::sim {
 
 using LinkId = std::size_t;
@@ -169,6 +174,18 @@ class Network {
   /// Debug: after every incremental solve, re-run the reference solver and
   /// assert every flow's rate is bitwise identical (slow; for tests).
   void set_check_against_reference(bool on) { check_reference_ = on; }
+
+  // ---- checkpointing ----
+
+  /// Serialize dynamic state: per-link fault state, the injection RNG
+  /// stream, flow-id counter, and accounting counters. Requires a
+  /// quiescent network (no in-flight flows) — in-flight flows are drained
+  /// by the engine before a snapshot, never serialized.
+  void save_state(util::serde::Writer& w) const;
+
+  /// Restore state saved by save_state onto a freshly built network with
+  /// the same link topology.
+  void load_state(util::serde::Reader& r);
 
  private:
   static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;

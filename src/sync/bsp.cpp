@@ -1,6 +1,9 @@
 #include "sync/bsp.hpp"
 
+#include <algorithm>
+
 #include "runtime/engine.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -148,6 +151,36 @@ void BspSync::close_round() {
                          });
     }
   });
+}
+
+void BspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // BSP state version
+  w.u64(round_);
+  w.bool_vec(arrived_);
+  w.u64(arrived_count_);
+  w.bool_vec(awaiting_);
+  w.u64_vec(awaiting_round_);
+}
+
+void BspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported BSP state version");
+  round_ = r.u64();
+  arrived_ = r.bool_vec();
+  arrived_count_ = static_cast<std::size_t>(r.u64());
+  awaiting_ = r.bool_vec();
+  awaiting_round_ = r.u64_vec();
+  OSP_CHECK(arrived_.size() == eng().num_workers() &&
+                awaiting_.size() == eng().num_workers() &&
+                awaiting_round_.size() == eng().num_workers(),
+            "BSP checkpoint worker count mismatch");
+  timer_armed_ = false;  // re-armed by the next push
+}
+
+bool BspSync::drained() const {
+  return !timer_armed_ && arrived_count_ == 0 &&
+         std::none_of(awaiting_.begin(), awaiting_.end(),
+                      [](bool b) { return b; });
 }
 
 void BspSync::catch_up(std::size_t worker) {

@@ -30,6 +30,9 @@ class BspSync : public runtime::SyncModel {
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
   void on_worker_crashed(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override;
 
  private:
   void arm_round_timer();

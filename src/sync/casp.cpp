@@ -5,6 +5,7 @@
 
 #include "sync/transfer.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -67,6 +68,27 @@ void CaspSync::group_aggregate(std::size_t group) {
                });
     }
   });
+}
+
+void CaspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // CASP state version
+  w.u64(groups_.size());
+  w.size_vec(arrived_);
+}
+
+void CaspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported CASP state version");
+  OSP_CHECK(r.u64() == groups_.size(),
+            "CASP checkpoint group count mismatch");
+  arrived_ = r.size_vec();
+  OSP_CHECK(arrived_.size() == groups_.size(),
+            "CASP checkpoint arrival vector mismatch");
+}
+
+bool CaspSync::drained() const {
+  return std::all_of(arrived_.begin(), arrived_.end(),
+                     [](std::size_t v) { return v == 0; });
 }
 
 }  // namespace osp::sync

@@ -29,6 +29,10 @@ class CaspSync : public runtime::SyncModel {
 
   [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
 
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override;
+
  private:
   void on_push_arrived(std::size_t group);
   void group_aggregate(std::size_t group);

@@ -5,6 +5,7 @@
 
 #include "sync/transfer.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -205,6 +206,54 @@ void QuantizedBspSync::aggregate_and_broadcast() {
       });
     }
   });
+}
+
+void CompressedBspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // compressed-BSP state version
+  w.u64(arrived_);
+  const util::RngState rng = rng_.state();
+  for (std::uint64_t word : rng.s) w.u64(word);
+  w.boolean(rng.have_spare_normal);
+  w.f64(rng.spare_normal);
+  // Error-feedback residuals are true training state: losing them changes
+  // every subsequent sparsification. Without error feedback they stay
+  // empty and serialize as a zero count.
+  w.boolean(error_feedback_);
+  w.u64(residual_.size());
+  for (const auto& res : residual_) w.f32_vec(res);
+}
+
+void CompressedBspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported compressed-BSP state version");
+  arrived_ = static_cast<std::size_t>(r.u64());
+  util::RngState rng;
+  for (std::uint64_t& word : rng.s) word = r.u64();
+  rng.have_spare_normal = r.boolean();
+  rng.spare_normal = r.f64();
+  rng_.set_state(rng);
+  OSP_CHECK(r.boolean() == error_feedback_,
+            "compressed-BSP checkpoint error-feedback mode mismatch");
+  const std::uint64_t n = r.u64();
+  OSP_CHECK(n == residual_.size(),
+            "compressed-BSP checkpoint residual count mismatch");
+  for (auto& res : residual_) {
+    std::vector<float> loaded = r.f32_vec();
+    OSP_CHECK(loaded.size() == res.size(),
+              "compressed-BSP checkpoint residual length mismatch");
+    res = std::move(loaded);
+  }
+}
+
+void QuantizedBspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // quantized-BSP state version
+  w.u64(arrived_);
+}
+
+void QuantizedBspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported quantized-BSP state version");
+  arrived_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace osp::sync

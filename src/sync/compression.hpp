@@ -33,6 +33,9 @@ class CompressedBspSync : public runtime::SyncModel {
   [[nodiscard]] std::string name() const override;
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override { return arrived_ == 0; }
 
  private:
   void on_push_arrived();
@@ -64,6 +67,9 @@ class QuantizedBspSync : public runtime::SyncModel {
   [[nodiscard]] std::string name() const override { return "Q8-BSP"; }
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override { return arrived_ == 0; }
 
  private:
   void on_push_arrived();

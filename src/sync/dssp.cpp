@@ -4,6 +4,7 @@
 
 #include "sync/transfer.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -89,6 +90,25 @@ void DsspSync::on_epoch_complete(std::size_t /*epoch*/,
   }
   max_spread_seen_ = 0;
   release_parked();  // the bound may have widened
+}
+
+void DsspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // DSSP state version
+  w.u64(min_bound_);
+  w.u64(max_bound_);
+  w.u64(bound_);
+  w.u64(max_spread_seen_);
+  w.size_vec(parked_);
+}
+
+void DsspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported DSSP state version");
+  OSP_CHECK(r.u64() == min_bound_ && r.u64() == max_bound_,
+            "DSSP checkpoint bound range mismatch");
+  bound_ = static_cast<std::size_t>(r.u64());
+  max_spread_seen_ = static_cast<std::size_t>(r.u64());
+  parked_ = r.size_vec();
 }
 
 }  // namespace osp::sync

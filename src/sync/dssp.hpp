@@ -26,6 +26,10 @@ class DsspSync : public runtime::SyncModel {
 
   [[nodiscard]] std::size_t current_bound() const { return bound_; }
 
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override { return parked_.empty(); }
+
  private:
   void maybe_release(std::size_t worker);
   void release_parked();

@@ -1,6 +1,9 @@
 #include "sync/r2sp.hpp"
 
+#include <algorithm>
+
 #include "sync/transfer.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -40,6 +43,28 @@ void R2spSync::try_serve() {
       }
     });
   });
+}
+
+void R2spSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // R2SP state version
+  w.bool_vec(ready_);
+  w.u64(token_);
+  w.boolean(serving_);
+}
+
+void R2spSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported R2SP state version");
+  ready_ = r.bool_vec();
+  OSP_CHECK(ready_.size() == eng().num_workers(),
+            "R2SP checkpoint worker count mismatch");
+  token_ = static_cast<std::size_t>(r.u64());
+  serving_ = r.boolean();
+}
+
+bool R2spSync::drained() const {
+  return !serving_ && std::none_of(ready_.begin(), ready_.end(),
+                                   [](bool b) { return b; });
 }
 
 void R2spSync::deliver(std::size_t worker) {

@@ -23,6 +23,9 @@ class R2spSync : public runtime::SyncModel {
   }
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override;
 
  private:
   void try_serve();

@@ -1,8 +1,11 @@
 #include "sync/sharded_bsp.hpp"
 
+#include <algorithm>
+
 #include "sync/sharding.hpp"
 #include "sync/transfer.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -79,6 +82,30 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
         }
       },
       ps);
+}
+
+void ShardedBspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // sharded-BSP state version
+  w.u64(num_ps_);
+  w.size_vec(shard_arrived_);
+  w.size_vec(worker_pending_);
+}
+
+void ShardedBspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported sharded-BSP state version");
+  OSP_CHECK(r.u64() == num_ps_, "sharded-BSP checkpoint PS count mismatch");
+  shard_arrived_ = r.size_vec();
+  worker_pending_ = r.size_vec();
+  OSP_CHECK(shard_arrived_.size() == num_ps_ &&
+                worker_pending_.size() == eng().num_workers(),
+            "sharded-BSP checkpoint shape mismatch");
+}
+
+bool ShardedBspSync::drained() const {
+  auto zero = [](std::size_t v) { return v == 0; };
+  return std::all_of(shard_arrived_.begin(), shard_arrived_.end(), zero) &&
+         std::all_of(worker_pending_.begin(), worker_pending_.end(), zero);
 }
 
 }  // namespace osp::sync

@@ -19,6 +19,9 @@ class ShardedBspSync : public runtime::SyncModel {
   [[nodiscard]] std::string name() const override;
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override;
 
  private:
   void on_shard_push_arrived(std::size_t ps);

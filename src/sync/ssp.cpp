@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sync/transfer.hpp"
+#include "util/serde.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
@@ -45,6 +46,20 @@ void SspSync::maybe_release(std::size_t worker) {
   e.finish_sync(worker);
   // This worker's progress may have raised min_iteration; wake others.
   release_parked();
+}
+
+void SspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // SSP state version
+  w.u64(staleness_bound_);
+  w.size_vec(parked_);
+}
+
+void SspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported SSP state version");
+  OSP_CHECK(r.u64() == staleness_bound_,
+            "SSP checkpoint staleness bound mismatch");
+  parked_ = r.size_vec();
 }
 
 void SspSync::release_parked() {

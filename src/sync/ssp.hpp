@@ -20,6 +20,9 @@ class SspSync : public runtime::SyncModel {
 
   [[nodiscard]] std::string name() const override;
   void on_gradient_ready(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override { return parked_.empty(); }
 
  private:
   void maybe_release(std::size_t worker);

@@ -4,6 +4,7 @@
 
 #include "runtime/engine.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 
 namespace osp::sync {
 
@@ -42,6 +43,21 @@ void SyncSwitchSync::on_gradient_ready(std::size_t worker) {
 void SyncSwitchSync::on_epoch_complete(std::size_t epoch,
                                        double /*mean_loss*/) {
   if (!switched_ && epoch >= switch_epoch_) switched_ = true;
+}
+
+void SyncSwitchSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // Sync-Switch state version
+  w.boolean(switched_);
+  bsp_.save_state(w);
+  asp_.save_state(w);
+}
+
+void SyncSwitchSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported Sync-Switch state version");
+  switched_ = r.boolean();
+  bsp_.load_state(r);
+  asp_.load_state(r);
 }
 
 }  // namespace osp::sync

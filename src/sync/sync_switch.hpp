@@ -25,6 +25,10 @@ class SyncSwitchSync : public runtime::SyncModel {
 
   [[nodiscard]] bool switched() const { return switched_; }
 
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override { return bsp_.drained(); }
+
  private:
   double switch_fraction_;
   std::size_t switch_epoch_ = 0;

@@ -22,7 +22,9 @@ inline void transfer(runtime::Engine& eng, std::vector<sim::LinkId> route,
                      double bytes, std::function<void()> done) {
   const double overhead = eng.cluster().config().transfer_overhead_s;
   if (route.empty()) {
-    eng.sim().schedule(overhead, std::move(done));
+    // Route through the engine so pending loopbacks are visible to the
+    // checkpoint quiescence check.
+    eng.loopback_transfer(overhead, std::move(done));
     return;
   }
   eng.cluster().network().start_flow(std::move(route), bytes,

@@ -22,6 +22,14 @@ namespace osp::util {
   return z ^ (z >> 31);
 }
 
+/// Snapshot of an Rng stream, including the Box–Muller spare so a
+/// restored stream replays the exact same normal() sequence.
+struct RngState {
+  std::uint64_t s[4]{};
+  bool have_spare_normal = false;
+  double spare_normal = 0.0;
+};
+
 /// xoshiro256** 1.0 — fast, high-quality, deterministic across platforms.
 class Rng {
  public:
@@ -98,6 +106,20 @@ class Rng {
   template <typename T>
   void shuffle(std::vector<T>& items) {
     shuffle(std::span<T>{items});
+  }
+
+  [[nodiscard]] RngState state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.have_spare_normal = have_spare_normal_;
+    st.spare_normal = spare_normal_;
+    return st;
+  }
+
+  void set_state(const RngState& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    have_spare_normal_ = st.have_spare_normal;
+    spare_normal_ = st.spare_normal;
   }
 
  private:

@@ -1,0 +1,253 @@
+#include "util/serde.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace osp::util::serde {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Writer::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::bytes(std::span<const std::uint8_t> b) {
+  u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Writer::f32_vec(std::span<const float> v) {
+  u64(v.size());
+  for (float x : v) f32(x);
+}
+
+void Writer::f64_vec(std::span<const double> v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void Writer::u64_vec(std::span<const std::uint64_t> v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+void Writer::size_vec(std::span<const std::size_t> v) {
+  u64(v.size());
+  for (std::size_t x : v) u64(static_cast<std::uint64_t>(x));
+}
+
+void Writer::bool_vec(const std::vector<bool>& v) {
+  u64(v.size());
+  for (bool x : v) u8(x ? 1 : 0);
+}
+
+std::uint8_t Reader::u8() {
+  OSP_CHECK(pos_ < data_.size(), "serde: payload underflow reading u8");
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  OSP_CHECK(remaining() >= 4, "serde: payload underflow reading u32");
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  OSP_CHECK(remaining() >= 8, "serde: payload underflow reading u64");
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+  }
+  return v;
+}
+
+bool Reader::boolean() {
+  std::uint8_t v = u8();
+  OSP_CHECK(v <= 1, "serde: boolean byte is neither 0 nor 1");
+  return v != 0;
+}
+
+void Reader::check_count(std::uint64_t count, std::size_t elem_bytes) const {
+  OSP_CHECK(elem_bytes == 0 || count <= remaining() / elem_bytes,
+            "serde: declared array length exceeds remaining payload");
+}
+
+std::string Reader::str() {
+  std::uint32_t n = u32();
+  check_count(n, 1);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> Reader::bytes() {
+  std::uint64_t n = u64();
+  check_count(n, 1);
+  std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+std::vector<float> Reader::f32_vec() {
+  std::uint64_t n = u64();
+  check_count(n, 4);
+  std::vector<float> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = f32();
+  return v;
+}
+
+std::vector<double> Reader::f64_vec() {
+  std::uint64_t n = u64();
+  check_count(n, 8);
+  std::vector<double> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = f64();
+  return v;
+}
+
+std::vector<std::uint64_t> Reader::u64_vec() {
+  std::uint64_t n = u64();
+  check_count(n, 8);
+  std::vector<std::uint64_t> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = u64();
+  return v;
+}
+
+std::vector<std::size_t> Reader::size_vec() {
+  std::uint64_t n = u64();
+  check_count(n, 8);
+  std::vector<std::size_t> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = static_cast<std::size_t>(u64());
+  return v;
+}
+
+std::vector<bool> Reader::bool_vec() {
+  std::uint64_t n = u64();
+  check_count(n, 1);
+  std::vector<bool> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = boolean();
+  return v;
+}
+
+void Reader::expect_done() const {
+  OSP_CHECK(done(), "serde: trailing bytes after payload");
+}
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void write_file(const std::string& path, std::string_view magic,
+                std::uint32_t version, std::span<const std::uint8_t> payload) {
+  OSP_CHECK(magic.size() == 8, "serde: magic must be exactly 8 bytes");
+  Writer envelope;
+  envelope.u32(version);
+  envelope.u64(payload.size());
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  OSP_CHECK(f != nullptr, "serde: cannot open file for writing: " + path);
+  auto put = [&](std::span<const std::uint8_t> b) {
+    OSP_CHECK(std::fwrite(b.data(), 1, b.size(), f.get()) == b.size(),
+              "serde: short write to " + path);
+  };
+  put(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(magic.data()), magic.size()));
+  put(envelope.data());
+  put(payload);
+  Writer tail;
+  tail.u32(crc32(payload));
+  put(tail.data());
+  OSP_CHECK(std::fflush(f.get()) == 0, "serde: flush failed for " + path);
+}
+
+FileContents read_file(const std::string& path, std::string_view magic,
+                       std::uint32_t max_supported_version) {
+  OSP_CHECK(magic.size() == 8, "serde: magic must be exactly 8 bytes");
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  OSP_CHECK(f != nullptr, "serde: cannot open file for reading: " + path);
+
+  std::vector<std::uint8_t> raw;
+  std::array<std::uint8_t, 65536> chunk;
+  std::size_t got = 0;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), f.get())) > 0) {
+    raw.insert(raw.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  OSP_CHECK(std::ferror(f.get()) == 0, "serde: read error on " + path);
+
+  OSP_CHECK(raw.size() >= 8 + 4 + 8 + 4,
+            "serde: file too short to hold an envelope: " + path);
+  OSP_CHECK(std::memcmp(raw.data(), magic.data(), 8) == 0,
+            "serde: bad magic in " + path);
+
+  Reader header(std::span<const std::uint8_t>(raw).subspan(8, 12));
+  FileContents out;
+  out.version = header.u32();
+  OSP_CHECK(out.version >= 1 && out.version <= max_supported_version,
+            "serde: unsupported format version in " + path);
+  std::uint64_t payload_len = header.u64();
+
+  const std::size_t body_off = 8 + 12;
+  OSP_CHECK(raw.size() == body_off + payload_len + 4,
+            "serde: file length does not match envelope (truncated or "
+            "trailing bytes): " + path);
+
+  auto payload = std::span<const std::uint8_t>(raw).subspan(body_off, payload_len);
+  Reader tail(std::span<const std::uint8_t>(raw).subspan(body_off + payload_len, 4));
+  std::uint32_t stored_crc = tail.u32();
+  OSP_CHECK(crc32(payload) == stored_crc,
+            "serde: CRC mismatch (file is corrupted): " + path);
+
+  out.payload.assign(payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace osp::util::serde

@@ -1,0 +1,113 @@
+// Versioned binary serialization for run-level checkpoints.
+//
+// The format is deliberately boring: explicit little-endian scalars
+// (byte-shifted, never memcpy'd structs, so the encoding is identical on
+// any host), length-prefixed strings and arrays, and a file envelope of
+//   magic (8 bytes) | u32 version | u64 payload length | payload | u32 CRC32
+// so a reader can reject the three interesting failure classes — wrong
+// file, truncated file, corrupted file — before interpreting a single
+// payload byte. Floats travel as their IEEE-754 bit patterns (bit_cast),
+// which is what makes checkpoint/resume bit-identical rather than merely
+// "close".
+//
+// Reader performs a bounds check on every read and throws
+// util::CheckError on underflow, so a malformed payload can never cause
+// an out-of-bounds read; array reads additionally bound the declared
+// element count by the bytes actually remaining, so a corrupted length
+// cannot trigger a pathological allocation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace osp::util::serde {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  /// u64 length prefix + raw bytes (nestable sub-payloads).
+  void bytes(std::span<const std::uint8_t> b);
+
+  // Length-prefixed (u64 count) homogeneous arrays.
+  void f32_vec(std::span<const float> v);
+  void f64_vec(std::span<const double> v);
+  void u64_vec(std::span<const std::uint64_t> v);
+  void size_vec(std::span<const std::size_t> v);
+  void bool_vec(const std::vector<bool>& v);
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] float f32() { return std::bit_cast<float>(u32()); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] bool boolean();
+
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<std::uint8_t> bytes();
+
+  [[nodiscard]] std::vector<float> f32_vec();
+  [[nodiscard]] std::vector<double> f64_vec();
+  [[nodiscard]] std::vector<std::uint64_t> u64_vec();
+  [[nodiscard]] std::vector<std::size_t> size_vec();
+  [[nodiscard]] std::vector<bool> bool_vec();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  /// Throws unless every payload byte was consumed (trailing garbage).
+  void expect_done() const;
+
+ private:
+  /// Validate a length-prefixed array header: `count` elements of
+  /// `elem_bytes` each must fit in the remaining payload.
+  void check_count(std::uint64_t count, std::size_t elem_bytes) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Write `payload` to `path` under the standard envelope. `magic` must be
+/// exactly 8 characters. Throws util::CheckError on I/O failure.
+void write_file(const std::string& path, std::string_view magic,
+                std::uint32_t version, std::span<const std::uint8_t> payload);
+
+struct FileContents {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Read and validate an envelope written by write_file: wrong magic,
+/// version above `max_supported_version`, short payload, trailing bytes,
+/// and CRC mismatch all throw util::CheckError with a descriptive message.
+[[nodiscard]] FileContents read_file(const std::string& path,
+                                     std::string_view magic,
+                                     std::uint32_t max_supported_version);
+
+}  // namespace osp::util::serde

@@ -25,6 +25,23 @@ class OnlineStats {
   /// Merge another accumulator into this one (parallel reduction support).
   void merge(const OnlineStats& other);
 
+  /// Raw second central moment (for exact serialization round-trips).
+  [[nodiscard]] double m2() const { return m2_; }
+
+  /// Rebuild an accumulator from previously serialized raw fields.
+  [[nodiscard]] static OnlineStats from_state(std::size_t count, double mean,
+                                              double m2, double min, double max,
+                                              double sum) {
+    OnlineStats s;
+    s.count_ = count;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    s.sum_ = sum;
+    return s;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -267,6 +267,90 @@ TEST(Timeouts, MessageDropsSurvivedViaDeadlines) {
   EXPECT_TRUE(std::isfinite(r.final_loss));
 }
 
+// ---- checkpoint-based crash recovery ----
+// With CheckpointPolicy::restore_crashed_from_checkpoint a restarted
+// worker reloads its replica from the latest run checkpoint (a local disk
+// read) instead of pulling the full model from the PS over the network.
+
+TEST(CheckpointRecovery, CrashRestoresFromCheckpointDeterministically) {
+  auto recovery_run = [](bool restore_from_checkpoint) {
+    runtime::EngineConfig cfg = golden_config();
+    cfg.max_virtual_time_s = 60.0;
+    cfg.checkpoint.every_iters = 4;  // snapshots at iters 4, 8, 12, 16, 20
+    cfg.checkpoint.restore_crashed_from_checkpoint = restore_from_checkpoint;
+    // Crash lands mid-run; the worker restores from the latest snapshot
+    // instead of pulling the model over the network.
+    cfg.faults.crash_worker(0.9, 2, /*restart_after=*/0.1);
+    sync::BspSync sync;
+    return run_with(sync, cfg);
+  };
+
+  const runtime::RunResult restore = recovery_run(true);
+  EXPECT_EQ(restore.faults.worker_crashes, 1u);
+  EXPECT_EQ(restore.faults.worker_restarts, 1u);
+  EXPECT_EQ(restore.faults.checkpoint_restores, 1u);
+  // Three snapshots land before the crash; afterwards the restored worker
+  // trails the pack, so one boundary deadlocks (the straggler's round needs
+  // the parked workers) and is skipped, leaving one more post-crash.
+  EXPECT_EQ(restore.checkpoints_taken, 4u);
+  // No lost rounds: every worker finishes every epoch (the iteration in
+  // flight at the crash is recomputed, so up to one extra batch counts),
+  // and no barrier round had to be closed by a deadline.
+  EXPECT_GE(restore.total_samples, 1536.0);
+  EXPECT_LE(restore.total_samples, 1536.0 + 32.0);
+  EXPECT_EQ(restore.faults.timed_out_rounds, 0u);
+  EXPECT_TRUE(std::isfinite(restore.final_loss));
+
+  // Deterministic replay: the recovery path is seeded simulation like
+  // everything else — a second run is bit-identical.
+  const runtime::RunResult again = recovery_run(true);
+  EXPECT_DOUBLE_EQ(restore.total_time_s, again.total_time_s);
+  EXPECT_DOUBLE_EQ(restore.total_samples, again.total_samples);
+  EXPECT_DOUBLE_EQ(restore.final_loss, again.final_loss);
+  EXPECT_DOUBLE_EQ(restore.faults.worker_downtime_s,
+                   again.faults.worker_downtime_s);
+  EXPECT_EQ(restore.faults.checkpoint_restores,
+            again.faults.checkpoint_restores);
+
+  // The catch-up-pull path is untouched when the policy is off.
+  const runtime::RunResult pull = recovery_run(false);
+  EXPECT_EQ(pull.faults.worker_restarts, 1u);
+  EXPECT_EQ(pull.faults.checkpoint_restores, 0u);
+  EXPECT_GE(pull.total_samples, 1536.0);
+}
+
+TEST(CheckpointRecovery, FallsBackToPullBeforeFirstCheckpoint) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;
+  cfg.checkpoint.every_iters = 8;  // first snapshot long after the crash
+  cfg.checkpoint.restore_crashed_from_checkpoint = true;
+  cfg.faults.crash_worker(0.2, 1, /*restart_after=*/0.1);
+  sync::BspSync sync;
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_EQ(r.faults.worker_restarts, 1u);
+  EXPECT_EQ(r.faults.checkpoint_restores, 0u);  // nothing to restore yet
+  EXPECT_GE(r.total_samples, 1536.0);
+}
+
+TEST(CheckpointRecovery, OspCrashRestoreCompletesIcs) {
+  runtime::EngineConfig cfg = golden_config();
+  cfg.max_virtual_time_s = 60.0;
+  cfg.checkpoint.every_iters = 4;
+  cfg.checkpoint.restore_crashed_from_checkpoint = true;
+  cfg.faults.crash_worker(0.9, 3, /*restart_after=*/0.15);
+  core::OspOptions opt;
+  opt.fixed_budget_fraction = 0.5;
+  core::OspSync sync(opt, {.rs_timeout_s = 0.5, .ics_timeout_s = 0.5});
+  const runtime::RunResult r = run_with(sync, cfg);
+  EXPECT_LT(r.total_time_s, 59.0) << "run did not converge (deadlock?)";
+  EXPECT_EQ(r.faults.worker_restarts, 1u);
+  EXPECT_EQ(r.faults.checkpoint_restores, 1u);
+  EXPECT_EQ(sync.num_unhealthy(), 0u);
+  EXPECT_GT(sync.ics_rounds_completed(), 0u);
+  EXPECT_GE(r.total_samples, 1536.0);
+  EXPECT_LE(r.total_samples, 1536.0 + 32.0);
+}
+
 // ---- pauses ----
 
 TEST(Pauses, PauseStretchesRoundButLosesNothing) {

@@ -80,6 +80,40 @@ TEST(Checkpoint, RejectsTruncatedFile) {
   EXPECT_THROW(nn::load_checkpoint(flat, file.path), util::CheckError);
 }
 
+TEST(Checkpoint, RejectsBitCorruption) {
+  const auto spec = models::tiny_mlp();
+  nn::Sequential model = spec.build_model(1);
+  nn::FlatModel flat(model);
+  TempFile file(temp_path("osp_ckpt_bitflip.bin"));
+  nn::save_checkpoint(flat, file.path);
+  // Flip a single bit inside the parameter payload; without the CRC this
+  // would load "successfully" with one silently-corrupted weight.
+  std::fstream io(file.path, std::ios::binary | std::ios::in | std::ios::out);
+  const auto size = std::filesystem::file_size(file.path);
+  const auto pos = static_cast<std::streamoff>(size / 2);
+  char byte = 0;
+  io.seekg(pos);
+  io.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x04);
+  io.seekp(pos);
+  io.write(&byte, 1);
+  io.close();
+  EXPECT_THROW(nn::load_checkpoint(flat, file.path), util::CheckError);
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  const auto spec = models::tiny_mlp();
+  nn::Sequential model = spec.build_model(1);
+  nn::FlatModel flat(model);
+  TempFile file(temp_path("osp_ckpt_trailing.bin"));
+  nn::save_checkpoint(flat, file.path);
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::app);
+    out << "sneaky extra bytes";
+  }
+  EXPECT_THROW(nn::load_checkpoint(flat, file.path), util::CheckError);
+}
+
 TEST(Checkpoint, MissingFileThrows) {
   const auto spec = models::tiny_mlp();
   nn::Sequential model = spec.build_model(1);
