@@ -14,11 +14,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/osp_sync.hpp"
 #include "models/zoo.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/telemetry.hpp"
 #include "sync/asp.hpp"
 #include "sync/bsp.hpp"
 #include "sync/r2sp.hpp"
@@ -35,6 +37,13 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
+/// Boolean env toggle: unset, empty, or "0" is off; anything else is on.
+inline bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         std::string_view(value) != "0";
+}
+
 /// The testbed configuration of §5.1.1: 8 workers + standalone PS behind a
 /// 10 Gbit/s ToR, Tesla T4-class compute, mild compute jitter.
 inline runtime::EngineConfig paper_config(
@@ -45,6 +54,13 @@ inline runtime::EngineConfig paper_config(
   cfg.max_epochs = epochs;
   cfg.seed = 20230807;  // ICPP'23 conference date
   cfg.straggler_jitter = 0.05;
+  // Opt-in observability: OSP_TRACE=1 makes every bench run record spans,
+  // flows, counters, and per-round sync telemetry (pure observation — the
+  // simulated numerics and timings are unchanged).
+  if (env_flag("OSP_TRACE")) {
+    cfg.record_trace = true;
+    cfg.record_telemetry = true;
+  }
   return cfg;
 }
 
@@ -68,6 +84,43 @@ inline runtime::RunResult run_one(const runtime::WorkloadSpec& spec,
                                   const runtime::EngineConfig& cfg) {
   runtime::Engine engine(spec, cfg, sync);
   return engine.run();
+}
+
+/// Like run_one, but when tracing is on also drops the run's observability
+/// artifacts under bench_out/: <prefix>_trace.json (Chrome tracing) and
+/// <prefix>_telemetry.jsonl (one sync round per line).
+inline runtime::RunResult run_one_with_artifacts(
+    const runtime::WorkloadSpec& spec, runtime::SyncModel& sync,
+    const runtime::EngineConfig& cfg, const std::string& prefix) {
+  runtime::Engine engine(spec, cfg, sync);
+  runtime::RunResult r = engine.run();
+  if (cfg.record_trace && !prefix.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    if (!ec) {
+      engine.trace().write_chrome_json("bench_out/" + prefix + "_trace.json");
+      runtime::write_telemetry_jsonl(
+          "bench_out/" + prefix + "_telemetry.jsonl", r.rounds);
+    }
+  }
+  return r;
+}
+
+/// Lower-case the label and replace path-hostile characters so it can name
+/// an artifact file ("BSP(x2PS)" -> "bsp_x2ps_").
+inline std::string artifact_prefix(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
 }
 
 // ---- parallel multi-run harness -----------------------------------------

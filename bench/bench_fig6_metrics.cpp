@@ -21,8 +21,11 @@ int main() {
   for (const auto& spec : workloads) {
     for (const auto& named : bench::paper_baselines()) {
       auto sync = named.make();
-      results[spec.name][named.label] =
-          bench::run_one(spec, *sync, bench::paper_config());
+      // With OSP_TRACE=1 each run also leaves bench_out/<workload>_<sync>_
+      // {trace.json, telemetry.jsonl} for osp_inspect / chrome://tracing.
+      results[spec.name][named.label] = bench::run_one_with_artifacts(
+          spec, *sync, bench::paper_config(),
+          bench::artifact_prefix(spec.name + "_" + named.label));
     }
   }
   const std::vector<std::string> order = {"ASP", "BSP", "R2SP", "OSP"};

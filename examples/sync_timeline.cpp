@@ -1,10 +1,16 @@
 // Reconstructing the paper's Figure 4 from a live run: records per-worker
-// compute/sync spans for BSP and OSP, prints the per-phase shares, and
-// exports Chrome-tracing JSON files (open in chrome://tracing or
-// https://ui.perfetto.dev) where OSP's shortened sync spans — the RS — are
-// directly visible against BSP's.
+// compute/rs/ics spans for BSP and OSP, prints the per-phase shares and the
+// ICS/compute overlap ratio, and exports Chrome-tracing JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) where OSP's two-stage sync —
+// a short blocking RS plus ICS riding the next iteration's compute on a
+// side track — is directly visible against BSP's monolithic barrier.
+//
+// The OSP run additionally writes its per-round sync telemetry as JSONL
+// (one round per line: contributors, GIB split, budget, LGP correction);
+// feed both artifacts to tools/osp_inspect for the full summary.
 //
 //   ./build/examples/sync_timeline [epochs]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,12 +18,39 @@
 #include "models/zoo.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/telemetry.hpp"
 #include "sync/bsp.hpp"
+
+namespace {
+
+// Fraction of total ICS span time overlapping the same worker's compute
+// spans — the quantity Fig. 4 makes visible (0 for BSP: no ICS at all).
+double ics_overlap_ratio(const osp::runtime::TraceRecorder& trace) {
+  using osp::runtime::TracePhase;
+  using osp::runtime::TraceSpan;
+  double ics_total = 0.0, overlapped = 0.0;
+  for (const TraceSpan& s : trace.spans()) {
+    if (s.phase != TracePhase::kIcs) continue;
+    ics_total += s.end_s - s.begin_s;
+    for (const TraceSpan& c : trace.spans()) {
+      if (c.phase != TracePhase::kCompute || c.worker != s.worker) continue;
+      const double lo = std::max(s.begin_s, c.begin_s);
+      const double hi = std::min(s.end_s, c.end_s);
+      if (hi > lo) overlapped += hi - lo;
+    }
+  }
+  return ics_total > 0.0 ? overlapped / ics_total : 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace osp;
+  // Algorithm 1 needs enough epochs for the S(G^u) ramp to approach U_max;
+  // below ~15 the ICS is small enough to hide entirely inside the RS
+  // response window and the compute overlap stays near zero.
   const std::size_t epochs =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
 
   const runtime::WorkloadSpec spec = models::resnet50_cifar10();
   runtime::EngineConfig config;
@@ -25,16 +58,33 @@ int main(int argc, char** argv) {
   config.max_epochs = epochs;
   config.straggler_jitter = 0.05;
   config.record_trace = true;
+  config.record_telemetry = true;
 
-  auto run = [&](runtime::SyncModel& sync, const char* json_path) {
+  auto run = [&](runtime::SyncModel& sync, const char* json_path,
+                 const char* telemetry_path) {
     runtime::Engine engine(spec, config, sync);
     const runtime::RunResult r = engine.run();
     engine.trace().write_chrome_json(json_path);
-    std::printf("%-4s  sync share=%5.1f%%  tput=%7.1f img/s  "
-                "timeline: %s (%zu spans)\n",
+    if (telemetry_path != nullptr) {
+      runtime::write_telemetry_jsonl(telemetry_path, r.rounds);
+    }
+    std::printf("%-4s  blocking sync share=%5.1f%%  ics overlap=%5.1f%%  "
+                "tput=%7.1f img/s  rounds=%zu\n",
                 r.sync_name.c_str(),
-                100.0 * engine.trace().sync_fraction(), r.throughput,
-                json_path, engine.trace().spans().size());
+                100.0 * engine.trace().blocking_sync_fraction(),
+                100.0 * ics_overlap_ratio(engine.trace()), r.throughput,
+                r.rounds.size());
+    std::printf("      phase shares:");
+    for (const auto& [phase, share] : engine.trace().phase_shares()) {
+      std::printf(" %s=%.1f%%", runtime::trace_phase_name(phase),
+                  100.0 * share);
+    }
+    std::printf("\n      timeline: %s (%zu spans, %zu flows)\n", json_path,
+                engine.trace().spans().size(),
+                engine.trace().flows().size());
+    if (telemetry_path != nullptr) {
+      std::printf("      telemetry: %s\n", telemetry_path);
+    }
     return r;
   };
 
@@ -42,8 +92,9 @@ int main(int argc, char** argv) {
               "==\n");
   sync::BspSync bsp;
   core::OspSync osp;
-  run(bsp, "timeline_bsp.json");
-  const runtime::RunResult r = run(osp, "timeline_osp.json");
+  run(bsp, "timeline_bsp.json", nullptr);
+  const runtime::RunResult r =
+      run(osp, "timeline_osp.json", "timeline_osp_telemetry.jsonl");
 
   std::printf("\nOSP spent %.1f MB/iter in its blocking RS by the end "
               "(budget %.1f of U_max %.1f MB); the other bytes rode the "

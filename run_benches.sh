@@ -8,6 +8,11 @@ set -u
 cd "$(dirname "$0")"
 : "${OSP_BENCH_EPOCHS:=20}"
 export OSP_BENCH_EPOCHS
+# Opt-in observability: OSP_TRACE=1 makes the figure benches record traces
+# and per-round telemetry and drop them under bench_out/ (see
+# bench_common.hpp). Off by default — tracing large runs costs memory.
+: "${OSP_TRACE:=0}"
+export OSP_TRACE
 out="${1:-bench_output.txt}"
 : > "$out"
 failed=()

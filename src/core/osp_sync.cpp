@@ -97,6 +97,12 @@ void OspSync::attach(runtime::Engine& eng) {
   ics_inflight_.clear();
   last_ics_applied_.assign(n, 0);
   ics_rounds_completed_ = 0;
+  ics_trace_.clear();
+  if (eng.tracing()) {
+    // Seed the §5.3 budget curve; on_epoch_complete extends it.
+    eng.trace_mutable().add_counter(eng.sim().now(), "ics_budget_bytes",
+                                    ics_budget_);
+  }
 }
 
 double OspSync::u_max() const { return tuner_->u_max(); }
@@ -157,6 +163,7 @@ void OspSync::arm_rs_timer() {
     if (!pending) return;
     e.record_round_timeout();
     close_rs();
+    ++e.telemetry_round(round_).timeouts;  // round_ is the round just closed
   });
 }
 
@@ -191,6 +198,11 @@ void OspSync::on_worker_crashed(std::size_t worker) {
     }
   }
   for (std::uint64_t rnd : affected) check_ics_round(rnd);
+  // Its open ICS spans die with it (the downtime span covers the gap).
+  for (auto it = ics_trace_.begin(); it != ics_trace_.end();) {
+    it->second.pending.erase(worker);
+    it = it->second.pending.empty() ? ics_trace_.erase(it) : std::next(it);
+  }
   maybe_close_rs();  // the RS barrier may now be satisfiable
 }
 
@@ -226,6 +238,15 @@ void OspSync::close_rs() {
   rs_shards_arrived_.assign(n, 0);
   rs_contributed_.assign(n, false);
   rs_contributed_count_ = 0;
+
+  // Telemetry record for this round — created before the empty-round early
+  // return so timed-out rounds with zero contributors stay visible, and
+  // before the resync loop so catch_up's retry counts land on it.
+  {
+    runtime::SyncTelemetry& rec = e.telemetry_round(this_round);
+    rec.contributors = contributed;
+    rec.ics_budget_bytes = ics_budget_;
+  }
 
   // Resync healthy workers whose push missed the round. A worker stays
   // `rs_awaiting_` until some response is delivered, so a lost catch-up
@@ -274,6 +295,15 @@ void OspSync::close_rs() {
   // (c) Asynchronous GIB calculation for the next round.
   const Gib round_gib = gib_;
   gib_ = compute_next_gib();
+
+  {
+    // The GIB split this round's bytes travelled under (§4.1).
+    runtime::SyncTelemetry& rec = e.telemetry_round(this_round);
+    rec.gib_important = round_gib.count_important();
+    rec.gib_unimportant = round_gib.count_unimportant();
+    rec.important_bytes = round_gib.important_bytes(e.all_block_bytes());
+    rec.unimportant_bytes = round_gib.unimportant_bytes(e.all_block_bytes());
+  }
 
   const double lr = e.current_lr();
   // RS responses go to the contributors that are still up and waiting; the
@@ -337,6 +367,7 @@ void OspSync::close_rs() {
 void OspSync::catch_up(std::size_t worker) {
   runtime::Engine& e = eng();
   e.record_catch_up_pull();
+  ++e.telemetry_round(round_).retries;
   e.worker_transfer(worker, e.cluster().route_from_ps(worker),
                     e.model_bytes(), [this, worker] {
                       runtime::Engine& e2 = eng();
@@ -401,6 +432,22 @@ void OspSync::start_ics_round(std::uint64_t round, const Gib& gib,
     }
   }
   ics_inflight_.push_back(std::move(state));
+  if (e.tracing()) {
+    // One ICS span per member, open from the first unimportant push until
+    // the member's last shard correction lands (ics_trace_note_correction).
+    std::size_t carrying = 0;
+    for (std::size_t p = 0; p < num_ps_; ++p) {
+      if (ps_bytes(gib, p, /*important=*/false) > 0.0) ++carrying;
+    }
+    if (carrying > 0) {
+      IcsTrace t;
+      t.begin_s = e.sim().now();
+      for (std::size_t w = 0; w < members.size(); ++w) {
+        if (members[w]) t.pending[w] = carrying;
+      }
+      ics_trace_[round] = std::move(t);
+    }
+  }
   for (std::size_t p = 0; p < num_ps_; ++p) {
     const double push_bytes = ps_bytes(gib, p, /*important=*/false);
     if (push_bytes <= 0.0) continue;
@@ -420,6 +467,7 @@ void OspSync::start_ics_round(std::uint64_t round, const Gib& gib,
       if (it == ics_inflight_.end()) return;  // completed in time
       eng().record_ics_abandoned();
       ics_inflight_.erase(it);
+      ics_trace_abandon(round);
     });
   }
 }
@@ -450,6 +498,7 @@ void OspSync::check_ics_round(std::uint64_t round) {
     // arrive. Drop the round (already-applied shards keep their step).
     e.record_ics_abandoned();
     ics_inflight_.erase(it);
+    ics_trace_abandon(round);
     return;
   }
 
@@ -483,7 +532,38 @@ void OspSync::check_ics_round(std::uint64_t round) {
                                [this, w, round, shard_view] {
                                  runtime::Engine& e2 = eng();
                                  if (!e2.worker_alive(w)) return;
+                                 // The bytes arrived either way — the span
+                                 // closes even when a newer round already
+                                 // superseded this correction.
+                                 if (e2.tracing()) {
+                                   ics_trace_note_correction(round, w);
+                                 }
                                  if (round < last_ics_applied_[w]) return;
+                                 if (e2.config().record_telemetry) {
+                                   // Eq. 7 magnitude: how far the LGP
+                                   // prediction drifted from the global
+                                   // result over the corrected blocks.
+                                   double sq = 0.0;
+                                   const std::span<const float> gp =
+                                       e2.global_params();
+                                   const std::span<const float> wp =
+                                       e2.worker_params(w);
+                                   const auto& blocks = e2.blocks();
+                                   for (std::size_t b = 0;
+                                        b < shard_view.size(); ++b) {
+                                     if (shard_view.important(b)) continue;
+                                     const auto& info = blocks[b];
+                                     for (std::size_t i = info.offset;
+                                          i < info.offset + info.numel; ++i) {
+                                       const double d =
+                                           static_cast<double>(gp[i]) -
+                                           static_cast<double>(wp[i]);
+                                       sq += d * d;
+                                     }
+                                   }
+                                   e2.telemetry_round(round)
+                                       .lgp_correction_sq += sq;
+                                 }
                                  lgp_correct_blocks(e2.worker_params(w),
                                                     e2.global_params(),
                                                     e2.blocks(), shard_view);
@@ -504,9 +584,39 @@ void OspSync::check_ics_round(std::uint64_t round) {
   }
 }
 
+void OspSync::ics_trace_note_correction(std::uint64_t round, std::size_t w) {
+  const auto it = ics_trace_.find(round);
+  if (it == ics_trace_.end()) return;
+  const auto pit = it->second.pending.find(w);
+  if (pit == it->second.pending.end()) return;
+  if (--pit->second > 0) return;
+  runtime::Engine& e = eng();
+  e.trace_mutable().add({it->second.begin_s, e.sim().now(), w,
+                         e.worker_iteration(w), runtime::TracePhase::kIcs});
+  it->second.pending.erase(pit);
+  if (it->second.pending.empty()) ics_trace_.erase(it);
+}
+
+void OspSync::ics_trace_abandon(std::uint64_t round) {
+  const auto it = ics_trace_.find(round);
+  if (it == ics_trace_.end()) return;
+  runtime::Engine& e = eng();
+  for (const auto& [w, left] : it->second.pending) {
+    if (!e.worker_alive(w)) continue;
+    e.trace_mutable().add({it->second.begin_s, e.sim().now(), w,
+                           e.worker_iteration(w), runtime::TracePhase::kIcs});
+  }
+  ics_trace_.erase(it);
+}
+
 void OspSync::on_epoch_complete(std::size_t epoch, double mean_loss) {
   if (options_.fixed_budget_fraction >= 0.0) return;  // ablation: fixed
   ics_budget_ = tuner_->on_epoch_loss(epoch, mean_loss);
+  runtime::Engine& e = eng();
+  if (e.tracing()) {
+    e.trace_mutable().add_counter(e.sim().now(), "ics_budget_bytes",
+                                  ics_budget_);
+  }
 }
 
 void OspSync::save_state(util::serde::Writer& w) const {

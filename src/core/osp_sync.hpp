@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -112,6 +113,11 @@ class OspSync : public runtime::SyncModel {
   void load_state(util::serde::Reader& r) override;
   [[nodiscard]] bool drained() const override;
 
+  /// The gradient-ready → finish_sync span is OSP's blocking RS stage.
+  [[nodiscard]] runtime::TracePhase blocking_phase() const override {
+    return runtime::TracePhase::kRs;
+  }
+
  private:
   // ---- RS ----
   void arm_rs_timer();
@@ -143,6 +149,23 @@ class OspSync : public runtime::SyncModel {
   /// `gib`.
   [[nodiscard]] double ps_bytes(const Gib& gib, std::size_t ps,
                                 bool important) const;
+  // ---- observability ----
+  //
+  // ICS spans outlive IcsRound bookkeeping (the PS erases a round once all
+  // shards are applied, while the correction responses are still on the
+  // wire), so span state lives in its own map: round → start instant +
+  // per-worker count of correction deliveries still expected. The span for
+  // (round, worker) closes when the worker's last correction lands.
+  struct IcsTrace {
+    double begin_s = 0.0;
+    std::map<std::size_t, std::size_t> pending;  ///< worker → deliveries left
+  };
+  /// A correction response for `round` reached worker `w`.
+  void ics_trace_note_correction(std::uint64_t round, std::size_t w);
+  /// The round died (timeout / every member crashed): close the open spans
+  /// of still-alive members at the current instant.
+  void ics_trace_abandon(std::uint64_t round);
+
   /// A Gib view selecting blocks with (gib state == want_important) AND
   /// owner == ps. With encode_as_important=true the selection becomes the
   /// view's *important* set (for copy_important_blocks); with false it
@@ -179,6 +202,7 @@ class OspSync : public runtime::SyncModel {
   std::vector<IcsRound> ics_inflight_;
   std::vector<std::uint64_t> last_ics_applied_;  ///< per worker
   std::size_t ics_rounds_completed_ = 0;
+  std::map<std::uint64_t, IcsTrace> ics_trace_;  ///< tracing only
 };
 
 }  // namespace osp::core

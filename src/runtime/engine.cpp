@@ -210,6 +210,41 @@ RunResult Engine::run() {
     for (std::size_t w = 0; w < config_.num_workers; ++w) begin_compute(w);
   }
 
+  if (config_.record_trace) {
+    // Observe every network flow for the trace: `started` stashes the
+    // endpoints (resolved to node names while the route is at hand),
+    // `ended` emits the FlowSpan. Both sample the in-flight-bytes counter.
+    sim::Network::FlowTraceHooks hooks;
+    hooks.started = [this](sim::FlowId id,
+                           const std::vector<sim::LinkId>& route,
+                           double begin_s, double bytes) {
+      PendingFlow pf;
+      pf.begin_s = begin_s;
+      pf.bytes = bytes;
+      pf.src = cluster_->link_node_name(route.front());
+      pf.dst = cluster_->link_node_name(route.back());
+      pending_flows_[id] = std::move(pf);
+      trace_.add_counter(begin_s, "in_flight_bytes",
+                         cluster_->network().bytes_in_flight());
+    };
+    hooks.ended = [this](sim::FlowId id, double end_s, bool cancelled) {
+      const auto it = pending_flows_.find(id);
+      if (it == pending_flows_.end()) return;
+      trace_.add_flow({it->second.begin_s, end_s, std::move(it->second.src),
+                       std::move(it->second.dst), it->second.bytes,
+                       cancelled});
+      pending_flows_.erase(it);
+      trace_.add_counter(sim_.now(), "in_flight_bytes",
+                         cluster_->network().bytes_in_flight());
+    };
+    cluster_->network().set_trace_hooks(std::move(hooks));
+    trace_.add_counter(sim_.now(), "alive_workers",
+                       static_cast<double>(num_alive()));
+  }
+  // Baseline for per-round wire accounting (a resumed run restores the
+  // network's delivered-bytes counter).
+  telemetry_bytes_mark_ = cluster_->network().bytes_delivered();
+
   while (true) {
     if (config_.max_virtual_time_s > 0.0) {
       sim_.run_until(config_.max_virtual_time_s);
@@ -295,7 +330,28 @@ RunResult Engine::run() {
   }
   result.checkpoints_taken = checkpoints_taken_;
   result.halted_at_checkpoint = halted_;
+  result.rounds = telemetry_;
   return result;
+}
+
+SyncTelemetry& Engine::telemetry_round(std::uint64_t round) {
+  if (!config_.record_telemetry) {
+    telemetry_scratch_ = SyncTelemetry{};
+    return telemetry_scratch_;
+  }
+  // Amendments (OSP's late ICS corrections, catch-up retries) target recent
+  // rounds, so search newest-first.
+  for (auto it = telemetry_.rbegin(); it != telemetry_.rend(); ++it) {
+    if (it->round == round) return *it;
+  }
+  SyncTelemetry rec;
+  rec.round = round;
+  rec.close_time_s = sim_.now();
+  const double delivered = cluster_->network().bytes_delivered();
+  rec.wire_bytes = delivered - telemetry_bytes_mark_;
+  telemetry_bytes_mark_ = delivered;
+  telemetry_.push_back(std::move(rec));
+  return telemetry_.back();
 }
 
 void Engine::begin_compute(std::size_t w) {
@@ -311,6 +367,7 @@ void Engine::begin_compute(std::size_t w) {
     // Checkpoint drain barrier: hold the worker at this iteration boundary
     // until the snapshot is taken (take_checkpoint releases everyone).
     ws.parked = true;
+    ws.park_begin_time = sim_.now();
     drain_pending_ = true;
     // If this was the last worker the cut was waiting on, snapshot right
     // now — otherwise the drain would sit idle until the next queued
@@ -387,8 +444,10 @@ void Engine::finish_sync(std::size_t w) {
   if (ws.crashed) return;  // stale callback; the restart path owns `w`
   metrics_.record_bst(sim_.now() - ws.grad_ready_time);
   if (config_.record_trace) {
+    // OSP reports kRs here — its blocking stage — so RS is distinguishable
+    // from a generic barrier in the trace; ICS spans are model-emitted.
     trace_.add({ws.grad_ready_time, sim_.now(), w, ws.iteration,
-                TracePhase::kSync});
+                sync_->blocking_phase()});
   }
   ws.iteration += 1;
   if (ws.iteration % ws.loader->batches_per_epoch() == 0) {
@@ -586,8 +645,16 @@ void Engine::crash_worker(std::size_t w, double restart_after) {
   if (ws.crashed || ws.done) return;
   ws.crashed = true;
   ws.crashed_at = sim_.now();
+  if (ws.parked && config_.record_trace && sim_.now() > ws.park_begin_time) {
+    trace_.add({ws.park_begin_time, sim_.now(), w, ws.iteration,
+                TracePhase::kParkWait});
+  }
   ws.parked = false;  // a dead worker cannot hold the drain barrier
   ++fault_stats_.worker_crashes;
+  if (config_.record_trace) {
+    trace_.add_counter(sim_.now(), "alive_workers",
+                       static_cast<double>(num_alive()));
+  }
   ++ws.compute_epoch;  // cancels the in-flight compute completion
   ws.compute_pending = false;
   for (sim::FlowId f : ws.flows) {
@@ -619,6 +686,10 @@ void Engine::restart_worker(std::size_t w) {
                 TracePhase::kDowntime});
   }
   ws.crashed = false;
+  if (config_.record_trace) {
+    trace_.add_counter(sim_.now(), "alive_workers",
+                       static_cast<double>(num_alive()));
+  }
   if (config_.checkpoint.restore_crashed_from_checkpoint && last_checkpoint_) {
     // Second recovery path: read the replica back from the latest run
     // checkpoint on local disk instead of pulling the full model from the
@@ -694,7 +765,15 @@ void Engine::take_checkpoint() {
     // from the file just written.
     halted_ = true;
     sim_.clear();
-    for (WorkerState& ws : workers_) ws.parked = false;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      WorkerState& ws = workers_[w];
+      if (ws.parked && config_.record_trace &&
+          sim_.now() > ws.park_begin_time) {
+        trace_.add({ws.park_begin_time, sim_.now(), w, ws.iteration,
+                    TracePhase::kParkWait});
+      }
+      ws.parked = false;
+    }
     return;
   }
   release_parked();
@@ -702,8 +781,13 @@ void Engine::take_checkpoint() {
 
 void Engine::release_parked() {
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (!workers_[w].parked) continue;
-    workers_[w].parked = false;
+    WorkerState& ws = workers_[w];
+    if (!ws.parked) continue;
+    if (config_.record_trace && sim_.now() > ws.park_begin_time) {
+      trace_.add({ws.park_begin_time, sim_.now(), w, ws.iteration,
+                  TracePhase::kParkWait});
+    }
+    ws.parked = false;
     begin_compute(w);
   }
 }

@@ -31,8 +31,10 @@
 // cancel it on a crash; RunResult::faults reports the accounting.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "nn/loss.hpp"
@@ -66,8 +68,12 @@ struct EngineConfig {
   double straggler_jitter = 0.0;
   /// Safety limit on virtual time (seconds); 0 disables.
   double max_virtual_time_s = 0.0;
-  /// Record per-worker compute/sync spans (see runtime/trace.hpp).
+  /// Record per-worker compute/sync spans, network flow spans, and counter
+  /// tracks (see runtime/trace.hpp).
   bool record_trace = false;
+  /// Record per-round SyncTelemetry into RunResult::rounds (see
+  /// runtime/telemetry.hpp). Independent of record_trace.
+  bool record_telemetry = false;
   /// §6.2: scale each worker's batch size by its speed factor so
   /// heterogeneous workers finish compute in near-equal time; aggregation
   /// then weights each gradient by its sample share (§2.1.1).
@@ -209,6 +215,24 @@ class Engine {
 
   /// Execution trace (empty unless config().record_trace).
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  /// True when the run records a trace — sync models gate span emission
+  /// (OSP's ICS side-track spans) on this.
+  [[nodiscard]] bool tracing() const { return config_.record_trace; }
+  /// Mutable trace recorder for sync-model-emitted spans. Only meaningful
+  /// while tracing() is true.
+  [[nodiscard]] TraceRecorder& trace_mutable() { return trace_; }
+
+  // ---- sync telemetry ----
+  /// The record for sync round `round`, creating it if absent (most models
+  /// only ever append; OSP's late ICS corrections amend earlier rounds).
+  /// A freshly created record gets close_time_s = now and wire_bytes = the
+  /// network payload delivered since the previous record was created. When
+  /// record_telemetry is off this returns a reusable scratch record, so
+  /// callers never need their own gating.
+  [[nodiscard]] SyncTelemetry& telemetry_round(std::uint64_t round);
+  [[nodiscard]] const std::vector<SyncTelemetry>& telemetry() const {
+    return telemetry_;
+  }
 
  private:
   struct WorkerState {
@@ -232,6 +256,7 @@ class Engine {
     // Checkpoint drain barrier: the worker reached the checkpoint
     // iteration and is held before its next compute until the snapshot.
     bool parked = false;
+    double park_begin_time = 0.0;   // when parked went true (trace spans)
     // Fault-injection state.
     bool crashed = false;
     double crashed_at = 0.0;
@@ -291,6 +316,20 @@ class Engine {
   std::vector<WorkerState> workers_;
   MetricsRecorder metrics_;
   TraceRecorder trace_;
+  // Sync telemetry (record_telemetry). The scratch record absorbs writes
+  // while telemetry is disabled.
+  std::vector<SyncTelemetry> telemetry_;
+  SyncTelemetry telemetry_scratch_;
+  double telemetry_bytes_mark_ = 0.0;
+  // Flows currently on the wire, keyed by id (record_trace only): start
+  // data held until the ended hook fires and the FlowSpan is emitted.
+  struct PendingFlow {
+    double begin_s = 0.0;
+    std::string src;
+    std::string dst;
+    double bytes = 0.0;
+  };
+  std::map<sim::FlowId, PendingFlow> pending_flows_;
   sim::FaultStats fault_stats_;
   std::vector<double> ps_busy_until_;
 

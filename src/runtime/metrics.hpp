@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/telemetry.hpp"
 #include "sim/faults.hpp"
 #include "util/stats.hpp"
 
@@ -105,6 +106,9 @@ struct RunResult {
   /// True when the run stopped at a checkpoint barrier instead of training
   /// to completion (CheckpointPolicy::halt_after_checkpoint).
   bool halted_at_checkpoint = false;
+  /// Per-round sync telemetry (EngineConfig::record_telemetry); empty when
+  /// telemetry is disabled. Dump with write_telemetry_jsonl().
+  std::vector<SyncTelemetry> rounds;
 };
 
 }  // namespace osp::runtime

@@ -1,0 +1,21 @@
+#include "runtime/sync_model.hpp"
+
+#include "runtime/engine.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace osp::runtime {
+
+SyncTelemetry& SyncModel::record_full_round(std::uint64_t round,
+                                            std::size_t contributors) {
+  Engine& e = eng();
+  SyncTelemetry& rec = e.telemetry_round(round);
+  rec.close_time_s = e.sim().now();
+  rec.contributors = contributors;
+  rec.gib_important = e.num_blocks();
+  rec.gib_unimportant = 0;
+  rec.important_bytes = e.model_bytes();
+  rec.unimportant_bytes = 0.0;
+  return rec;
+}
+
+}  // namespace osp::runtime

@@ -16,7 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+
+#include "runtime/trace.hpp"
 
 namespace osp::util::serde {
 class Writer;
@@ -26,6 +29,7 @@ class Reader;
 namespace osp::runtime {
 
 class Engine;
+struct SyncTelemetry;
 
 /// Round deadlines for fault-tolerant synchronization. `rs_timeout_s`
 /// bounds how long a gradient-collection round (BSP's barrier, OSP's RS
@@ -90,7 +94,25 @@ class SyncModel {
   /// timer or transfer is pending — i.e. state is snapshot-safe.
   [[nodiscard]] virtual bool drained() const { return true; }
 
+  // ---- observability ----
+
+  /// Trace phase the engine records for the blocking gradient-ready →
+  /// finish_sync span. OSP overrides this to kRs so its blocking stage is
+  /// distinguishable from a generic barrier in the trace.
+  [[nodiscard]] virtual TracePhase blocking_phase() const {
+    return TracePhase::kSync;
+  }
+
  protected:
+  /// Telemetry helper for full-model exchanges: fetches (or creates) the
+  /// record for `round` via Engine::telemetry_round and fills the common
+  /// shape — close time now, `contributors`, every block "important",
+  /// important_bytes = the full model. Models with a finer split (OSP,
+  /// compressed) fill the record themselves instead. Safe to call when
+  /// telemetry is disabled (writes go to a discarded scratch record).
+  SyncTelemetry& record_full_round(std::uint64_t round,
+                                   std::size_t contributors);
+
   [[nodiscard]] Engine& eng() { return *eng_; }
   [[nodiscard]] const Engine& eng() const { return *eng_; }
 

@@ -1,0 +1,32 @@
+#include "runtime/telemetry.hpp"
+
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace osp::runtime {
+
+bool write_telemetry_jsonl(const std::string& path,
+                           const std::vector<SyncTelemetry>& rounds) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const SyncTelemetry& r : rounds) {
+    util::JsonObject o;
+    o.set("round", static_cast<std::size_t>(r.round))
+        .set("close_time_s", r.close_time_s)
+        .set("contributors", r.contributors)
+        .set("gib_important", r.gib_important)
+        .set("gib_unimportant", r.gib_unimportant)
+        .set("important_bytes", r.important_bytes)
+        .set("unimportant_bytes", r.unimportant_bytes)
+        .set("ics_budget_bytes", r.ics_budget_bytes)
+        .set("lgp_correction_l2", r.lgp_correction_l2())
+        .set("retries", r.retries)
+        .set("timeouts", r.timeouts)
+        .set("wire_bytes", r.wire_bytes);
+    out << o.str() << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace osp::runtime

@@ -1,13 +1,14 @@
 #include "runtime/trace.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "util/check.hpp"
 
 namespace osp::runtime {
 
-namespace {
-const char* phase_name(TracePhase phase) {
+const char* trace_phase_name(TracePhase phase) {
   switch (phase) {
     case TracePhase::kCompute:
       return "compute";
@@ -15,17 +16,49 @@ const char* phase_name(TracePhase phase) {
       return "sync";
     case TracePhase::kDowntime:
       return "downtime";
+    case TracePhase::kRs:
+      return "rs";
+    case TracePhase::kIcs:
+      return "ics";
+    case TracePhase::kParkWait:
+      return "park_wait";
   }
   return "unknown";
 }
+
+namespace {
+
+// Seconds → fixed-point microseconds with 3 decimals. snprintf %f never
+// produces scientific notation, which chrome://tracing chokes on.
+std::string fixed_us(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+// Fixed-point decimal for counter values / byte counts (same no-e/E
+// guarantee). Three decimals keep sub-byte budget values distinguishable.
+std::string fixed_value(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+// The ICS side-track offset: OSP's ICS spans overlap the same worker's
+// compute spans, and two overlapping "X" events on one (pid, tid) row
+// render as malformed nesting — so ICS gets tid = kIcsTidBase + worker.
+constexpr std::size_t kIcsTidBase = 1000;
+
 }  // namespace
 
 void TraceRecorder::write_csv(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   OSP_CHECK(static_cast<bool>(out), "cannot open trace CSV for writing");
+  // Exact double round-trip: 17 significant digits.
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "worker,iteration,phase,begin_s,end_s\n";
   for (const TraceSpan& s : spans_) {
-    out << s.worker << ',' << s.iteration << ',' << phase_name(s.phase)
+    out << s.worker << ',' << s.iteration << ',' << trace_phase_name(s.phase)
         << ',' << s.begin_s << ',' << s.end_s << '\n';
   }
   OSP_CHECK(static_cast<bool>(out), "trace CSV write failed");
@@ -34,27 +67,111 @@ void TraceRecorder::write_csv(const std::string& path) const {
 void TraceRecorder::write_chrome_json(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   OSP_CHECK(static_cast<bool>(out), "cannot open trace JSON for writing");
+
+  std::vector<std::string> events;
+  events.reserve(spans_.size() + flows_.size() + counters_.size() + 16);
+
+  // Track-naming metadata. Collect the rows actually used first.
+  std::map<std::size_t, bool> worker_rows;   // worker -> has ics row too
+  for (const TraceSpan& s : spans_) {
+    auto [it, inserted] = worker_rows.emplace(s.worker, false);
+    if (s.phase == TracePhase::kIcs) it->second = true;
+  }
+  std::map<std::string, std::size_t> flow_tids;  // src node -> tid
+  for (const FlowSpan& f : flows_) {
+    flow_tids.emplace(f.src, flow_tids.size());
+  }
+
+  auto meta = [&events](const char* what, std::size_t pid, long tid,
+                        const std::string& label) {
+    std::string e = "  {\"name\": \"";
+    e += what;
+    e += "\", \"ph\": \"M\", \"pid\": " + std::to_string(pid);
+    if (tid >= 0) e += ", \"tid\": " + std::to_string(tid);
+    e += ", \"args\": {\"name\": \"" + label + "\"}}";
+    events.push_back(std::move(e));
+  };
+  meta("process_name", 0, -1, "train");
+  for (const auto& [w, has_ics] : worker_rows) {
+    meta("thread_name", 0, static_cast<long>(w),
+         "worker " + std::to_string(w));
+    if (has_ics) {
+      meta("thread_name", 0, static_cast<long>(kIcsTidBase + w),
+           "worker " + std::to_string(w) + " ics");
+    }
+  }
+  if (!flow_tids.empty()) {
+    meta("process_name", 1, -1, "network");
+    for (const auto& [src, tid] : flow_tids) {
+      meta("thread_name", 1, static_cast<long>(tid), src + " sends");
+    }
+  }
+
+  for (const TraceSpan& s : spans_) {
+    const std::size_t tid =
+        s.phase == TracePhase::kIcs ? kIcsTidBase + s.worker : s.worker;
+    std::string e = "  {\"name\": \"";
+    e += trace_phase_name(s.phase);
+    e += "\", \"cat\": \"train\", \"ph\": \"X\", \"pid\": 0, \"tid\": " +
+         std::to_string(tid) + ", \"ts\": " + fixed_us(s.begin_s) +
+         ", \"dur\": " + fixed_us(s.end_s - s.begin_s) +
+         ", \"args\": {\"iteration\": " + std::to_string(s.iteration) + "}}";
+    events.push_back(std::move(e));
+  }
+
+  for (const FlowSpan& f : flows_) {
+    std::string e = "  {\"name\": \"";
+    e += f.src + "->" + f.dst;
+    e += "\", \"cat\": \"net\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+         std::to_string(flow_tids[f.src]) + ", \"ts\": " + fixed_us(f.begin_s) +
+         ", \"dur\": " + fixed_us(f.end_s - f.begin_s) +
+         ", \"args\": {\"src\": \"" + f.src + "\", \"dst\": \"" + f.dst +
+         "\", \"bytes\": " + fixed_value(f.bytes) +
+         ", \"cancelled\": " + (f.cancelled ? "1" : "0") + "}}";
+    events.push_back(std::move(e));
+  }
+
+  for (const CounterSample& c : counters_) {
+    std::string e = "  {\"name\": \"";
+    e += c.name;
+    e += "\", \"cat\": \"counter\", \"ph\": \"C\", \"pid\": 0, \"ts\": " +
+         fixed_us(c.time_s) + ", \"args\": {\"value\": " +
+         fixed_value(c.value) + "}}";
+    events.push_back(std::move(e));
+  }
+
   out << "[\n";
-  for (std::size_t i = 0; i < spans_.size(); ++i) {
-    const TraceSpan& s = spans_[i];
-    out << "  {\"name\": \"" << phase_name(s.phase)
-        << "\", \"cat\": \"train\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
-        << s.worker << ", \"ts\": " << s.begin_s * 1e6
-        << ", \"dur\": " << (s.end_s - s.begin_s) * 1e6
-        << ", \"args\": {\"iteration\": " << s.iteration << "}}";
-    out << (i + 1 < spans_.size() ? ",\n" : "\n");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << events[i] << (i + 1 < events.size() ? ",\n" : "\n");
   }
   out << "]\n";
   OSP_CHECK(static_cast<bool>(out), "trace JSON write failed");
 }
 
-double TraceRecorder::sync_fraction() const {
+std::map<TracePhase, double> TraceRecorder::phase_totals() const {
+  std::map<TracePhase, double> totals;
+  for (const TraceSpan& s : spans_) {
+    totals[s.phase] += s.end_s - s.begin_s;
+  }
+  return totals;
+}
+
+std::map<TracePhase, double> TraceRecorder::phase_shares() const {
+  std::map<TracePhase, double> totals = phase_totals();
+  double sum = 0.0;
+  for (const auto& [phase, t] : totals) sum += t;
+  if (sum <= 0.0) return {};
+  for (auto& [phase, t] : totals) t /= sum;
+  return totals;
+}
+
+double TraceRecorder::blocking_sync_fraction() const {
   double compute = 0.0, sync = 0.0;
   for (const TraceSpan& s : spans_) {
     const double dur = s.end_s - s.begin_s;
     if (s.phase == TracePhase::kCompute) {
       compute += dur;
-    } else if (s.phase == TracePhase::kSync) {
+    } else if (s.phase == TracePhase::kSync || s.phase == TracePhase::kRs) {
       sync += dur;
     }
   }

@@ -1,13 +1,32 @@
-// Execution-trace recording: per-worker compute/sync spans in virtual time.
+// Execution-trace recording: per-worker phase spans, per-flow network
+// spans, and counter tracks, all in virtual time.
 //
 // When EngineConfig::record_trace is set, the engine records one span per
-// phase per iteration; the trace can be exported as CSV or in the Chrome
-// tracing JSON format (open chrome://tracing or https://ui.perfetto.dev and
-// load the file to see the overlap structure — OSP's ICS visibly riding the
-// compute spans is the paper's Figure 4, reconstructed from a run).
+// phase per iteration plus one span per network flow; the trace can be
+// exported as CSV or in the Chrome tracing JSON format (open
+// chrome://tracing or https://ui.perfetto.dev and load the file to see the
+// overlap structure — OSP's ICS visibly riding the compute spans is the
+// paper's Figure 4, reconstructed from a run).
+//
+// Phase taxonomy:
+//   compute    FP+BP of one batch
+//   sync       generic blocking synchronization (BSP barrier, ASP round
+//              trip, …) — the span from gradient-ready to finish_sync
+//   rs         OSP's Routine Synchronization: the *blocking* stage (push of
+//              the important blocks + wait for the PS response)
+//   ics        OSP's In-Computation Synchronization: the unimportant bytes
+//              travelling while the next iteration computes (rendered on a
+//              per-worker side-track so the overlap is visible)
+//   park_wait  checkpoint drain barrier: held at an iteration boundary
+//   downtime   fault injection: crash downtime or pause window
+//
+// Counter tracks ("C" events in the Chrome export) carry run-wide scalar
+// trajectories: OSP's S(Gᵘ) budget, bytes in flight on the network, and
+// alive workers.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,8 +35,14 @@ namespace osp::runtime {
 enum class TracePhase : std::uint8_t {
   kCompute = 0,
   kSync = 1,
-  kDowntime = 2,  ///< fault injection: crash downtime or pause window
+  kDowntime = 2,   ///< fault injection: crash downtime or pause window
+  kRs = 3,         ///< OSP routine sync (blocking stage)
+  kIcs = 4,        ///< OSP in-computation sync (overlapped stage)
+  kParkWait = 5,   ///< checkpoint drain barrier wait
 };
+
+/// Stable lower-case name of a phase ("compute", "sync", "rs", …).
+[[nodiscard]] const char* trace_phase_name(TracePhase phase);
 
 struct TraceSpan {
   double begin_s = 0.0;
@@ -27,25 +52,79 @@ struct TraceSpan {
   TracePhase phase = TracePhase::kCompute;
 };
 
+/// One network flow: a send from `src` to `dst` of `bytes` payload bytes.
+/// Rendered on its own Perfetto track row (pid "network", tid per source
+/// node) so PS-ingress incast shows as stacked concurrent arrivals.
+struct FlowSpan {
+  double begin_s = 0.0;
+  double end_s = 0.0;      ///< delivery (or cancellation) instant
+  std::string src;         ///< "worker3", "ps0", …
+  std::string dst;
+  double bytes = 0.0;      ///< payload bytes (pre loss inflation)
+  bool cancelled = false;  ///< torn down before delivery (crash)
+};
+
+/// One sample of a named counter track.
+struct CounterSample {
+  double time_s = 0.0;
+  std::string name;
+  double value = 0.0;
+};
+
 class TraceRecorder {
  public:
   void add(const TraceSpan& span) { spans_.push_back(span); }
-  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
-  [[nodiscard]] bool empty() const { return spans_.empty(); }
-  void clear() { spans_.clear(); }
+  void add_flow(FlowSpan flow) { flows_.push_back(std::move(flow)); }
+  void add_counter(double time_s, std::string name, double value) {
+    counters_.push_back({time_s, std::move(name), value});
+  }
 
-  /// CSV: worker,iteration,phase,begin_s,end_s.
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<FlowSpan>& flows() const { return flows_; }
+  [[nodiscard]] const std::vector<CounterSample>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] bool empty() const {
+    return spans_.empty() && flows_.empty() && counters_.empty();
+  }
+  void clear() {
+    spans_.clear();
+    flows_.clear();
+    counters_.clear();
+  }
+
+  /// CSV: worker,iteration,phase,begin_s,end_s. Doubles are written at
+  /// max_digits10 so a round-trip through the file recovers the exact
+  /// bit pattern (default ostream precision corrupts microsecond
+  /// timestamps past ~100 virtual seconds).
   void write_csv(const std::string& path) const;
 
-  /// Chrome tracing "complete event" JSON (ts/dur in microseconds,
-  /// tid = worker). Throws util::CheckError on I/O failure.
+  /// Chrome tracing JSON: "X" complete events for spans (ts/dur in
+  /// fixed-point microseconds, never scientific notation — some viewers
+  /// reject 1.2e+08), "M" metadata naming the track rows, "C" counter
+  /// events for the counter tracks. Worker phases render under pid 0
+  /// (tid = worker; ICS on a per-worker side-track), flows under pid 1
+  /// (tid per source node). Throws util::CheckError on I/O failure.
   void write_chrome_json(const std::string& path) const;
 
-  /// Fraction of summed span time spent in sync (a quick comm-share view).
-  [[nodiscard]] double sync_fraction() const;
+  /// Total recorded span seconds per phase, over *all* phases (the old
+  /// sync_fraction silently ignored everything but compute/sync).
+  [[nodiscard]] std::map<TracePhase, double> phase_totals() const;
+
+  /// Share of summed span time per phase; values sum to 1 (empty map for
+  /// an empty trace).
+  [[nodiscard]] std::map<TracePhase, double> phase_shares() const;
+
+  /// Fraction of blocking-path time spent synchronizing:
+  /// (sync + rs) / (sync + rs + compute). This is the old sync_fraction()
+  /// value (OSP's blocking stage is recorded as `rs`); ICS, downtime and
+  /// park waits are deliberately excluded — they are off the blocking path.
+  [[nodiscard]] double blocking_sync_fraction() const;
 
  private:
   std::vector<TraceSpan> spans_;
+  std::vector<FlowSpan> flows_;
+  std::vector<CounterSample> counters_;
 };
 
 }  // namespace osp::runtime

@@ -72,6 +72,15 @@ LinkId Cluster::ps_downlink(std::size_t ps) const {
   return downlink_[ps_nodes_[ps]];
 }
 
+std::string Cluster::link_node_name(LinkId id) const {
+  for (std::size_t n = 0; n < uplink_.size(); ++n) {
+    if (uplink_[n] != id && downlink_[n] != id) continue;
+    if (n < config_.num_workers) return "worker" + std::to_string(n);
+    return "ps" + std::to_string(n - config_.num_workers);
+  }
+  return "link" + std::to_string(id);
+}
+
 double Cluster::speed_factor(std::size_t worker) const {
   OSP_CHECK(worker < config_.num_workers, "worker id out of range");
   if (config_.speed_factors.empty()) return 1.0;

@@ -12,6 +12,7 @@
 // one-sided straggler jitter and per-worker heterogeneity multipliers.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "sim/network.hpp"
@@ -88,6 +89,10 @@ class Cluster {
   /// Access links of PS `ps`'s node (the co-located PS shares worker 0's).
   [[nodiscard]] LinkId ps_uplink(std::size_t ps = 0) const;
   [[nodiscard]] LinkId ps_downlink(std::size_t ps = 0) const;
+
+  /// Name of the node owning access link `id` ("worker3", "ps0", …) —
+  /// labels flow spans in the trace. "link<N>" for an unknown id.
+  [[nodiscard]] std::string link_node_name(LinkId id) const;
 
  private:
   ClusterConfig config_;

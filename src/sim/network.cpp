@@ -136,6 +136,8 @@ FlowId Network::start_flow(std::vector<LinkId> route, double bytes,
   }
   id_to_slot_[id] = slot;
   ++num_flows_;
+  payload_in_flight_ += bytes;
+  if (hooks_.started) hooks_.started(id, f.route, sim_->now(), bytes);
   seed_flows_.assign(1, slot);
   recompute_incremental(seed_flows_, {});
   schedule_next_completion();
@@ -152,6 +154,8 @@ bool Network::cancel_flow(FlowId id) {
   if (it == id_to_slot_.end()) return false;
   const std::uint32_t slot = it->second;
   advance_to_now();
+  payload_in_flight_ -= slots_[slot].payload_bytes;
+  if (hooks_.ended) hooks_.ended(id, sim_->now(), /*cancelled=*/true);
   seed_links_.assign(slots_[slot].route.begin(), slots_[slot].route.end());
   remove_flow(slot);
   ++flows_cancelled_;
@@ -448,6 +452,10 @@ void Network::complete_flow(std::uint32_t slot) {
   const double latency = f.latency;
   std::function<void()> cb = std::move(f.on_complete);
   bytes_delivered_ += f.payload_bytes;
+  payload_in_flight_ -= f.payload_bytes;
+  // The flow leaves the wire when its last byte *arrives*, after the
+  // route's propagation delay — match what the completion callback sees.
+  if (hooks_.ended) hooks_.ended(f.id, sim_->now() + latency, false);
   seed_links_.assign(f.route.begin(), f.route.end());
   remove_flow(slot);
   // Last byte leaves now; it arrives after the route's propagation delay.

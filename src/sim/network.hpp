@@ -149,6 +149,24 @@ class Network {
   /// bytes are NOT counted; this is payload).
   [[nodiscard]] double bytes_delivered() const { return bytes_delivered_; }
 
+  /// Payload bytes of flows currently on the wire (real flows only —
+  /// zero-byte latency stubs and dropped messages never count). Sampled
+  /// into the "in_flight_bytes" counter track when tracing.
+  [[nodiscard]] double bytes_in_flight() const { return payload_in_flight_; }
+
+  /// Observer callbacks for trace recording. `started` fires when a real
+  /// (bytes > 0, not dropped) flow enters the wire, with its id, route,
+  /// start time, and payload bytes; `ended` fires at the instant the flow
+  /// leaves the wire — delivery time (including route latency) on
+  /// completion, cancellation time on cancel. Either hook may be empty.
+  /// Hooks observe only; they must not call back into the network.
+  struct FlowTraceHooks {
+    std::function<void(FlowId, const std::vector<LinkId>&, double, double)>
+        started;
+    std::function<void(FlowId, double end_s, bool cancelled)> ended;
+  };
+  void set_trace_hooks(FlowTraceHooks hooks) { hooks_ = std::move(hooks); }
+
   /// Ideal (uncontended) transfer time of `bytes` over a route: the route
   /// latency plus bytes*(1+lr) at the bottleneck bandwidth.
   [[nodiscard]] double ideal_transfer_time(const std::vector<LinkId>& route,
@@ -285,10 +303,13 @@ class Network {
   bool use_reference_solver_ = false;
   bool check_reference_ = false;
 
+  FlowTraceHooks hooks_;
+
   FlowId next_flow_id_ = 1;
   std::uint64_t epoch_ = 0;  ///< invalidates stale completion events
   SimTime last_advance_ = 0.0;
   double bytes_delivered_ = 0.0;
+  double payload_in_flight_ = 0.0;
   std::size_t flows_cancelled_ = 0;
   std::size_t messages_dropped_ = 0;
   std::size_t messages_delayed_ = 0;

@@ -14,6 +14,8 @@ void AspSync::on_gradient_ready(std::size_t worker) {
         // PS applies this worker's gradient alone, immediately.
         en.apply_global_step(en.worker_gradient(worker),
                              en.worker_weight(worker));
+        // Each independent apply is its own telemetry round.
+        record_full_round(++tel_rounds_, 1);
         // Each async update costs a full read-gradient/write-params
         // pass through the single-threaded PS loop.
         en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),

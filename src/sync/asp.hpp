@@ -7,6 +7,8 @@
 // of ASP's accuracy loss.
 #pragma once
 
+#include <cstdint>
+
 #include "runtime/sync_model.hpp"
 
 namespace osp::sync {
@@ -14,7 +16,19 @@ namespace osp::sync {
 class AspSync : public runtime::SyncModel {
  public:
   [[nodiscard]] std::string name() const override { return "ASP"; }
+  void attach(runtime::Engine& eng) override {
+    SyncModel::attach(eng);
+    tel_rounds_ = 0;
+  }
   void on_gradient_ready(std::size_t worker) override;
+
+  /// Telemetry round numbering continues from `base` (SyncSwitch hands the
+  /// BSP phase's round count over so the shared record stream stays
+  /// collision-free).
+  void seed_round_counter(std::uint64_t base) { tel_rounds_ = base; }
+
+ private:
+  std::uint64_t tel_rounds_ = 0;  ///< per-worker exchanges applied (telemetry)
 };
 
 }  // namespace osp::sync

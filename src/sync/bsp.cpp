@@ -54,6 +54,7 @@ void BspSync::arm_round_timer() {
     if (!pending) return;
     e.record_round_timeout();
     close_round();
+    ++e.telemetry_round(round_).timeouts;
   });
 }
 
@@ -99,6 +100,7 @@ void BspSync::close_round() {
   timer_armed_ = false;
   arrived_.assign(n, false);
   arrived_count_ = 0;
+  record_full_round(round_, contributed);
 
   // Resync healthy workers whose push missed the round (still awaiting a
   // response but not among this round's contributors). A worker stays
@@ -186,6 +188,7 @@ bool BspSync::drained() const {
 void BspSync::catch_up(std::size_t worker) {
   runtime::Engine& e = eng();
   e.record_catch_up_pull();
+  ++e.telemetry_round(round_).retries;
   // `awaiting_` stays set until the pull is actually delivered: if this
   // pull is dropped, the next round close retries; if several pulls end up
   // in flight, the first delivery wins and the rest no-op.

@@ -34,6 +34,10 @@ class BspSync : public runtime::SyncModel {
   void load_state(util::serde::Reader& r) override;
   [[nodiscard]] bool drained() const override;
 
+  /// Barrier rounds closed so far (SyncSwitch seeds ASP's telemetry round
+  /// numbering from this at the switch point).
+  [[nodiscard]] std::uint64_t rounds_closed() const { return round_; }
+
  private:
   void arm_round_timer();
   void on_push_arrived(std::uint64_t round, std::size_t worker);

@@ -30,6 +30,7 @@ void CaspSync::attach(runtime::Engine& eng) {
   }
   arrived_.assign(groups_.size(), 0);
   agg_.assign(eng.global_params().size(), 0.0f);
+  tel_rounds_ = 0;
 }
 
 void CaspSync::on_gradient_ready(std::size_t worker) {
@@ -57,6 +58,7 @@ void CaspSync::group_aggregate(std::size_t group) {
   }
   e.apply_global_step(agg_, static_cast<double>(members.size()) /
                                 static_cast<double>(e.num_workers()));
+  record_full_round(++tel_rounds_, members.size());
   e.ps_submit(e.ps_apply_delay(e.model_bytes(), 3.0), [this, group] {
     runtime::Engine& en = eng();
     for (std::size_t w : groups_[group]) {

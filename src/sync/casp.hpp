@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -41,6 +42,7 @@ class CaspSync : public runtime::SyncModel {
   std::vector<std::size_t> group_of_;             // worker -> group
   std::vector<std::size_t> arrived_;              // per group
   std::vector<float> agg_;
+  std::uint64_t tel_rounds_ = 0;  // group barriers closed (telemetry)
 };
 
 }  // namespace osp::sync

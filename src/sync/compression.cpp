@@ -89,6 +89,8 @@ void CompressedBspSync::attach(runtime::Engine& eng) {
                      std::vector<float>(eng.global_params().size(), 0.0f));
   }
   arrived_ = 0;
+  tel_rounds_ = 0;
+  tel_push_bytes_ = 0.0;
 }
 
 void CompressedBspSync::on_gradient_ready(std::size_t worker) {
@@ -109,6 +111,7 @@ void CompressedBspSync::on_gradient_ready(std::size_t worker) {
   }
   // Wire format: 4-byte index + 4-byte value per kept element.
   const double bytes = static_cast<double>(kept) * 8.0;
+  tel_push_bytes_ += bytes;
   transfer(e, e.cluster().route_to_ps(worker), bytes,
            [this] { on_push_arrived(); });
 }
@@ -130,6 +133,11 @@ void CompressedBspSync::aggregate_and_broadcast() {
     util::axpy(scale, sparse_[w], agg_);
   }
   e.apply_global_step(agg_);
+  // Telemetry reports the actual sparse wire bytes, not the dense model
+  // size — that is the whole point of the baseline.
+  auto& rec = record_full_round(++tel_rounds_, n);
+  rec.important_bytes = tel_push_bytes_;
+  tel_push_bytes_ = 0.0;
   // The response carries only the touched entries (union support).
   std::size_t support = 0;
   for (float v : agg_) support += v != 0.0f ? 1 : 0;
@@ -165,6 +173,7 @@ void QuantizedBspSync::attach(runtime::Engine& eng) {
   dequantized_.assign(eng.num_workers(),
                       std::vector<float>(eng.global_params().size(), 0.0f));
   arrived_ = 0;
+  tel_rounds_ = 0;
 }
 
 void QuantizedBspSync::on_gradient_ready(std::size_t worker) {
@@ -196,6 +205,8 @@ void QuantizedBspSync::aggregate_and_broadcast() {
   }
   e.apply_global_step(agg_);
   const double bytes = e.model_bytes() / 4.0 + 4.0;
+  auto& rec = record_full_round(++tel_rounds_, n);
+  rec.important_bytes = static_cast<double>(n) * bytes;
   e.ps_submit(e.ps_apply_delay(e.model_bytes(), 3.0), [this, bytes] {
     runtime::Engine& en = eng();
     for (std::size_t w = 0; w < en.num_workers(); ++w) {

@@ -49,6 +49,8 @@ class CompressedBspSync : public runtime::SyncModel {
   std::vector<std::vector<float>> sparse_;    // per-worker sparsified grads
   std::vector<std::vector<float>> residual_;  // per-worker error memory
   std::vector<float> agg_;
+  std::uint64_t tel_rounds_ = 0;
+  double tel_push_bytes_ = 0.0;  // sparse bytes pushed this round
 };
 
 /// Symmetric per-tensor int8 quantization: q = round(clamp(g/s)) with
@@ -78,6 +80,7 @@ class QuantizedBspSync : public runtime::SyncModel {
   std::size_t arrived_ = 0;
   std::vector<std::vector<float>> dequantized_;  // per-worker views
   std::vector<float> agg_;
+  std::uint64_t tel_rounds_ = 0;
 };
 
 }  // namespace osp::sync

@@ -24,6 +24,7 @@ void DsspSync::attach(runtime::Engine& eng) {
   bound_ = max_bound_;
   max_spread_seen_ = 0;
   parked_.clear();
+  tel_rounds_ = 0;
 }
 
 void DsspSync::on_gradient_ready(std::size_t worker) {
@@ -33,6 +34,7 @@ void DsspSync::on_gradient_ready(std::size_t worker) {
              runtime::Engine& en = eng();
              en.apply_global_step(en.worker_gradient(worker),
                                   en.worker_weight(worker));
+             record_full_round(++tel_rounds_, 1);
              en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),
                           [this, worker] {
                             runtime::Engine& e2 = eng();

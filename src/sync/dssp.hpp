@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -39,6 +40,7 @@ class DsspSync : public runtime::SyncModel {
   std::size_t bound_;
   std::size_t max_spread_seen_ = 0;
   std::vector<std::size_t> parked_;
+  std::uint64_t tel_rounds_ = 0;  ///< per-worker exchanges (telemetry)
 };
 
 }  // namespace osp::sync

@@ -13,6 +13,7 @@ void R2spSync::attach(runtime::Engine& eng) {
   ready_.assign(eng.num_workers(), false);
   token_ = 0;
   serving_ = false;
+  tel_rounds_ = 0;
 }
 
 void R2spSync::on_gradient_ready(std::size_t worker) {
@@ -29,6 +30,7 @@ void R2spSync::try_serve() {
   transfer(e, e.cluster().route_to_ps(w), e.model_bytes(), [this, w] {
     runtime::Engine& en = eng();
     en.apply_global_step(en.worker_gradient(w), en.worker_weight(w));
+    record_full_round(++tel_rounds_, 1);
     en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0), [this, w] {
       runtime::Engine& e2 = eng();
       if (overlap_pull_) {

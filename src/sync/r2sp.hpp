@@ -7,6 +7,7 @@
 // service discipline (push, update, pull per slot) as an ablation.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -35,6 +36,7 @@ class R2spSync : public runtime::SyncModel {
   std::vector<bool> ready_;
   std::size_t token_ = 0;   // whose turn it is
   bool serving_ = false;    // the PS is busy with a worker's slot
+  std::uint64_t tel_rounds_ = 0;  // served slots (telemetry)
 };
 
 }  // namespace osp::sync

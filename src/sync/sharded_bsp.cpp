@@ -22,6 +22,7 @@ void ShardedBspSync::attach(runtime::Engine& eng) {
   shard_arrived_.assign(num_ps_, 0);
   worker_pending_.assign(eng.num_workers(), 0);
   agg_.assign(eng.global_params().size(), 0.0f);
+  tel_shards_closed_ = 0;
 }
 
 void ShardedBspSync::on_gradient_ready(std::size_t worker) {
@@ -58,6 +59,10 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
     }
   }
   e.apply_global_step_blocks(agg_, mask);
+  // The P shard closes of one logical barrier share a telemetry record;
+  // the last shard's close stamps the final close time.
+  ++tel_shards_closed_;
+  record_full_round((tel_shards_closed_ + num_ps_ - 1) / num_ps_, n);
   e.ps_submit(
       e.ps_apply_delay(shard_bytes_[ps], 3.0),
       [this, ps] {

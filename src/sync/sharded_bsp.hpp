@@ -8,6 +8,7 @@
 // have landed. With P = 1 this is exactly BspSync.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -34,6 +35,7 @@ class ShardedBspSync : public runtime::SyncModel {
   std::vector<std::size_t> worker_pending_;    // responses awaited
   std::vector<float> agg_;
   std::size_t agg_round_workers_ = 0;          // pushes folded into agg_
+  std::uint64_t tel_shards_closed_ = 0;        // telemetry: P closes = 1 round
 };
 
 }  // namespace osp::sync

@@ -19,6 +19,7 @@ void SspSync::on_gradient_ready(std::size_t worker) {
              runtime::Engine& en = eng();
              en.apply_global_step(en.worker_gradient(worker),
                                   en.worker_weight(worker));
+             record_full_round(++tel_rounds_, 1);
              en.ps_submit(en.ps_apply_delay(en.model_bytes(), 3.0),
                           [this, worker] {
                runtime::Engine& e2 = eng();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -30,6 +31,7 @@ class SspSync : public runtime::SyncModel {
 
   std::size_t staleness_bound_;
   std::vector<std::size_t> parked_;
+  std::uint64_t tel_rounds_ = 0;  ///< per-worker exchanges (telemetry)
 };
 
 }  // namespace osp::sync

@@ -42,7 +42,12 @@ void SyncSwitchSync::on_gradient_ready(std::size_t worker) {
 
 void SyncSwitchSync::on_epoch_complete(std::size_t epoch,
                                        double /*mean_loss*/) {
-  if (!switched_ && epoch >= switch_epoch_) switched_ = true;
+  if (!switched_ && epoch >= switch_epoch_) {
+    switched_ = true;
+    // ASP's telemetry rounds continue BSP's numbering instead of colliding
+    // with the records BSP already emitted.
+    asp_.seed_round_counter(bsp_.rounds_closed());
+  }
 }
 
 void SyncSwitchSync::save_state(util::serde::Writer& w) const {

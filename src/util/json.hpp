@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -40,5 +41,43 @@ bool write_json_array(const std::string& path,
 
 /// Escape and quote a string for embedding in JSON output.
 [[nodiscard]] std::string json_quote(const std::string& s);
+
+/// Parsed JSON value (read side of the artifact tooling: the run inspector
+/// consumes the traces and telemetry the emitters above produce). Numbers
+/// are kept as doubles — the artifacts only carry values that survive that.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each OSP_CHECKs the kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  fields() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+/// Parse a complete JSON document. Throws util::CheckError on malformed
+/// input or trailing garbage.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
 
 }  // namespace osp::util

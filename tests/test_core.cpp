@@ -117,6 +117,24 @@ TEST(Gib, FromRankingGreedySkipsThenFits) {
   EXPECT_TRUE(gib.important(0));  // 20+10=30 > 25
 }
 
+TEST(Gib, FromRankingSkipAndContinuePacking) {
+  // Pin the greedy's skip-and-continue semantics: an oversized
+  // low-importance block is *skipped* (not a stopping point), and the
+  // smaller blocks ranked after it still fill the Eq. 5 budget exactly.
+  // Order: {4 (50 — over budget, skipped), 0 (15), 2 (25), 1 (20 — would
+  // overflow 40+20, skipped), 3 (atom of 5 — still fits after the skip)}.
+  std::vector<std::size_t> order = {4, 0, 2, 1, 3};
+  std::vector<double> bytes = {15, 20, 25, 5, 50};
+  const Gib gib = Gib::from_ranking(order, bytes, 45.0);
+  EXPECT_TRUE(gib.important(4));   // oversized, skipped
+  EXPECT_FALSE(gib.important(0));  // 15
+  EXPECT_FALSE(gib.important(2));  // 15+25=40
+  EXPECT_TRUE(gib.important(1));   // 40+20 > 45, skipped
+  EXPECT_FALSE(gib.important(3));  // 40+5=45: fills the budget exactly
+  EXPECT_DOUBLE_EQ(gib.unimportant_bytes(bytes), 45.0);
+  EXPECT_EQ(gib.count_unimportant(), 3u);
+}
+
 TEST(Gib, ZeroBudgetIsBsp) {
   std::vector<std::size_t> order = {0, 1};
   std::vector<double> bytes = {10, 10};

@@ -70,12 +70,12 @@ TEST(TraceIntegration, OspSyncShareBelowBsp) {
   sync::BspSync bsp;
   runtime::Engine e1(spec, cfg, bsp);
   (void)e1.run();
-  const double bsp_share = e1.trace().sync_fraction();
+  const double bsp_share = e1.trace().blocking_sync_fraction();
 
   core::OspSync osp;
   runtime::Engine e2(spec, cfg, osp);
   (void)e2.run();
-  const double osp_share = e2.trace().sync_fraction();
+  const double osp_share = e2.trace().blocking_sync_fraction();
 
   EXPECT_LT(osp_share, bsp_share);
   EXPECT_GT(bsp_share, 0.3);  // BSP on ResNet50/10G is comm-heavy

@@ -139,8 +139,8 @@ TEST(Trace, EngineRecordsSpansWhenEnabled) {
     EXPECT_LE(span.begin_s, span.end_s);
     EXPECT_LT(span.worker, 2u);
   }
-  EXPECT_GT(trace.sync_fraction(), 0.0);
-  EXPECT_LT(trace.sync_fraction(), 1.0);
+  EXPECT_GT(trace.blocking_sync_fraction(), 0.0);
+  EXPECT_LT(trace.blocking_sync_fraction(), 1.0);
 }
 
 TEST(Trace, DisabledByDefault) {
@@ -188,9 +188,29 @@ TEST(Trace, SyncFractionMath) {
   runtime::TraceRecorder trace;
   trace.add({0.0, 3.0, 0, 0, runtime::TracePhase::kCompute});
   trace.add({3.0, 4.0, 0, 0, runtime::TracePhase::kSync});
-  EXPECT_DOUBLE_EQ(trace.sync_fraction(), 0.25);
+  // The old sync/(sync+compute) value survives under its explicit name.
+  EXPECT_DOUBLE_EQ(trace.blocking_sync_fraction(), 0.25);
   runtime::TraceRecorder empty;
-  EXPECT_DOUBLE_EQ(empty.sync_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.blocking_sync_fraction(), 0.0);
+
+  // RS counts as blocking sync; ICS and downtime do not.
+  trace.add({4.0, 5.0, 0, 1, runtime::TracePhase::kRs});
+  trace.add({4.0, 6.0, 0, 1, runtime::TracePhase::kIcs});
+  trace.add({6.0, 7.0, 0, 1, runtime::TracePhase::kDowntime});
+  EXPECT_DOUBLE_EQ(trace.blocking_sync_fraction(), 2.0 / 5.0);
+
+  // phase_shares covers ALL phases (the old sync_fraction ignored
+  // downtime) and sums to 1.
+  const auto shares = trace.phase_shares();
+  EXPECT_DOUBLE_EQ(shares.at(runtime::TracePhase::kCompute), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(shares.at(runtime::TracePhase::kSync), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(shares.at(runtime::TracePhase::kRs), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(shares.at(runtime::TracePhase::kIcs), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(shares.at(runtime::TracePhase::kDowntime), 1.0 / 8.0);
+  double sum = 0.0;
+  for (const auto& [phase, share] : shares) sum += share;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_TRUE(empty.phase_shares().empty());
 }
 
 }  // namespace

@@ -1,0 +1,361 @@
+// Tests for the observability layer: trace export precision, the Chrome
+// JSON number format, RS/ICS span structure, per-round sync telemetry, the
+// counter tracks, and the JSON read-back path the run inspector uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/osp_sync.hpp"
+#include "core/tuning.hpp"
+#include "models/zoo.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/trace.hpp"
+#include "sync/bsp.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace osp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---- export precision ----------------------------------------------------
+
+TEST(TraceExport, CsvRoundTripsDoublesLateInTraining) {
+  // A span ~28 hours into simulated time: sub-microsecond offsets at t≈1e5 s
+  // need all 17 significant digits to survive the text round-trip.
+  const double begin = 100000.12345678912;
+  const double end = 100000.98765432198;
+  runtime::TraceRecorder trace;
+  trace.add({begin, end, 1, 2, runtime::TracePhase::kCompute});
+  TempFile file(temp_path("osp_obs_precision.csv"));
+  trace.write_csv(file.path);
+
+  std::ifstream in(file.path);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  // worker,iteration,phase,begin_s,end_s
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string f;
+  while (std::getline(ss, f, ',')) fields.push_back(f);
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(std::strtod(fields[3].c_str(), nullptr), begin);  // exact
+  EXPECT_EQ(std::strtod(fields[4].c_str(), nullptr), end);
+}
+
+TEST(TraceExport, ChromeJsonHasNoScientificNotation) {
+  // ts = 1e5 s = 1e11 µs would print as 1e+11 under default formatting;
+  // some trace viewers reject that. Assert no e/E outside quoted strings.
+  runtime::TraceRecorder trace;
+  trace.add({100000.1234567, 100000.2234567, 0, 12345,
+             runtime::TracePhase::kCompute});
+  trace.add({100000.2234567, 100000.2534567, 0, 12345,
+             runtime::TracePhase::kRs});
+  trace.add({100000.26, 100000.29, 0, 12345, runtime::TracePhase::kIcs});
+  trace.add_flow({100000.25, 100000.26, "worker0", "ps0", 2.5e8, true});
+  trace.add_counter(100000.27, "in_flight_bytes", 1.25e9);
+  TempFile file(temp_path("osp_obs_noexp.json"));
+  trace.write_chrome_json(file.path);
+
+  const std::string content = slurp(file.path);
+  bool in_string = false;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      continue;
+    }
+    ASSERT_NE(c, 'e') << "scientific notation at offset " << i;
+    ASSERT_NE(c, 'E') << "scientific notation at offset " << i;
+  }
+
+  // And the artifact is well-formed for the read-back path.
+  const util::JsonValue doc = util::json_parse(content);
+  ASSERT_EQ(doc.kind(), util::JsonValue::Kind::kArray);
+  bool found_span = false;
+  for (const util::JsonValue& ev : doc.items()) {
+    const util::JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const util::JsonValue* pid = ev.find("pid");
+    if (pid->as_number() != 0.0) continue;
+    found_span = true;
+    // 100000.1234567 s in µs, recovered to sub-µs precision.
+    const double ts = ev.find("ts")->as_number();
+    if (ev.find("args")->find("iteration") != nullptr) {
+      EXPECT_NEAR(ts / 1e6, 100000.1234567, 1e-7);
+      break;
+    }
+  }
+  EXPECT_TRUE(found_span);
+}
+
+// ---- RS/ICS span structure ----------------------------------------------
+
+double overlap_with_compute(const runtime::TraceRecorder& trace) {
+  using runtime::TracePhase;
+  double overlapped = 0.0;
+  for (const auto& s : trace.spans()) {
+    if (s.phase != TracePhase::kIcs) continue;
+    for (const auto& c : trace.spans()) {
+      if (c.phase != TracePhase::kCompute || c.worker != s.worker) continue;
+      const double lo = std::max(s.begin_s, c.begin_s);
+      const double hi = std::min(s.end_s, c.end_s);
+      if (hi > lo) overlapped += hi - lo;
+    }
+  }
+  return overlapped;
+}
+
+TEST(ObservabilityIntegration, OspTraceSeparatesRsFromOverlappingIcs) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_epochs = 3;
+  cfg.seed = 21;
+  cfg.record_trace = true;
+  cfg.record_telemetry = true;
+
+  core::OspOptions opt;
+  opt.fixed_budget_fraction = 0.5;  // ICS carries bytes from round 1
+  core::OspSync osp(opt);
+  runtime::Engine engine(spec, cfg, osp);
+  const runtime::RunResult r = engine.run();
+  const auto& trace = engine.trace();
+
+  std::size_t rs = 0, ics = 0, plain_sync = 0;
+  for (const auto& s : trace.spans()) {
+    if (s.phase == runtime::TracePhase::kRs) ++rs;
+    if (s.phase == runtime::TracePhase::kIcs) ++ics;
+    if (s.phase == runtime::TracePhase::kSync) ++plain_sync;
+  }
+  EXPECT_GT(rs, 0u);          // stage 1: blocking RS, own phase
+  EXPECT_GT(ics, 0u);         // stage 2: ICS spans exist
+  EXPECT_EQ(plain_sync, 0u);  // OSP never emits the generic sync phase
+
+  // The point of ICS: its spans overlap the same worker's next-iteration
+  // compute.
+  EXPECT_GT(overlap_with_compute(trace), 0.0);
+
+  // Network flow spans were captured alongside.
+  ASSERT_FALSE(trace.flows().empty());
+  for (const auto& f : trace.flows()) {
+    EXPECT_LE(f.begin_s, f.end_s);
+    EXPECT_GT(f.bytes, 0.0);
+    EXPECT_FALSE(f.src.empty());
+    EXPECT_FALSE(f.dst.empty());
+  }
+
+  // Counter tracks: budget, in-flight bytes, alive workers.
+  bool saw_budget = false, saw_inflight = false, saw_alive = false;
+  for (const auto& c : trace.counters()) {
+    if (c.name == "ics_budget_bytes") saw_budget = true;
+    if (c.name == "in_flight_bytes") saw_inflight = true;
+    if (c.name == "alive_workers") saw_alive = true;
+  }
+  EXPECT_TRUE(saw_budget);
+  EXPECT_TRUE(saw_inflight);
+  EXPECT_TRUE(saw_alive);
+
+  // Telemetry: every RS close produced a record whose GIB split covers the
+  // whole model and whose ICS bytes respect the budget.
+  ASSERT_FALSE(r.rounds.empty());
+  const double budget = osp.current_ics_budget();
+  EXPECT_GT(budget, 0.0);
+  for (const auto& rec : r.rounds) {
+    EXPECT_EQ(rec.gib_important + rec.gib_unimportant, engine.num_blocks());
+    EXPECT_NEAR(rec.important_bytes + rec.unimportant_bytes,
+                engine.model_bytes(), 1e-6);
+    EXPECT_LE(rec.unimportant_bytes, rec.ics_budget_bytes + 1e-9);
+    EXPECT_EQ(rec.ics_budget_bytes, budget);  // fixed-budget ablation
+    EXPECT_GT(rec.contributors, 0u);
+  }
+}
+
+TEST(ObservabilityIntegration, BspTraceHasNoIcsAndZeroOverlap) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_epochs = 2;
+  cfg.seed = 21;
+  cfg.record_trace = true;
+  cfg.record_telemetry = true;
+
+  sync::BspSync bsp;
+  runtime::Engine engine(spec, cfg, bsp);
+  const runtime::RunResult r = engine.run();
+
+  for (const auto& s : engine.trace().spans()) {
+    EXPECT_NE(s.phase, runtime::TracePhase::kIcs);
+    EXPECT_NE(s.phase, runtime::TracePhase::kRs);
+  }
+  EXPECT_EQ(overlap_with_compute(engine.trace()), 0.0);
+
+  // BSP still reports rounds: everything important, nothing on the ICS.
+  ASSERT_FALSE(r.rounds.empty());
+  for (const auto& rec : r.rounds) {
+    EXPECT_EQ(rec.gib_unimportant, 0u);
+    EXPECT_EQ(rec.unimportant_bytes, 0.0);
+    EXPECT_EQ(rec.ics_budget_bytes, 0.0);
+    EXPECT_EQ(rec.contributors, 4u);
+  }
+}
+
+TEST(ObservabilityIntegration, TelemetryOffByDefaultAndReadOnly) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_epochs = 2;
+  cfg.seed = 5;
+
+  auto run_with = [&](bool telemetry) {
+    cfg.record_telemetry = telemetry;
+    core::OspSync osp;
+    runtime::Engine engine(spec, cfg, osp);
+    return engine.run();
+  };
+  const runtime::RunResult off = run_with(false);
+  const runtime::RunResult on = run_with(true);
+  EXPECT_TRUE(off.rounds.empty());
+  EXPECT_FALSE(on.rounds.empty());
+  // Observation must not perturb the training numerics.
+  ASSERT_EQ(off.epoch_losses.size(), on.epoch_losses.size());
+  for (std::size_t i = 0; i < off.epoch_losses.size(); ++i) {
+    EXPECT_EQ(off.epoch_losses[i], on.epoch_losses[i]);
+  }
+}
+
+TEST(ObservabilityIntegration, BudgetTrajectoryMatchesTunerBitForBit) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_epochs = 5;
+  cfg.seed = 13;
+  cfg.record_telemetry = true;
+
+  core::OspSync osp;  // Algorithm 1 schedule
+  runtime::Engine engine(spec, cfg, osp);
+  const runtime::RunResult r = engine.run();
+  ASSERT_FALSE(r.rounds.empty());
+
+  // Replay Algorithm 1 from the recorded epoch losses with the same U_max;
+  // the budgets stamped on the telemetry must be exactly these values, in
+  // order (rounds before the first epoch close run at budget 0).
+  std::vector<double> allowed = {0.0};
+  core::SguTuner tuner(osp.u_max());
+  for (std::size_t e = 0; e < r.epoch_losses.size(); ++e) {
+    allowed.push_back(tuner.on_epoch_loss(e + 1, r.epoch_losses[e]));
+  }
+  std::size_t cursor = 0;
+  for (const auto& rec : r.rounds) {
+    while (cursor < allowed.size() && allowed[cursor] != rec.ics_budget_bytes) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, allowed.size())
+        << "round " << rec.round << " budget " << rec.ics_budget_bytes
+        << " is not a tuner decision";
+  }
+  // The ramp actually engaged at some point in 5 epochs.
+  EXPECT_GT(r.rounds.back().ics_budget_bytes, 0.0);
+}
+
+// ---- JSON read-back + JSONL ---------------------------------------------
+
+TEST(Json, ParserHandlesTheArtifactSubset) {
+  const util::JsonValue v = util::json_parse(
+      R"({"name": "worker 0 \"ics\"", "n": -12.5, "big": 1.25e9,)"
+      R"( "list": [1, 2, 3], "flag": true, "none": null, "empty": {}})");
+  EXPECT_EQ(v.find("name")->as_string(), "worker 0 \"ics\"");
+  EXPECT_EQ(v.find("n")->as_number(), -12.5);
+  EXPECT_EQ(v.find("big")->as_number(), 1.25e9);
+  ASSERT_EQ(v.find("list")->items().size(), 3u);
+  EXPECT_EQ(v.find("list")->items()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.find("flag")->as_bool());
+  EXPECT_TRUE(v.find("none")->is_null());
+  EXPECT_TRUE(v.find("empty")->fields().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+
+  EXPECT_THROW(util::json_parse("{\"a\":}"), util::CheckError);
+  EXPECT_THROW(util::json_parse("[1, 2] garbage"), util::CheckError);
+  EXPECT_THROW(util::json_parse("tru"), util::CheckError);
+  EXPECT_THROW(util::json_parse(""), util::CheckError);
+}
+
+TEST(Telemetry, JsonlRoundTripsExactly) {
+  runtime::SyncTelemetry a;
+  a.round = 7;
+  a.close_time_s = 100000.12345678912;  // late-training timestamp
+  a.contributors = 4;
+  a.gib_important = 3;
+  a.gib_unimportant = 5;
+  a.important_bytes = 123456.789;
+  a.unimportant_bytes = 0.25;
+  a.ics_budget_bytes = 2.5e8;
+  a.lgp_correction_sq = 2.0;
+  a.retries = 1;
+  a.timeouts = 1;
+  a.wire_bytes = 9.875e6;
+  runtime::SyncTelemetry b;  // all defaults
+  b.round = 8;
+
+  TempFile file(temp_path("osp_obs_rounds.jsonl"));
+  ASSERT_TRUE(runtime::write_telemetry_jsonl(file.path, {a, b}));
+
+  std::ifstream in(file.path);
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  const util::JsonValue ra = util::json_parse(line);
+  EXPECT_EQ(ra.find("round")->as_number(), 7.0);
+  EXPECT_EQ(ra.find("close_time_s")->as_number(), a.close_time_s);  // exact
+  EXPECT_EQ(ra.find("contributors")->as_number(), 4.0);
+  EXPECT_EQ(ra.find("gib_important")->as_number(), 3.0);
+  EXPECT_EQ(ra.find("gib_unimportant")->as_number(), 5.0);
+  EXPECT_EQ(ra.find("important_bytes")->as_number(), a.important_bytes);
+  EXPECT_EQ(ra.find("unimportant_bytes")->as_number(), 0.25);
+  EXPECT_EQ(ra.find("ics_budget_bytes")->as_number(), 2.5e8);
+  EXPECT_EQ(ra.find("lgp_correction_l2")->as_number(), std::sqrt(2.0));
+  EXPECT_EQ(ra.find("retries")->as_number(), 1.0);
+  EXPECT_EQ(ra.find("timeouts")->as_number(), 1.0);
+  EXPECT_EQ(ra.find("wire_bytes")->as_number(), 9.875e6);
+
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  const util::JsonValue rb = util::json_parse(line);
+  EXPECT_EQ(rb.find("round")->as_number(), 8.0);
+  EXPECT_EQ(rb.find("wire_bytes")->as_number(), 0.0);
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, line)));
+}
+
+}  // namespace
+}  // namespace osp

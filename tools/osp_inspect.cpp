@@ -1,0 +1,319 @@
+// osp_inspect — offline run inspector for OSP trace/telemetry artifacts.
+//
+// Reads the Chrome-trace JSON written by TraceRecorder::write_chrome_json
+// (and optionally the telemetry JSONL written alongside it) and prints the
+// summaries one otherwise digs out of chrome://tracing by hand:
+//
+//   * per-worker phase shares (compute / rs / ics / sync / downtime / ...)
+//   * the ICS overlap ratio — what fraction of ICS transfer time ran
+//     concurrently with the same worker's next-iteration compute (the
+//     quantity Fig. 4 of the paper visualizes; 0 for any BSP-family run)
+//   * top-K incast episodes: peak concurrent flows into a parameter server
+//   * the S(G^u) budget trajectory from the ics_budget_bytes counter track
+//
+// Usage: osp_inspect trace.json [telemetry.jsonl] [--top K]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using osp::runtime::TracePhase;
+using osp::util::JsonValue;
+
+constexpr std::size_t kIcsTidBase = 1000;  // mirrors trace.cpp
+
+struct Span {
+  std::size_t worker;
+  std::string phase;
+  double begin_s;
+  double end_s;
+};
+
+struct Flow {
+  std::string src;
+  std::string dst;
+  double begin_s;
+  double end_s;
+  double bytes;
+  bool cancelled;
+};
+
+struct Counter {
+  std::string name;
+  double time_s;
+  double value;
+};
+
+struct Trace {
+  std::vector<Span> spans;  // includes ICS spans, mapped back to workers
+  std::vector<Flow> flows;
+  std::vector<Counter> counters;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  OSP_CHECK(static_cast<bool>(in), "cannot open input file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+double num_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  OSP_CHECK(v != nullptr, "missing numeric field");
+  return v->as_number();
+}
+
+std::string str_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  OSP_CHECK(v != nullptr, "missing string field");
+  return v->as_string();
+}
+
+Trace load_trace(const std::string& path) {
+  const JsonValue doc = osp::util::json_parse(read_file(path));
+  Trace t;
+  for (const JsonValue& ev : doc.items()) {
+    const std::string ph = str_field(ev, "ph");
+    if (ph == "M") continue;  // track names — not needed here
+    if (ph == "C") {
+      const JsonValue* args = ev.find("args");
+      OSP_CHECK(args != nullptr, "counter event without args");
+      t.counters.push_back({str_field(ev, "name"),
+                            num_field(ev, "ts") / 1e6,
+                            num_field(*args, "value")});
+      continue;
+    }
+    if (ph != "X") continue;
+    const double ts = num_field(ev, "ts") / 1e6;
+    const double dur = num_field(ev, "dur") / 1e6;
+    const auto pid = static_cast<std::size_t>(num_field(ev, "pid"));
+    const JsonValue* args = ev.find("args");
+    if (pid == 1) {
+      OSP_CHECK(args != nullptr, "flow event without args");
+      t.flows.push_back({str_field(*args, "src"), str_field(*args, "dst"),
+                         ts, ts + dur, num_field(*args, "bytes"),
+                         num_field(*args, "cancelled") != 0.0});
+      continue;
+    }
+    auto tid = static_cast<std::size_t>(num_field(ev, "tid"));
+    if (tid >= kIcsTidBase) tid -= kIcsTidBase;  // ICS side track
+    t.spans.push_back({tid, str_field(ev, "name"), ts, ts + dur});
+  }
+  return t;
+}
+
+void print_phase_shares(const Trace& t) {
+  std::map<std::size_t, std::map<std::string, double>> per_worker;
+  std::vector<std::string> phases;  // stable column order of appearance
+  for (const Span& s : t.spans) {
+    per_worker[s.worker][s.phase] += s.end_s - s.begin_s;
+    if (std::find(phases.begin(), phases.end(), s.phase) == phases.end()) {
+      phases.push_back(s.phase);
+    }
+  }
+  std::printf("Per-worker phase shares\n");
+  if (per_worker.empty()) {
+    std::printf("  (no spans)\n\n");
+    return;
+  }
+  std::printf("  %-8s", "worker");
+  for (const std::string& p : phases) std::printf(" %10s", p.c_str());
+  std::printf("\n");
+  for (const auto& [w, totals] : per_worker) {
+    double sum = 0.0;
+    for (const auto& [p, d] : totals) sum += d;
+    std::printf("  %-8zu", w);
+    for (const std::string& p : phases) {
+      const auto it = totals.find(p);
+      const double share =
+          (it != totals.end() && sum > 0.0) ? it->second / sum : 0.0;
+      std::printf(" %9.1f%%", 100.0 * share);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+// Fraction of total ICS span time that overlaps the SAME worker's compute
+// spans. ICS is only useful when it hides behind next-iteration compute,
+// so this is the one-number health check for the second stage.
+double ics_overlap_ratio(const Trace& t) {
+  std::map<std::size_t, std::vector<const Span*>> compute;
+  for (const Span& s : t.spans) {
+    if (s.phase == "compute") compute[s.worker].push_back(&s);
+  }
+  double ics_total = 0.0, ics_overlapped = 0.0;
+  for (const Span& s : t.spans) {
+    if (s.phase != "ics") continue;
+    ics_total += s.end_s - s.begin_s;
+    const auto it = compute.find(s.worker);
+    if (it == compute.end()) continue;
+    for (const Span* c : it->second) {
+      const double lo = std::max(s.begin_s, c->begin_s);
+      const double hi = std::min(s.end_s, c->end_s);
+      if (hi > lo) ics_overlapped += hi - lo;
+    }
+  }
+  return ics_total > 0.0 ? ics_overlapped / ics_total : 0.0;
+}
+
+struct Incast {
+  double time_s;
+  std::string dst;
+  std::size_t concurrent;
+  double bytes_in_flight;
+};
+
+// Peak concurrent flows into each parameter-server destination, evaluated
+// at flow-start instants (concurrency only increases at starts).
+std::vector<Incast> incast_episodes(const Trace& t, std::size_t top_k) {
+  std::vector<Incast> all;
+  for (const Flow& f : t.flows) {
+    if (f.dst.rfind("ps", 0) != 0) continue;
+    std::size_t concurrent = 0;
+    double bytes = 0.0;
+    for (const Flow& g : t.flows) {
+      if (g.dst != f.dst) continue;
+      if (g.begin_s <= f.begin_s && f.begin_s < g.end_s) {
+        ++concurrent;
+        bytes += g.bytes;
+      }
+    }
+    all.push_back({f.begin_s, f.dst, concurrent, bytes});
+  }
+  std::sort(all.begin(), all.end(), [](const Incast& a, const Incast& b) {
+    if (a.concurrent != b.concurrent) return a.concurrent > b.concurrent;
+    return a.time_s < b.time_s;
+  });
+  // Keep at most one episode per (dst, concurrency) within a small window
+  // so the list is K distinct episodes, not K samples of one burst.
+  std::vector<Incast> picked;
+  for (const Incast& c : all) {
+    bool dup = false;
+    for (const Incast& p : picked) {
+      if (p.dst == c.dst && p.concurrent == c.concurrent &&
+          std::abs(p.time_s - c.time_s) < 1e-3) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) picked.push_back(c);
+    if (picked.size() == top_k) break;
+  }
+  return picked;
+}
+
+void print_budget_trajectory(const Trace& t) {
+  std::printf("S(G^u) budget trajectory (ics_budget_bytes)\n");
+  bool any = false;
+  double last = -1.0;
+  for (const Counter& c : t.counters) {
+    if (c.name != "ics_budget_bytes") continue;
+    if (any && c.value == last) continue;  // dedupe flat stretches
+    std::printf("  t=%12.6fs  budget=%.0f bytes\n", c.time_s, c.value);
+    last = c.value;
+    any = true;
+  }
+  if (!any) std::printf("  (no budget counter track)\n");
+  std::printf("\n");
+}
+
+void print_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  OSP_CHECK(static_cast<bool>(in), "cannot open telemetry file");
+  std::size_t rounds = 0, retries = 0, timeouts = 0;
+  double important = 0.0, unimportant = 0.0, wire = 0.0, correction = 0.0;
+  double contributors = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonValue rec = osp::util::json_parse(line);
+    ++rounds;
+    contributors += num_field(rec, "contributors");
+    important += num_field(rec, "important_bytes");
+    unimportant += num_field(rec, "unimportant_bytes");
+    wire += num_field(rec, "wire_bytes");
+    correction += num_field(rec, "lgp_correction_l2");
+    retries += static_cast<std::size_t>(num_field(rec, "retries"));
+    timeouts += static_cast<std::size_t>(num_field(rec, "timeouts"));
+  }
+  std::printf("Sync telemetry (%s)\n", path.c_str());
+  std::printf("  rounds:            %zu\n", rounds);
+  if (rounds > 0) {
+    std::printf("  mean contributors: %.2f\n",
+                contributors / static_cast<double>(rounds));
+    std::printf("  important bytes:   %.0f\n", important);
+    std::printf("  unimportant bytes: %.0f\n", unimportant);
+    const double total = important + unimportant;
+    if (total > 0.0) {
+      std::printf("  important share:   %.1f%%\n", 100.0 * important / total);
+    }
+    std::printf("  wire bytes:        %.0f\n", wire);
+    std::printf("  sum LGP |corr|:    %.6g\n", correction);
+    std::printf("  retries/timeouts:  %zu/%zu\n", retries, timeouts);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, telemetry_path;
+  std::size_t top_k = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      OSP_CHECK(i + 1 < argc, "--top needs a value");
+      top_k = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      telemetry_path = arg;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: osp_inspect trace.json [telemetry.jsonl] [--top K]\n");
+    return 2;
+  }
+
+  try {
+    const Trace t = load_trace(trace_path);
+    std::printf("Trace %s: %zu spans, %zu flows, %zu counter samples\n\n",
+                trace_path.c_str(), t.spans.size(), t.flows.size(),
+                t.counters.size());
+
+    print_phase_shares(t);
+    std::printf("ICS overlap ratio: %.4f\n\n", ics_overlap_ratio(t));
+
+    std::printf("Top incast episodes (flows into one PS)\n");
+    const std::vector<Incast> incasts = incast_episodes(t, top_k);
+    if (incasts.empty()) {
+      std::printf("  (no PS-bound flows)\n");
+    }
+    for (const Incast& c : incasts) {
+      std::printf("  t=%12.6fs  %-6s %3zu concurrent, %.0f bytes in flight\n",
+                  c.time_s, c.dst.c_str(), c.concurrent, c.bytes_in_flight);
+    }
+    std::printf("\n");
+
+    print_budget_trajectory(t);
+
+    if (!telemetry_path.empty()) print_telemetry(telemetry_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "osp_inspect: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
