@@ -8,15 +8,22 @@
 // performance mechanically. The curated copy lives at the repo top level.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/gib.hpp"
 #include "nn/conv2d.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -203,6 +210,234 @@ void BM_SumRows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SumRows)->Arg(256)->Arg(4096);
+
+// ---------------------------------------------------------------------------
+// Gradient wire-path kernels (PR 7). Each benchmark times the dispatched
+// SIMD kernel in the usual google-benchmark loop AND attaches a
+// `speedup_vs_seed` counter: min-of-reps timing of the seed scalar
+// implementation (reproduced locally, compiled at the same baseline -O3)
+// against the dispatched kernel, measured back-to-back in this process.
+// The ratio compares two measurements taken under identical noise, so CI
+// can gate on it deterministically the way the rate-solver visit ratio is
+// gated. A `simd_tier` counter records which tier ran (0=scalar .. 3=avx512).
+// ---------------------------------------------------------------------------
+
+std::vector<float> random_grad(std::size_t n, std::uint64_t seed) {
+  osp::util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// Best-of-reps wall time of a 16-call batch of fn() — the min over reps
+/// filters scheduler noise, the batch amortizes timer overhead.
+template <typename F>
+double best_seconds(const F& fn, int reps = 9) {
+  constexpr int kBatch = 16;
+  fn();  // warm-up
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kBatch; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void set_wire_counters(benchmark::State& state, double seed_s, double simd_s) {
+  state.counters["speedup_vs_seed"] = benchmark::Counter(seed_s / simd_s);
+  state.counters["simd_tier"] = benchmark::Counter(
+      static_cast<double>(osp::util::simd::active_tier()));
+}
+
+void BM_WireQuantizeInt8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> src = random_grad(n, 41);
+  std::vector<float> buf(n);
+  const auto& k = osp::util::simd::kernels();
+
+  // Seed implementation: scalar max-abs scan + round/clamp loop.
+  const auto seed_pass = [&] {
+    std::copy(src.begin(), src.end(), buf.begin());
+    float max_abs = 0.0f;
+    for (float v : buf) max_abs = std::max(max_abs, std::fabs(v));
+    const float scale = max_abs / 127.0f;
+    const float inv = 1.0f / scale;
+    for (float& v : buf) {
+      const float q = std::round(std::clamp(v * inv, -127.0f, 127.0f));
+      v = q * scale;
+    }
+    benchmark::DoNotOptimize(buf.data());
+  };
+  const auto simd_pass = [&] {
+    std::copy(src.begin(), src.end(), buf.begin());
+    const float max_abs = k.max_abs(buf.data(), n);
+    const float scale = max_abs / 127.0f;
+    k.quantize_dequantize(buf.data(), scale, 1.0f / scale, n);
+    benchmark::DoNotOptimize(buf.data());
+  };
+  const double seed_s = best_seconds(seed_pass);
+  const double simd_s = best_seconds(simd_pass);
+  for (auto _ : state) simd_pass();
+  set_wire_counters(state, seed_s, simd_s);
+}
+BENCHMARK(BM_WireQuantizeInt8)->Arg(16384)->Arg(262144);
+
+void BM_WireTopKThreshold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> src = random_grad(n, 42);
+  std::vector<float> buf(n);
+  std::vector<float> mags(n);
+  const float threshold = 1.0f;  // ~keep 32% of a standard normal
+  const std::size_t tie_slots = 16;
+  const auto& k = osp::util::simd::kernels();
+
+  // Seed implementation: the Top-K scan passes from sparsify() — count
+  // strictly-above, then the branchy zeroing pass with tie handling
+  // (data-dependent branches at a ~32% keep rate mispredict heavily).
+  std::size_t sink = 0;
+  const auto seed_pass = [&] {
+    std::copy(src.begin(), src.end(), buf.begin());
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::fabs(buf[i]) > threshold) ++kept;
+    }
+    std::size_t slots = tie_slots;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float m = std::fabs(buf[i]);
+      if (m > threshold) {
+        ++kept;
+      } else if (m == threshold && slots > 0) {
+        --slots;
+        ++kept;
+      } else {
+        buf[i] = 0.0f;
+      }
+    }
+    sink += kept;
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::DoNotOptimize(sink);
+  };
+  const auto simd_pass = [&] {
+    std::copy(src.begin(), src.end(), buf.begin());
+    k.abs_into(buf.data(), mags.data(), n);
+    sink += k.count_gt(mags.data(), threshold, n);
+    sink += k.threshold_zero(buf.data(), mags.data(), threshold, tie_slots, n);
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::DoNotOptimize(sink);
+  };
+  const double seed_s = best_seconds(seed_pass);
+  const double simd_s = best_seconds(simd_pass);
+  for (auto _ : state) simd_pass();
+  set_wire_counters(state, seed_s, simd_s);
+}
+BENCHMARK(BM_WireTopKThreshold)->Arg(65536);
+
+void BM_WireGibPack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  osp::util::Rng rng(43);
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = rng.bernoulli(0.5) ? 1 : 0;
+  std::vector<std::uint8_t> bits((n + 7) / 8, 0);
+  const auto& k = osp::util::simd::kernels();
+
+  // Seed implementation: per-bit OR loop from Gib::serialize.
+  const auto seed_pass = [&] {
+    std::fill(bits.begin(), bits.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bytes[i] != 0) {
+        bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      }
+    }
+    benchmark::DoNotOptimize(bits.data());
+  };
+  const auto simd_pass = [&] {
+    k.pack_bits(bytes.data(), bits.data(), n);
+    benchmark::DoNotOptimize(bits.data());
+  };
+  const double seed_s = best_seconds(seed_pass);
+  const double simd_s = best_seconds(simd_pass);
+  for (auto _ : state) simd_pass();
+  set_wire_counters(state, seed_s, simd_s);
+}
+BENCHMARK(BM_WireGibPack)->Arg(65536);
+
+void BM_WireGibUnpack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  osp::util::Rng rng(44);
+  std::vector<std::uint8_t> bits((n + 7) / 8);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<std::uint8_t> bytes(n, 0);
+  const auto& k = osp::util::simd::kernels();
+
+  // Seed implementation: per-bit shift/test loop from Gib::deserialize.
+  const auto seed_pass = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      bytes[i] = static_cast<std::uint8_t>((bits[i / 8] >> (i % 8)) & 1u);
+    }
+    benchmark::DoNotOptimize(bytes.data());
+  };
+  const auto simd_pass = [&] {
+    k.unpack_bits(bits.data(), bytes.data(), n);
+    benchmark::DoNotOptimize(bytes.data());
+  };
+  const double seed_s = best_seconds(seed_pass);
+  const double simd_s = best_seconds(simd_pass);
+  for (auto _ : state) simd_pass();
+  set_wire_counters(state, seed_s, simd_s);
+}
+BENCHMARK(BM_WireGibUnpack)->Arg(65536);
+
+void BM_WireAbsProdSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> a = random_grad(n, 45);
+  const std::vector<float> b = random_grad(n, 46);
+  const auto& k = osp::util::simd::kernels();
+
+  // Seed implementation: the serial double accumulation chain (PGP Eq. 4).
+  double sink = 0.0;
+  const auto seed_pass = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s += std::abs(static_cast<double>(a[i]) * static_cast<double>(b[i]));
+    }
+    sink += s;
+    benchmark::DoNotOptimize(sink);
+  };
+  const auto simd_pass = [&] {
+    sink += k.abs_prod_sum(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(sink);
+  };
+  const double seed_s = best_seconds(seed_pass);
+  const double simd_s = best_seconds(simd_pass);
+  for (auto _ : state) simd_pass();
+  set_flops(state, 2.0 * static_cast<double>(n));
+  set_wire_counters(state, seed_s, simd_s);
+}
+BENCHMARK(BM_WireAbsProdSum)->Arg(262144);
+
+void BM_WireAxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> x = random_grad(n, 47);
+  std::vector<float> y = random_grad(n, 48);
+  const auto& k = osp::util::simd::kernels();
+
+  const auto seed_pass = [&] {
+    for (std::size_t i = 0; i < n; ++i) y[i] += 0.25f * x[i];
+    benchmark::DoNotOptimize(y.data());
+  };
+  const auto simd_pass = [&] {
+    k.axpy(0.25f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  };
+  const double seed_s = best_seconds(seed_pass);
+  const double simd_s = best_seconds(simd_pass);
+  for (auto _ : state) simd_pass();
+  set_flops(state, 2.0 * static_cast<double>(n));
+  set_wire_counters(state, seed_s, simd_s);
+}
+BENCHMARK(BM_WireAxpy)->Arg(262144);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "core/gib.hpp"
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace osp::core {
 
@@ -64,9 +65,7 @@ std::vector<std::uint8_t> Gib::serialize() const {
   out[1] = static_cast<std::uint8_t>((n >> 8) & 0xff);
   out[2] = static_cast<std::uint8_t>((n >> 16) & 0xff);
   out[3] = static_cast<std::uint8_t>((n >> 24) & 0xff);
-  for (std::size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i] != 0) out[4 + i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
-  }
+  util::simd::kernels().pack_bits(bits_.data(), out.data() + 4, bits_.size());
   return out;
 }
 
@@ -78,9 +77,7 @@ Gib Gib::deserialize(std::span<const std::uint8_t> bytes) {
                           (static_cast<std::uint32_t>(bytes[3]) << 24);
   OSP_CHECK(bytes.size() == 4 + (n + 7) / 8, "GIB blob size mismatch");
   Gib gib = all_unimportant(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((bytes[4 + i / 8] >> (i % 8)) & 1u) gib.set_important(i, true);
-  }
+  util::simd::kernels().unpack_bits(bytes.data() + 4, gib.bits_.data(), n);
   return gib;
 }
 

@@ -671,10 +671,9 @@ void OspSync::load_state(util::serde::Reader& r) {
   OSP_CHECK(has_ema == (ema_lgp_ != nullptr),
             "OSP checkpoint EMA-LGP configuration mismatch");
   if (has_ema) {
-    std::vector<float> ema = r.f32_vec();
+    std::vector<float> ema(eng().global_params().size());
+    r.f32_into(ema);
     const bool has_history = r.boolean();
-    OSP_CHECK(ema.size() == eng().global_params().size(),
-              "OSP checkpoint EMA length mismatch");
     ema_lgp_->restore(ema, has_history);
   }
   last_ics_applied_ = r.u64_vec();

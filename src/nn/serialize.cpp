@@ -46,10 +46,9 @@ void load_checkpoint(FlatModel& model, const std::string& path) {
     OSP_CHECK(offset == expected.offset && numel == expected.numel,
               "checkpoint block geometry mismatch");
   }
-  const std::vector<float> params = r.f32_vec();
+  std::vector<float> params(model.total_params());
+  r.f32_into(params);
   r.expect_done();
-  OSP_CHECK(params.size() == model.total_params(),
-            "checkpoint parameter count mismatch");
   model.scatter_params(params);
 }
 

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "sync/transfer.hpp"
 #include "util/check.hpp"
 #include "util/serde.hpp"
+#include "util/simd.hpp"
 #include "util/vec_math.hpp"
 
 namespace osp::sync {
 
-std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
-                     double keep_fraction, util::Rng& rng) {
+std::size_t sparsify(std::span<float> grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng,
+                     SparsifyScratch& scratch) {
   OSP_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
             "keep fraction must be in (0, 1]");
   const std::size_t n = grad.size();
@@ -19,45 +23,43 @@ std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
       1, static_cast<std::size_t>(std::llround(keep_fraction *
                                                static_cast<double>(n))));
   if (keep >= n) return n;
+  const util::simd::Kernels& k = util::simd::kernels();
   if (mode == CompressionMode::TopK) {
-    // Threshold at the keep-th largest magnitude.
-    std::vector<float> mags(n);
-    for (std::size_t i = 0; i < n; ++i) mags[i] = std::fabs(grad[i]);
-    std::nth_element(mags.begin(),
-                     mags.begin() + static_cast<std::ptrdiff_t>(keep - 1),
-                     mags.end(), std::greater<float>());
-    const float threshold = mags[keep - 1];
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      // Keep strictly-above first; elements equal to the threshold fill
-      // remaining slots in index order (deterministic tie handling).
-      if (std::fabs(grad[i]) > threshold) ++kept;
-    }
-    std::size_t slots_at_threshold = keep - kept;
-    kept = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const float m = std::fabs(grad[i]);
-      if (m > threshold) {
-        ++kept;
-      } else if (m == threshold && slots_at_threshold > 0) {
-        --slots_at_threshold;
-        ++kept;
-      } else {
-        grad[i] = 0.0f;
-      }
-    }
-    return kept;
+    // Threshold at the keep-th largest magnitude. `mags` keeps element
+    // order for the scan passes; `sel` is the nth_element workspace.
+    scratch.mags.resize(n);
+    scratch.sel.resize(n);
+    k.abs_into(grad.data(), scratch.mags.data(), n);
+    std::copy(scratch.mags.begin(), scratch.mags.end(), scratch.sel.begin());
+    std::nth_element(scratch.sel.begin(),
+                     scratch.sel.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     scratch.sel.end(), std::greater<float>());
+    const float threshold = scratch.sel[keep - 1];
+    // Keep strictly-above first; elements equal to the threshold fill
+    // remaining slots in index order (deterministic tie handling).
+    const std::size_t kept_above = k.count_gt(scratch.mags.data(), threshold, n);
+    const std::size_t ties_kept = k.threshold_zero(
+        grad.data(), scratch.mags.data(), threshold, keep - kept_above, n);
+    return kept_above + ties_kept;
   }
   // RandomK: reservoir-free selection via shuffled index prefix.
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
-  rng.shuffle(idx);
-  std::vector<bool> kept_mask(n, false);
-  for (std::size_t i = 0; i < keep; ++i) kept_mask[idx[i]] = true;
+  OSP_CHECK(n <= std::numeric_limits<std::uint32_t>::max(),
+            "RandomK gradient block too large for 32-bit indices");
+  scratch.idx.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (!kept_mask[i]) grad[i] = 0.0f;
+    scratch.idx[i] = static_cast<std::uint32_t>(i);
   }
+  rng.shuffle(scratch.idx);
+  scratch.mask.assign(n, 0);
+  for (std::size_t i = 0; i < keep; ++i) scratch.mask[scratch.idx[i]] = 1;
+  k.mask_zero(grad.data(), scratch.mask.data(), n);
   return keep;
+}
+
+std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng) {
+  SparsifyScratch scratch;
+  return sparsify(std::span<float>(grad), mode, keep_fraction, rng, scratch);
 }
 
 CompressedBspSync::CompressedBspSync(CompressionMode mode,
@@ -73,9 +75,10 @@ CompressedBspSync::CompressedBspSync(CompressionMode mode,
 
 std::string CompressedBspSync::name() const {
   const char* base = mode_ == CompressionMode::TopK ? "TopK" : "RandomK";
-  std::string n = std::string(base) + "(" +
-                  std::to_string(static_cast<int>(keep_fraction_ * 100)) +
-                  "%)";
+  // %g keeps the exact fraction ("12.5%"), not a truncated integer.
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), "%g", keep_fraction_ * 100.0);
+  std::string n = std::string(base) + "(" + pct + "%)";
   if (error_feedback_) n += "+EF";
   return n;
 }
@@ -96,15 +99,18 @@ void CompressedBspSync::attach(runtime::Engine& eng) {
 void CompressedBspSync::on_gradient_ready(std::size_t worker) {
   runtime::Engine& e = eng();
   auto grad = e.worker_gradient(worker);
-  sparse_[worker].assign(grad.begin(), grad.end());
   if (error_feedback_) {
-    // Fold the previously dropped mass back in before selecting.
-    util::add(sparse_[worker], residual_[worker], sparse_[worker]);
-    residual_[worker].assign(sparse_[worker].begin(),
-                             sparse_[worker].end());
+    // Fold the previously dropped mass back in before selecting, writing
+    // grad + residual to both the transmit buffer and the residual in one
+    // pass (the residual copy is what sub() consumes below).
+    util::simd::kernels().add_copy2(grad.data(), residual_[worker].data(),
+                                    sparse_[worker].data(),
+                                    residual_[worker].data(), grad.size());
+  } else {
+    util::copy(grad, sparse_[worker]);
   }
-  const std::size_t kept = sparsify(sparse_[worker], mode_, keep_fraction_,
-                                    rng_);
+  const std::size_t kept = sparsify(std::span<float>(sparse_[worker]), mode_,
+                                    keep_fraction_, rng_, scratch_);
   if (error_feedback_) {
     // residual = (grad + residual) − transmitted.
     util::sub(residual_[worker], sparse_[worker], residual_[worker]);
@@ -156,15 +162,12 @@ void CompressedBspSync::aggregate_and_broadcast() {
 }
 
 float quantize_dequantize_int8(std::span<float> grad) {
-  float max_abs = 0.0f;
-  for (float v : grad) max_abs = std::max(max_abs, std::fabs(v));
+  const util::simd::Kernels& k = util::simd::kernels();
+  const float max_abs = k.max_abs(grad.data(), grad.size());
   if (max_abs == 0.0f) return 0.0f;
   const float scale = max_abs / 127.0f;
   const float inv = 1.0f / scale;
-  for (float& v : grad) {
-    const float q = std::round(std::clamp(v * inv, -127.0f, 127.0f));
-    v = q * scale;
-  }
+  k.quantize_dequantize(grad.data(), scale, inv, grad.size());
   return scale;
 }
 
@@ -248,12 +251,9 @@ void CompressedBspSync::load_state(util::serde::Reader& r) {
   const std::uint64_t n = r.u64();
   OSP_CHECK(n == residual_.size(),
             "compressed-BSP checkpoint residual count mismatch");
-  for (auto& res : residual_) {
-    std::vector<float> loaded = r.f32_vec();
-    OSP_CHECK(loaded.size() == res.size(),
-              "compressed-BSP checkpoint residual length mismatch");
-    res = std::move(loaded);
-  }
+  // Read straight into the attached residual buffers (f32_into validates
+  // the stored length against each buffer's size).
+  for (auto& res : residual_) r.f32_into(res);
 }
 
 void QuantizedBspSync::save_state(util::serde::Writer& w) const {

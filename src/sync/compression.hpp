@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "runtime/sync_model.hpp"
@@ -15,9 +16,24 @@ namespace osp::sync {
 
 enum class CompressionMode { TopK, RandomK };
 
+/// Reusable working memory for sparsify(). Sized on first use and reused
+/// across rounds, so the per-round selection does no heap allocation after
+/// warm-up.
+struct SparsifyScratch {
+  std::vector<float> mags;        // |grad[i]|, kept in element order
+  std::vector<float> sel;         // nth_element workspace (permuted)
+  std::vector<std::uint32_t> idx; // RandomK shuffle indices
+  std::vector<std::uint8_t> mask; // RandomK keep byte-mask
+};
+
 /// Sparsify `grad` in place, keeping `keep_fraction` of its elements
 /// (highest |g| for TopK, uniform for RandomK); zeroes the rest. Returns
 /// the number of kept elements.
+std::size_t sparsify(std::span<float> grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng,
+                     SparsifyScratch& scratch);
+
+/// Convenience overload with throwaway scratch (tests, one-shot callers).
 std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
                      double keep_fraction, util::Rng& rng);
 
@@ -49,6 +65,7 @@ class CompressedBspSync : public runtime::SyncModel {
   std::vector<std::vector<float>> sparse_;    // per-worker sparsified grads
   std::vector<std::vector<float>> residual_;  // per-worker error memory
   std::vector<float> agg_;
+  SparsifyScratch scratch_;
   std::uint64_t tel_rounds_ = 0;
   double tel_push_bytes_ = 0.0;  // sparse bytes pushed this round
 };

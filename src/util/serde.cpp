@@ -57,7 +57,15 @@ void Writer::bytes(std::span<const std::uint8_t> b) {
 
 void Writer::f32_vec(std::span<const float> v) {
   u64(v.size());
-  for (float x : v) f32(x);
+  if (v.empty()) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    // The wire format is the little-endian IEEE bit pattern, which on an
+    // LE host is exactly the in-memory representation.
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), raw, raw + v.size() * sizeof(float));
+  } else {
+    for (float x : v) f32(x);
+  }
 }
 
 void Writer::f64_vec(std::span<const double> v) {
@@ -135,8 +143,26 @@ std::vector<float> Reader::f32_vec() {
   std::uint64_t n = u64();
   check_count(n, 4);
   std::vector<float> v(n);
-  for (std::uint64_t i = 0; i < n; ++i) v[i] = f32();
+  read_f32_block(v);
   return v;
+}
+
+void Reader::f32_into(std::span<float> out) {
+  std::uint64_t n = u64();
+  check_count(n, 4);
+  OSP_CHECK(n == out.size(),
+            "serde: f32 array length does not match destination");
+  read_f32_block(out);
+}
+
+void Reader::read_f32_block(std::span<float> out) {
+  if (out.empty()) return;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), data_.data() + pos_, out.size() * sizeof(float));
+    pos_ += out.size() * sizeof(float);
+  } else {
+    for (float& x : out) x = f32();
+  }
 }
 
 std::vector<double> Reader::f64_vec() {

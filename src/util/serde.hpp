@@ -74,6 +74,10 @@ class Reader {
   [[nodiscard]] std::vector<std::uint8_t> bytes();
 
   [[nodiscard]] std::vector<float> f32_vec();
+  /// Read a u64-prefixed f32 array into caller-owned storage; the count
+  /// must equal out.size(). Avoids materializing a temporary vector on the
+  /// checkpoint-load path.
+  void f32_into(std::span<float> out);
   [[nodiscard]] std::vector<double> f64_vec();
   [[nodiscard]] std::vector<std::uint64_t> u64_vec();
   [[nodiscard]] std::vector<std::size_t> size_vec();
@@ -88,6 +92,9 @@ class Reader {
   /// Validate a length-prefixed array header: `count` elements of
   /// `elem_bytes` each must fit in the remaining payload.
   void check_count(std::uint64_t count, std::size_t elem_bytes) const;
+
+  /// Copy out.size() f32 values from the payload (bounds already checked).
+  void read_f32_block(std::span<float> out);
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

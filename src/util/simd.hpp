@@ -1,0 +1,124 @@
+// Runtime SIMD dispatch for the gradient wire-path kernels.
+//
+// Four tiers — scalar, AVX2, AVX2+FMA, AVX-512 — selected once at startup
+// via __builtin_cpu_supports (the same mechanism as the GEMM micro-kernel
+// in src/tensor/ops.cpp), overridable with the OSP_SIMD_TIER environment
+// variable ("scalar" | "avx2" | "avx2fma" | "avx512", clamped to what the
+// CPU supports) and force-able from tests via force_tier().
+//
+// Bit-identity contract (see DESIGN.md "SIMD dispatch tiers"): every tier
+// of every kernel produces bit-identical results.
+//  - Elementwise float kernels perform the identical per-element IEEE op
+//    sequence (mul then add, never a fused float FMA) in every tier, so
+//    they are also bit-identical to the seed scalar loops.
+//  - Double-precision reductions over float inputs use one fixed-width
+//    8-lane accumulation tree in every tier: lane j of a range owns
+//    elements (base+j, base+j+8, ...), and the 8 lane totals are combined
+//    serially in lane order. The FMA tiers may fuse the per-lane
+//    multiply-add because the product of two floats is exactly
+//    representable in double, so fused and unfused rounding coincide.
+//  - Integer/bitmap kernels are exact by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace osp::util::simd {
+
+enum class Tier : int { kScalar = 0, kAvx2 = 1, kAvx2Fma = 2, kAvx512 = 3 };
+
+/// Human-readable tier name ("scalar", "avx2", "avx2fma", "avx512").
+[[nodiscard]] const char* tier_name(Tier t);
+
+/// Parse an OSP_SIMD_TIER-style name; nullopt for unknown strings.
+[[nodiscard]] std::optional<Tier> parse_tier(std::string_view name);
+
+/// Best tier the running CPU supports (independent of env/forcing).
+[[nodiscard]] Tier hardware_tier();
+
+/// Tier currently used by the zero-argument kernels() accessor: the
+/// hardware tier, clamped by OSP_SIMD_TIER if set, unless overridden by
+/// force_tier().
+[[nodiscard]] Tier active_tier();
+
+/// Test/debug hook: pin the active tier (clamped to hardware_tier()).
+/// Returns the tier actually installed. Not thread-safe against kernels
+/// executing concurrently — call while the thread pool is idle.
+Tier force_tier(Tier t);
+
+/// Undo force_tier(): back to the env/hardware default.
+void reset_tier();
+
+/// Per-tier kernel table. All pointers are always valid; tiers the CPU
+/// cannot execute fall back to the next lower supported tier so that
+/// kernels(t) is safe to call for any t <= hardware_tier().
+struct Kernels {
+  // -- elementwise float (exact; identical op order in every tier) --
+  void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
+  void (*scale)(float* x, float alpha, std::size_t n);
+  void (*add)(const float* a, const float* b, float* dst, std::size_t n);
+  /// d1[i] = d2[i] = a[i] + b[i] — the error-feedback fold (gradient +
+  /// residual written to both the transmit buffer and the residual) in
+  /// one pass. d2 may alias b.
+  void (*add_copy2)(const float* a, const float* b, float* d1, float* d2,
+                    std::size_t n);
+  void (*sub)(const float* a, const float* b, float* dst, std::size_t n);
+
+  // -- double reductions over float inputs (8-lane tree) --
+  double (*dot)(const float* a, const float* b, std::size_t n);
+  double (*abs_prod_sum)(const float* a, const float* b, std::size_t n);
+  double (*l1)(const float* x, std::size_t n);
+  /// Sum of squares (caller applies sqrt).
+  double (*l2sq)(const float* x, std::size_t n);
+
+  // -- wire codecs --
+  /// max_i |x[i]| (0 for empty; exact in any order — max is associative).
+  float (*max_abs)(const float* x, std::size_t n);
+  /// x[i] = round(clamp(x[i]*inv, -127, 127)) * scale with round-half-
+  /// away-from-zero (std::round semantics, exactly, in every tier).
+  void (*quantize_dequantize)(float* x, float scale, float inv,
+                              std::size_t n);
+  /// mags[i] = |x[i]|.
+  void (*abs_into)(const float* x, float* mags, std::size_t n);
+  /// Count of mags[i] > threshold (IEEE >, no abs applied here).
+  std::size_t (*count_gt)(const float* mags, float threshold, std::size_t n);
+  /// Top-k apply pass: keep grad[i] where mags[i] > threshold; elements
+  /// equal to the threshold consume tie_slots in ascending index order;
+  /// everything else is zeroed. Returns the number of tie slots consumed.
+  std::size_t (*threshold_zero)(float* grad, const float* mags,
+                                float threshold, std::size_t tie_slots,
+                                std::size_t n);
+  /// grad[i] = 0 where keep[i] == 0 (byte mask).
+  void (*mask_zero)(float* grad, const std::uint8_t* keep, std::size_t n);
+
+  // -- bitmap pack/unpack (GIB wire format: bit i%8 of byte i/8) --
+  /// bytes[i] (0 = clear, nonzero = set) -> bits[(n+7)/8]; unused high
+  /// bits of the final byte are written as zero.
+  void (*pack_bits)(const std::uint8_t* bytes, std::uint8_t* bits,
+                    std::size_t n);
+  /// bits -> bytes[i] in {0, 1}.
+  void (*unpack_bits)(const std::uint8_t* bits, std::uint8_t* bytes,
+                      std::size_t n);
+};
+
+/// Kernel table for an explicit tier (cross-tier bit-identity tests).
+[[nodiscard]] const Kernels& kernels(Tier t);
+
+/// Kernel table for the active tier.
+[[nodiscard]] inline const Kernels& kernels() { return kernels(active_tier()); }
+
+/// RAII forced-tier scope for tests.
+class ScopedTier {
+ public:
+  explicit ScopedTier(Tier t) : prev_(active_tier()) { force_tier(t); }
+  ~ScopedTier() { force_tier(prev_); }
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+
+ private:
+  Tier prev_;
+};
+
+}  // namespace osp::util::simd

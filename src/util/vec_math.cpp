@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace osp::util {
@@ -19,12 +20,14 @@ constexpr std::size_t kElemwiseGrain = 1 << 16;
 // the result is deterministic and independent of the pool size. The chunk
 // grouping does reassociate the double accumulation, so the threshold is
 // set high: blocks below ~1M elements (every proxy-model layer block)
-// reduce serially and keep their historical bit pattern.
+// reduce serially and keep their bit pattern.
 constexpr std::size_t kReduceParallelMin = 1 << 20;
 constexpr std::size_t kReduceChunk = 1 << 18;
 
 /// Deterministic parallel reduction: partial[i] covers the fixed range
-/// [i*kReduceChunk, ...); partials are combined in index order.
+/// [i*kReduceChunk, ...); partials are combined in index order. Each chunk
+/// runs the dispatched kernel's 8-lane accumulation tree based at the chunk
+/// start, so the result is also independent of the pool size and the tier.
 template <typename PartialFn>
 double chunked_reduce(std::size_t n, const PartialFn& partial) {
   const std::size_t num_chunks = (n + kReduceChunk - 1) / kReduceChunk;
@@ -48,23 +51,21 @@ double chunked_reduce(std::size_t n, const PartialFn& partial) {
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   OSP_CHECK(x.size() == y.size(), "axpy size mismatch");
+  const simd::Kernels& k = simd::kernels();
   const float* px = x.data();
   float* py = y.data();
   ThreadPool::global().parallel_for(
       x.size(),
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) py[i] += alpha * px[i];
-      },
+      [&](std::size_t b, std::size_t e) { k.axpy(alpha, px + b, py + b, e - b); },
       kElemwiseGrain);
 }
 
 void scale(std::span<float> x, float alpha) {
+  const simd::Kernels& k = simd::kernels();
   float* px = x.data();
   ThreadPool::global().parallel_for(
       x.size(),
-      [&](std::size_t b, std::size_t e) {
-        for (std::size_t i = b; i < e; ++i) px[i] *= alpha;
-      },
+      [&](std::size_t b, std::size_t e) { k.scale(px + b, alpha, e - b); },
       kElemwiseGrain);
 }
 
@@ -81,15 +82,12 @@ void fill(std::span<float> x, float value) {
 
 double dot(std::span<const float> a, std::span<const float> b) {
   OSP_CHECK(a.size() == b.size(), "dot size mismatch");
+  const simd::Kernels& k = simd::kernels();
   const std::size_t n = a.size();
   const float* pa = a.data();
   const float* pb = b.data();
   const auto range = [&](std::size_t begin, std::size_t end) {
-    double s = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      s += static_cast<double>(pa[i]) * static_cast<double>(pb[i]);
-    }
-    return s;
+    return k.dot(pa + begin, pb + begin, end - begin);
   };
   if (n < kReduceParallelMin) return range(0, n);
   return chunked_reduce(n, range);
@@ -97,43 +95,34 @@ double dot(std::span<const float> a, std::span<const float> b) {
 
 double abs_prod_sum(std::span<const float> a, std::span<const float> b) {
   OSP_CHECK(a.size() == b.size(), "abs_prod_sum size mismatch");
+  const simd::Kernels& k = simd::kernels();
   const std::size_t n = a.size();
   const float* pa = a.data();
   const float* pb = b.data();
   const auto range = [&](std::size_t begin, std::size_t end) {
-    double s = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      s += std::abs(static_cast<double>(pa[i]) * static_cast<double>(pb[i]));
-    }
-    return s;
+    return k.abs_prod_sum(pa + begin, pb + begin, end - begin);
   };
   if (n < kReduceParallelMin) return range(0, n);
   return chunked_reduce(n, range);
 }
 
 double l2_norm(std::span<const float> x) {
+  const simd::Kernels& k = simd::kernels();
   const std::size_t n = x.size();
   const float* px = x.data();
   const auto range = [&](std::size_t begin, std::size_t end) {
-    double s = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      s += static_cast<double>(px[i]) * static_cast<double>(px[i]);
-    }
-    return s;
+    return k.l2sq(px + begin, end - begin);
   };
   const double s = n < kReduceParallelMin ? range(0, n) : chunked_reduce(n, range);
   return std::sqrt(s);
 }
 
 double l1_norm(std::span<const float> x) {
+  const simd::Kernels& k = simd::kernels();
   const std::size_t n = x.size();
   const float* px = x.data();
   const auto range = [&](std::size_t begin, std::size_t end) {
-    double s = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      s += std::abs(static_cast<double>(px[i]));
-    }
-    return s;
+    return k.l1(px + begin, end - begin);
   };
   if (n < kReduceParallelMin) return range(0, n);
   return chunked_reduce(n, range);
@@ -143,13 +132,14 @@ void sub(std::span<const float> a, std::span<const float> b,
          std::span<float> dst) {
   OSP_CHECK(a.size() == b.size() && a.size() == dst.size(),
             "sub size mismatch");
+  const simd::Kernels& k = simd::kernels();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pd = dst.data();
   ThreadPool::global().parallel_for(
       a.size(),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) pd[i] = pa[i] - pb[i];
+        k.sub(pa + begin, pb + begin, pd + begin, end - begin);
       },
       kElemwiseGrain);
 }
@@ -158,13 +148,14 @@ void add(std::span<const float> a, std::span<const float> b,
          std::span<float> dst) {
   OSP_CHECK(a.size() == b.size() && a.size() == dst.size(),
             "add size mismatch");
+  const simd::Kernels& k = simd::kernels();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pd = dst.data();
   ThreadPool::global().parallel_for(
       a.size(),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) pd[i] = pa[i] + pb[i];
+        k.add(pa + begin, pb + begin, pd + begin, end - begin);
       },
       kElemwiseGrain);
 }

@@ -1,0 +1,352 @@
+// Cross-tier bit-identity tests for the SIMD dispatch layer (DESIGN.md
+// "SIMD dispatch tiers"): every kernel must produce bit-identical results
+// in every tier the CPU supports, the vector codecs must match the seed
+// scalar semantics exactly (std::round half-away-from-zero, per-bit GIB
+// format, sequential tie budget), and the forced-tier hooks must clamp to
+// hardware.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/gib.hpp"
+#include "sync/compression.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+using osp::util::Rng;
+using osp::util::simd::Kernels;
+using osp::util::simd::Tier;
+namespace simd = osp::util::simd;
+
+/// Tiers to cross-check: scalar plus everything the CPU supports.
+std::vector<Tier> testable_tiers() {
+  std::vector<Tier> tiers{Tier::kScalar};
+  for (Tier t : {Tier::kAvx2, Tier::kAvx2Fma, Tier::kAvx512}) {
+    if (t <= simd::hardware_tier()) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// Sizes that cover empty input, sub-width tails, exact vector widths, and
+// the width+1 straddle for 8/16/32/64-wide inner loops.
+const std::size_t kSizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 17,
+                              31, 32, 33, 63, 64, 65, 127, 128, 129, 1000};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  for (Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx2Fma, Tier::kAvx512}) {
+    const auto parsed = simd::parse_tier(simd::tier_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(simd::parse_tier("").has_value());
+  EXPECT_FALSE(simd::parse_tier("avx9000").has_value());
+  EXPECT_EQ(simd::parse_tier("fma"), Tier::kAvx2Fma);
+}
+
+TEST(SimdDispatch, ForceTierClampsToHardware) {
+  const Tier hw = simd::hardware_tier();
+  {
+    simd::ScopedTier forced(Tier::kScalar);
+    EXPECT_EQ(simd::active_tier(), Tier::kScalar);
+  }
+  EXPECT_EQ(simd::force_tier(Tier::kAvx512), std::min(Tier::kAvx512, hw));
+  simd::reset_tier();
+  EXPECT_LE(simd::active_tier(), hw);
+}
+
+TEST(SimdCrossTier, ElementwiseKernels) {
+  const Kernels& ref = simd::kernels(Tier::kScalar);
+  for (std::size_t n : kSizes) {
+    const std::vector<float> a = random_floats(n, 100 + n);
+    const std::vector<float> b = random_floats(n, 200 + n);
+    std::vector<float> want_axpy = b, want_scale = a;
+    std::vector<float> want_add(n), want_sub(n), want_d1(n), want_d2 = b;
+    ref.axpy(0.37f, a.data(), want_axpy.data(), n);
+    ref.scale(want_scale.data(), -1.75f, n);
+    ref.add(a.data(), b.data(), want_add.data(), n);
+    ref.sub(a.data(), b.data(), want_sub.data(), n);
+    ref.add_copy2(a.data(), want_d2.data(), want_d1.data(), want_d2.data(), n);
+    for (Tier t : testable_tiers()) {
+      const Kernels& k = simd::kernels(t);
+      std::vector<float> got_axpy = b, got_scale = a;
+      std::vector<float> got_add(n), got_sub(n), got_d1(n), got_d2 = b;
+      k.axpy(0.37f, a.data(), got_axpy.data(), n);
+      k.scale(got_scale.data(), -1.75f, n);
+      k.add(a.data(), b.data(), got_add.data(), n);
+      k.sub(a.data(), b.data(), got_sub.data(), n);
+      // add_copy2 with d2 aliasing b, as the EF fold uses it.
+      k.add_copy2(a.data(), got_d2.data(), got_d1.data(), got_d2.data(), n);
+      const char* tn = simd::tier_name(t);
+      EXPECT_EQ(std::memcmp(got_axpy.data(), want_axpy.data(),
+                            n * sizeof(float)), 0) << tn << " axpy n=" << n;
+      EXPECT_EQ(std::memcmp(got_scale.data(), want_scale.data(),
+                            n * sizeof(float)), 0) << tn << " scale n=" << n;
+      EXPECT_EQ(std::memcmp(got_add.data(), want_add.data(),
+                            n * sizeof(float)), 0) << tn << " add n=" << n;
+      EXPECT_EQ(std::memcmp(got_sub.data(), want_sub.data(),
+                            n * sizeof(float)), 0) << tn << " sub n=" << n;
+      EXPECT_EQ(std::memcmp(got_d1.data(), want_d1.data(),
+                            n * sizeof(float)), 0) << tn << " add_copy2 d1";
+      EXPECT_EQ(std::memcmp(got_d2.data(), want_d2.data(),
+                            n * sizeof(float)), 0) << tn << " add_copy2 d2";
+    }
+  }
+}
+
+TEST(SimdCrossTier, Reductions) {
+  const Kernels& ref = simd::kernels(Tier::kScalar);
+  for (std::size_t n : kSizes) {
+    const std::vector<float> a = random_floats(n, 300 + n);
+    const std::vector<float> b = random_floats(n, 400 + n);
+    const double want_dot = ref.dot(a.data(), b.data(), n);
+    const double want_aps = ref.abs_prod_sum(a.data(), b.data(), n);
+    const double want_l1 = ref.l1(a.data(), n);
+    const double want_l2sq = ref.l2sq(a.data(), n);
+    const float want_max = ref.max_abs(a.data(), n);
+    for (Tier t : testable_tiers()) {
+      const Kernels& k = simd::kernels(t);
+      const char* tn = simd::tier_name(t);
+      // Bit-identical, not just close: compare the exact doubles.
+      EXPECT_EQ(k.dot(a.data(), b.data(), n), want_dot)
+          << tn << " dot n=" << n;
+      EXPECT_EQ(k.abs_prod_sum(a.data(), b.data(), n), want_aps)
+          << tn << " abs_prod_sum n=" << n;
+      EXPECT_EQ(k.l1(a.data(), n), want_l1) << tn << " l1 n=" << n;
+      EXPECT_EQ(k.l2sq(a.data(), n), want_l2sq) << tn << " l2sq n=" << n;
+      EXPECT_EQ(k.max_abs(a.data(), n), want_max) << tn << " max_abs n=" << n;
+    }
+  }
+}
+
+TEST(SimdCrossTier, QuantizeDequantize) {
+  for (std::size_t n : kSizes) {
+    std::vector<float> base = random_floats(n, 500 + n);
+    // Plant exact halfway values: q*inv lands on .5 boundaries where
+    // round-half-even and round-half-away disagree.
+    const float scale = 0.25f, inv = 4.0f;
+    for (std::size_t i = 0; i + 4 < n; i += 5) {
+      base[i] = 0.125f;       // 0.5 after inv -> must round to 1, not 0
+      base[i + 1] = -0.125f;  // -0.5 -> -1
+      base[i + 2] = 0.375f;   // 1.5 -> 2 (both rules agree)
+      base[i + 3] = 0.625f;   // 2.5 -> 3, not 2
+      base[i + 4] = -0.625f;  // -2.5 -> -3
+    }
+    // Reference: the seed scalar loop with std::round.
+    std::vector<float> want = base;
+    for (float& v : want) {
+      v = std::round(std::clamp(v * inv, -127.0f, 127.0f)) * scale;
+    }
+    for (Tier t : testable_tiers()) {
+      std::vector<float> got = base;
+      simd::kernels(t).quantize_dequantize(got.data(), scale, inv, n);
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+          << simd::tier_name(t) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdCrossTier, TopKScanKernels) {
+  for (std::size_t n : kSizes) {
+    if (n == 0) continue;
+    std::vector<float> grad = random_floats(n, 600 + n);
+    // Force threshold ties so the sequential tie budget is exercised.
+    const float threshold = 0.5f;
+    for (std::size_t i = 0; i < n; i += 3) grad[i] = i % 2 == 0 ? 0.5f : -0.5f;
+    std::vector<float> mags(n);
+    const Kernels& ref = simd::kernels(Tier::kScalar);
+    ref.abs_into(grad.data(), mags.data(), n);
+    const std::size_t want_gt = ref.count_gt(mags.data(), threshold, n);
+    std::vector<float> want_grad = grad;
+    const std::size_t want_ties =
+        ref.threshold_zero(want_grad.data(), mags.data(), threshold, 2, n);
+    for (Tier t : testable_tiers()) {
+      const Kernels& k = simd::kernels(t);
+      std::vector<float> got_mags(n);
+      k.abs_into(grad.data(), got_mags.data(), n);
+      EXPECT_EQ(std::memcmp(got_mags.data(), mags.data(), n * sizeof(float)),
+                0) << simd::tier_name(t) << " abs_into n=" << n;
+      EXPECT_EQ(k.count_gt(got_mags.data(), threshold, n), want_gt)
+          << simd::tier_name(t) << " count_gt n=" << n;
+      std::vector<float> got_grad = grad;
+      EXPECT_EQ(k.threshold_zero(got_grad.data(), got_mags.data(), threshold,
+                                 2, n), want_ties)
+          << simd::tier_name(t) << " threshold_zero ties n=" << n;
+      EXPECT_EQ(std::memcmp(got_grad.data(), want_grad.data(),
+                            n * sizeof(float)), 0)
+          << simd::tier_name(t) << " threshold_zero grad n=" << n;
+    }
+  }
+}
+
+TEST(SimdCrossTier, MaskZero) {
+  for (std::size_t n : kSizes) {
+    const std::vector<float> base = random_floats(n, 700 + n);
+    Rng rng(800 + n);
+    std::vector<std::uint8_t> mask(n);
+    for (auto& m : mask) m = rng.bernoulli(0.5) ? 1 : 0;
+    std::vector<float> want = base;
+    simd::kernels(Tier::kScalar).mask_zero(want.data(), mask.data(), n);
+    for (Tier t : testable_tiers()) {
+      std::vector<float> got = base;
+      simd::kernels(t).mask_zero(got.data(), mask.data(), n);
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+          << simd::tier_name(t) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdCrossTier, PackUnpackBits) {
+  for (std::size_t n : kSizes) {
+    Rng rng(900 + n);
+    std::vector<std::uint8_t> bytes(n);
+    for (auto& b : bytes) b = rng.bernoulli(0.5) ? 1 : 0;
+    const std::size_t packed = (n + 7) / 8;
+    // Reference: the seed per-bit loops.
+    std::vector<std::uint8_t> want_bits(packed, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bytes[i] != 0) {
+        want_bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      }
+    }
+    std::vector<std::uint8_t> want_bytes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      want_bytes[i] =
+          static_cast<std::uint8_t>((want_bits[i / 8] >> (i % 8)) & 1u);
+    }
+    for (Tier t : testable_tiers()) {
+      const Kernels& k = simd::kernels(t);
+      std::vector<std::uint8_t> got_bits(packed, 0xee);
+      k.pack_bits(bytes.data(), got_bits.data(), n);
+      EXPECT_EQ(got_bits, want_bits) << simd::tier_name(t) << " pack n=" << n;
+      std::vector<std::uint8_t> got_bytes(n, 0xee);
+      k.unpack_bits(want_bits.data(), got_bytes.data(), n);
+      EXPECT_EQ(got_bytes, want_bytes)
+          << simd::tier_name(t) << " unpack n=" << n;
+    }
+  }
+}
+
+TEST(SimdCrossTier, PackNormalizesNonZeroBytes) {
+  // pack_bits must treat any nonzero byte as a set bit, like the seed's
+  // `bits_[i] != 0` test — not just the value 1.
+  const std::size_t n = 70;
+  std::vector<std::uint8_t> bytes(n, 0);
+  for (std::size_t i = 0; i < n; i += 3) {
+    bytes[i] = static_cast<std::uint8_t>(1 + (i * 37) % 255);
+  }
+  std::vector<std::uint8_t> want((n + 7) / 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bytes[i] != 0) want[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  for (Tier t : testable_tiers()) {
+    std::vector<std::uint8_t> got((n + 7) / 8, 0);
+    simd::kernels(t).pack_bits(bytes.data(), got.data(), n);
+    EXPECT_EQ(got, want) << simd::tier_name(t);
+  }
+}
+
+TEST(GibRoundTrip, OddBitCountsAcrossTiers) {
+  for (std::size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u}) {
+    Rng rng(42 + n);
+    auto gib = osp::core::Gib::all_unimportant(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      gib.set_important(i, rng.bernoulli(0.4));
+    }
+    const std::vector<std::uint8_t> wire = gib.serialize();
+    EXPECT_EQ(wire.size(), gib.wire_bytes());
+    for (Tier t : testable_tiers()) {
+      simd::ScopedTier forced(t);
+      // Serialize in tier t, deserialize in every tier: the wire format
+      // is tier-independent.
+      EXPECT_EQ(gib.serialize(), wire) << simd::tier_name(t) << " n=" << n;
+      EXPECT_EQ(osp::core::Gib::deserialize(wire), gib)
+          << simd::tier_name(t) << " n=" << n;
+    }
+  }
+}
+
+TEST(SparsifyCrossTier, TopKAndRandomKMatchScalar) {
+  using osp::sync::CompressionMode;
+  for (std::size_t n : {9u, 64u, 257u, 1000u}) {
+    for (CompressionMode mode :
+         {CompressionMode::TopK, CompressionMode::RandomK}) {
+      std::vector<float> base = random_floats(n, 77 + n);
+      // Duplicate magnitudes force threshold ties in TopK.
+      if (n > 4) {
+        base[1] = 0.75f;
+        base[3] = -0.75f;
+        base[4] = 0.75f;
+      }
+      std::vector<float> want = base;
+      std::size_t want_kept = 0;
+      {
+        simd::ScopedTier forced(Tier::kScalar);
+        Rng rng(5);
+        want_kept = osp::sync::sparsify(want, mode, 0.25, rng);
+      }
+      for (Tier t : testable_tiers()) {
+        simd::ScopedTier forced(t);
+        std::vector<float> got = base;
+        Rng rng(5);
+        osp::sync::SparsifyScratch scratch;
+        const std::size_t kept = osp::sync::sparsify(
+            std::span<float>(got), mode, 0.25, rng, scratch);
+        EXPECT_EQ(kept, want_kept) << simd::tier_name(t) << " n=" << n;
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+            << simd::tier_name(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SerdeF32Into, ReadsIntoPresizedSpanAndValidatesLength) {
+  const std::vector<float> vals = random_floats(37, 9);
+  osp::util::serde::Writer w;
+  w.f32_vec(vals);
+  {
+    osp::util::serde::Reader r(w.data());
+    std::vector<float> out(vals.size());
+    r.f32_into(out);
+    EXPECT_EQ(std::memcmp(out.data(), vals.data(),
+                          vals.size() * sizeof(float)), 0);
+    EXPECT_TRUE(r.done());
+  }
+  {
+    // Wrong destination size must throw, not read out of step.
+    osp::util::serde::Reader r(w.data());
+    std::vector<float> out(vals.size() + 1);
+    EXPECT_THROW(r.f32_into(out), osp::util::CheckError);
+  }
+  {
+    // f32_into round-trips the same wire bytes f32_vec produces.
+    osp::util::serde::Reader r(w.data());
+    EXPECT_EQ(r.f32_vec(), vals);
+  }
+}
+
+TEST(CompressedName, ExactKeepPercentages) {
+  using osp::sync::CompressedBspSync;
+  using osp::sync::CompressionMode;
+  EXPECT_EQ(CompressedBspSync(CompressionMode::TopK, 0.125).name(),
+            "TopK(12.5%)");
+  EXPECT_EQ(CompressedBspSync(CompressionMode::TopK, 0.01).name(),
+            "TopK(1%)");
+  EXPECT_EQ(CompressedBspSync(CompressionMode::RandomK, 0.25, 1, true).name(),
+            "RandomK(25%)+EF");
+}
+
+}  // namespace
