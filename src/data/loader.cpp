@@ -1,5 +1,7 @@
 #include "data/loader.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace osp::data {
@@ -36,14 +38,26 @@ std::size_t ShardLoader::batches_per_epoch() const {
 
 Batch ShardLoader::batch(std::size_t epoch, std::size_t batch) const {
   OSP_CHECK(batch < batches_per_epoch(), "batch index out of range");
-  // Epoch-specific shuffle of the shard, derived from (seed, worker, epoch).
-  std::vector<std::size_t> order = indices_;
-  util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (worker_ + 1)) ^
-                (0xbf58476d1ce4e5b9ULL * (epoch + 1)));
-  rng.shuffle(order);
   const std::size_t begin = batch * batch_size_;
-  return dataset_->make_batch(
-      std::span<const std::size_t>{order}.subspan(begin, batch_size_));
+  std::vector<std::size_t> picked(batch_size_);
+  {
+    // Epoch-specific shuffle of the shard, derived from (seed, worker,
+    // epoch) — identical to shuffling afresh on every call, but memoized
+    // so only the first batch of an epoch pays the O(shard) shuffle. The
+    // lock covers the cache *and* the copy-out: a concurrent call for a
+    // different epoch may evict cached_order_ right after.
+    std::scoped_lock lock(mu_);
+    if (cached_epoch_ != epoch) {
+      cached_order_ = indices_;
+      util::Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (worker_ + 1)) ^
+                    (0xbf58476d1ce4e5b9ULL * (epoch + 1)));
+      rng.shuffle(cached_order_);
+      cached_epoch_ = epoch;
+    }
+    std::copy_n(cached_order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                batch_size_, picked.begin());
+  }
+  return dataset_->make_batch(picked);
 }
 
 }  // namespace osp::data

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -40,6 +41,12 @@ class ShardLoader {
   /// Produce the `batch`-th minibatch of epoch `epoch`. Batches within an
   /// epoch partition the shuffled shard; the shuffle depends only on
   /// (seed, worker, epoch) so iteration is stateless and reproducible.
+  ///
+  /// The per-epoch shuffled order is memoized, so after the first call of
+  /// an epoch, materialization is O(batch_size) instead of O(shard_size).
+  /// Thread-safe: the engine's async math pipeline can have a stale
+  /// (crash-abandoned) job and the worker's restarted job materializing
+  /// batches concurrently.
   [[nodiscard]] Batch batch(std::size_t epoch, std::size_t batch) const;
 
  private:
@@ -48,6 +55,13 @@ class ShardLoader {
   std::size_t batch_size_;
   std::uint64_t seed_;
   std::size_t worker_;
+  // Memoized per-epoch shuffle (guarded by mu_). kNoEpoch marks "empty";
+  // any real epoch evicts the previous one (workers walk epochs forward,
+  // revisiting at most the current epoch).
+  static constexpr std::size_t kNoEpoch = static_cast<std::size_t>(-1);
+  mutable std::mutex mu_;
+  mutable std::size_t cached_epoch_ = kNoEpoch;
+  mutable std::vector<std::size_t> cached_order_;
 };
 
 }  // namespace osp::data

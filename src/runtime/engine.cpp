@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 
 #include "nn/metrics.hpp"
@@ -30,10 +31,22 @@ Engine::Engine(const WorkloadSpec& spec, const EngineConfig& config,
   compute_model_.node = cluster_cfg.node;
   compute_model_.straggler_jitter = config.straggler_jitter;
 
-  // Proxy model + flat view. All workers share one scratch replica; their
-  // states live in flat vectors and are scattered in before each use.
+  // Proxy model + flat view. scratch_model_ is the dedicated *evaluation*
+  // replica (and block-layout authority); worker math runs on replicas_,
+  // a pool of identically-built models, so in-flight FP+BP jobs can
+  // overlap each other and any concurrent evaluation.
   scratch_model_ = spec.build_model(config.seed);
   flat_ = std::make_unique<nn::FlatModel>(scratch_model_);
+  replicas_ = std::make_unique<ReplicaPool>(spec.build_model, config.seed);
+  pool_ = &util::ThreadPool::global();
+  async_math_ = config.async_worker_math;
+  if (const char* env = std::getenv("OSP_ASYNC_MATH")) {
+    async_math_ = !(env[0] == '0' && env[1] == '\0');
+  }
+  // A single-thread pool cannot overlap anything: submitting jobs would
+  // only add handoff latency between the event loop and the one worker.
+  // Results are identical either way, so quietly take the serial path.
+  if (pool_->size() <= 1) async_math_ = false;
   const double total = static_cast<double>(flat_->total_params());
   block_bytes_.reserve(flat_->num_blocks());
   for (const nn::LayerBlockInfo& b : flat_->blocks()) {
@@ -67,12 +80,26 @@ Engine::Engine(const WorkloadSpec& spec, const EngineConfig& config,
   }
 
   ps_busy_until_.assign(cluster_cfg.num_ps, 0.0);
+  alive_count_ = config.num_workers;
   eval_stride_ = config.eval_every_samples > 0 ? config.eval_every_samples
                                                : spec.train->size();
   next_eval_at_samples_ = static_cast<double>(eval_stride_);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Join every math job the run left in flight (crash-abandoned jobs, and
+  // pending compute cut short by a virtual-time cap or a checkpoint halt)
+  // before the replicas and loaders they reference are destroyed. Joining
+  // steals still-queued jobs, and cancelled ones no-op, so this is cheap.
+  for (WorkerState& ws : workers_) {
+    if (ws.job == nullptr) continue;
+    ws.job->cancelled.store(true, std::memory_order_relaxed);
+    ws.job->handle.join();
+  }
+  for (const std::shared_ptr<MathJob>& job : abandoned_jobs_) {
+    job->handle.join();
+  }
+}
 
 const std::vector<nn::LayerBlockInfo>& Engine::blocks() const {
   return flat_->blocks();
@@ -381,10 +408,24 @@ void Engine::begin_compute(std::size_t w) {
     sim_.schedule_at(ws.pause_until, [this, w] { begin_compute(w); });
     return;
   }
-  // Gradients are computed against the parameters as of compute start;
-  // sync traffic (e.g. OSP's ICS correction) may update ws.params while
-  // this iteration is in flight without affecting its gradient.
-  ws.snapshot = ws.params;
+  // Every input of this iteration's real math is determined right here:
+  // the param snapshot (gradients are computed against the params as of
+  // compute start — sync traffic such as OSP's ICS correction may update
+  // ws.params mid-flight without affecting this gradient), the epoch, and
+  // the batch index. Package them into a job and, on the async path, start
+  // it on the thread pool immediately so it overlaps other workers' math
+  // and the event loop; the completion event joins it in on_compute_done.
+  auto job = std::make_shared<MathJob>();
+  job->worker = w;
+  job->epoch = ws.epoch;
+  job->batch_index = ws.iteration % ws.loader->batches_per_epoch();
+  job->is_qa = spec_->is_qa;
+  job->params = ws.params;
+  job->loader = ws.loader.get();
+  ws.job = job;
+  if (async_math_) {
+    job->handle = pool_->submit_task([this, job] { replicas_->execute(*job); });
+  }
   ws.compute_begin_time = sim_.now();
   const double t = compute_model_.batch_time(ws.batch_size,
                                              cluster_->speed_factor(w),
@@ -415,25 +456,25 @@ void Engine::on_compute_done(std::size_t w, double charged_time) {
                 TracePhase::kCompute});
   }
 
-  // Real math: materialize the worker's batch and run FP+BP on its params.
-  const std::size_t bpe = ws.loader->batches_per_epoch();
-  const std::size_t batch_idx = ws.iteration % bpe;
-  const data::Batch batch = ws.loader->batch(ws.epoch, batch_idx);
+  // Join the real math for this iteration. Async path: the job has been
+  // running on the pool since begin_compute — if it is still queued the
+  // join steals and runs it right here, so the wait is never longer than
+  // one job. Serial path: execute it now, exactly where the seed did. All
+  // side effects below stay on the event loop, in event order, so the two
+  // paths (and any thread count) produce bit-identical results.
+  OSP_CHECK(ws.job != nullptr, "compute completion without a math job");
+  const std::shared_ptr<MathJob> job = std::move(ws.job);
+  if (async_math_) {
+    job->handle.join();
+  } else {
+    replicas_->execute(*job);
+  }
+  std::swap(ws.grad, job->grad);
 
-  flat_->scatter_params(ws.snapshot);
-  scratch_model_.zero_grad();
-  const tensor::Tensor logits = scratch_model_.forward(batch.inputs, true);
-  nn::LossResult loss = spec_->is_qa
-                            ? nn::span_cross_entropy(logits, batch.starts,
-                                                     batch.ends)
-                            : nn::softmax_cross_entropy(logits, batch.labels);
-  scratch_model_.backward(loss.grad_logits);
-  flat_->gather_grads(ws.grad);
-
-  ws.epoch_loss_sum += loss.loss;
+  ws.epoch_loss_sum += job->loss;
   ws.epoch_loss_count += 1;
   ws.grad_ready_time = sim_.now();
-  samples_processed_ += static_cast<double>(batch.size());
+  samples_processed_ += static_cast<double>(job->samples);
   maybe_evaluate(/*force=*/false);
 
   sync_->on_gradient_ready(w);
@@ -484,12 +525,21 @@ bool Engine::worker_alive(std::size_t w) const {
   return !workers_.at(w).crashed;
 }
 
-std::size_t Engine::num_alive() const {
-  std::size_t n = 0;
-  for (const WorkerState& ws : workers_) {
-    if (!ws.crashed) ++n;
+std::size_t Engine::num_alive() const { return alive_count_; }
+
+void Engine::cancel_math_job(std::size_t w) {
+  WorkerState& ws = workers_[w];
+  if (ws.job == nullptr) return;
+  ws.job->cancelled.store(true, std::memory_order_relaxed);
+  if (async_math_ && !ws.job->handle.ready()) {
+    // Still owed a join before teardown; drop finished strays first so the
+    // list stays bounded by pool concurrency, not crash count.
+    std::erase_if(abandoned_jobs_, [](const std::shared_ptr<MathJob>& j) {
+      return j->handle.ready();
+    });
+    abandoned_jobs_.push_back(ws.job);
   }
-  return n;
+  ws.job.reset();
 }
 
 void Engine::worker_transfer(std::size_t owner,
@@ -651,12 +701,14 @@ void Engine::crash_worker(std::size_t w, double restart_after) {
   }
   ws.parked = false;  // a dead worker cannot hold the drain barrier
   ++fault_stats_.worker_crashes;
+  --alive_count_;
   if (config_.record_trace) {
     trace_.add_counter(sim_.now(), "alive_workers",
                        static_cast<double>(num_alive()));
   }
   ++ws.compute_epoch;  // cancels the in-flight compute completion
   ws.compute_pending = false;
+  cancel_math_job(w);  // its gradient will never be consumed
   for (sim::FlowId f : ws.flows) {
     cluster_->network().cancel_flow(f);
   }
@@ -686,6 +738,7 @@ void Engine::restart_worker(std::size_t w) {
                 TracePhase::kDowntime});
   }
   ws.crashed = false;
+  ++alive_count_;
   if (config_.record_trace) {
     trace_.add_counter(sim_.now(), "alive_workers",
                        static_cast<double>(num_alive()));
@@ -912,6 +965,9 @@ void Engine::restore_checkpoint(const RunCheckpoint& ckpt) {
     ws.pause_until = wc.pause_until;
     ws.restart_at = wc.restart_at;
   }
+  alive_count_ = static_cast<std::size_t>(
+      std::count_if(workers_.begin(), workers_.end(),
+                    [](const WorkerState& ws) { return !ws.crashed; }));
   {
     util::serde::Reader r(ckpt.sync_state);
     sync_->load_state(r);

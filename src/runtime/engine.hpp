@@ -45,6 +45,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/sync_model.hpp"
+#include "runtime/worker_math.hpp"
 #include "runtime/workload.hpp"
 #include "sim/cluster.hpp"
 #include "sim/faults.hpp"
@@ -78,6 +79,13 @@ struct EngineConfig {
   /// heterogeneous workers finish compute in near-equal time; aggregation
   /// then weights each gradient by its sample share (§2.1.1).
   bool balance_batch_to_speed = false;
+  /// Overlap workers' real FP+BP in wall-clock: each iteration's math is
+  /// enqueued on the thread pool at compute start and joined at the
+  /// virtual-time completion event (see runtime/worker_math.hpp). Results
+  /// are bit-identical either way and at any OSP_NUM_THREADS; disable to
+  /// get the serial reference path (or set OSP_ASYNC_MATH=0, which
+  /// overrides this flag for A/B timing without code changes).
+  bool async_worker_math = true;
   /// Deterministic fault scenario executed during the run (empty = none).
   sim::FaultSchedule faults;
   /// Periodic run-level checkpointing / resume (see runtime/checkpoint.hpp;
@@ -234,13 +242,18 @@ class Engine {
     return telemetry_;
   }
 
+  /// True when this run overlaps worker math on the thread pool (config
+  /// flag and OSP_ASYNC_MATH resolved); the serial path otherwise.
+  [[nodiscard]] bool async_math() const { return async_math_; }
+  /// Model replicas the math pipeline has materialized (1 on the serial
+  /// path; up to pool-threads + 1 under fan-out). Observability/tests.
+  [[nodiscard]] std::size_t math_replicas() const {
+    return replicas_->replicas_built();
+  }
+
  private:
   struct WorkerState {
     std::vector<float> params;      // flat local parameters (live)
-    std::vector<float> snapshot;    // params as of compute start: gradients
-                                    // are computed against these, so ICS
-                                    // corrections landing mid-compute only
-                                    // affect the *next* iteration (§4.2)
     std::vector<float> grad;        // flat last gradient
     std::unique_ptr<data::ShardLoader> loader;
     std::size_t batch_size = 0;
@@ -267,10 +280,19 @@ class Engine {
     double compute_end_time = 0.0;
     double pending_charge = 0.0;    // BCT to record at completion
     std::vector<sim::FlowId> flows;  // in-flight worker-owned transfers
+    // In-flight math job for the current iteration: snapshot of params as
+    // of compute start (gradients are computed against these, so ICS
+    // corrections landing mid-compute only affect the *next* iteration,
+    // §4.2), submitted at begin_compute, joined at the completion event.
+    std::shared_ptr<MathJob> job;
   };
 
   void begin_compute(std::size_t w);
   void on_compute_done(std::size_t w, double charged_time);
+  /// Abandon worker w's in-flight math job (crash / teardown): flags it
+  /// cancelled and parks the handle so teardown can join it before the
+  /// replicas and loaders it references die.
+  void cancel_math_job(std::size_t w);
   void schedule_compute_completion(std::size_t w, double end_time);
   void maybe_evaluate(bool force);
   void evaluate_now();
@@ -305,8 +327,21 @@ class Engine {
   std::unique_ptr<sim::Cluster> cluster_;
   sim::ComputeModel compute_model_;
 
-  nn::Sequential scratch_model_;          // shared replica for real math
+  // Dedicated evaluation replica: evaluate_now scatters the global params
+  // into this model, so it must never be shared with in-flight math jobs
+  // (those run on replicas_). flat_ also serves as the block-layout
+  // authority for the sync-facing accessors.
+  nn::Sequential scratch_model_;
   std::unique_ptr<nn::FlatModel> flat_;
+  // Replica pool + pool handle for the async worker-math pipeline. The
+  // pool pointer is pinned at construction so a mid-run ScopedGlobal swap
+  // cannot split submissions and joins across pools.
+  std::unique_ptr<ReplicaPool> replicas_;
+  util::ThreadPool* pool_ = nullptr;
+  bool async_math_ = true;
+  // Crash-abandoned jobs still owed a join before teardown (pruned of
+  // already-finished handles opportunistically).
+  std::vector<std::shared_ptr<MathJob>> abandoned_jobs_;
   std::vector<double> block_bytes_;
 
   std::vector<float> global_params_;
@@ -332,6 +367,9 @@ class Engine {
   std::map<sim::FlowId, PendingFlow> pending_flows_;
   sim::FaultStats fault_stats_;
   std::vector<double> ps_busy_until_;
+  // Live (non-crashed) workers, maintained on crash/restart so num_alive()
+  // is O(1) — it is called per round in several hot paths.
+  std::size_t alive_count_ = 0;
 
   double samples_processed_ = 0.0;
   double next_eval_at_samples_ = 0.0;

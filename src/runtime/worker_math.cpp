@@ -1,0 +1,65 @@
+#include "runtime/worker_math.hpp"
+
+#include "nn/loss.hpp"
+#include "util/check.hpp"
+
+namespace osp::runtime {
+
+ReplicaPool::ReplicaPool(std::function<nn::Sequential(std::uint64_t)> build,
+                         std::uint64_t seed)
+    : build_(std::move(build)), seed_(seed) {
+  OSP_CHECK(build_ != nullptr, "replica pool needs a model builder");
+}
+
+ReplicaPool::~ReplicaPool() = default;
+
+std::unique_ptr<ReplicaPool::Replica> ReplicaPool::acquire() {
+  {
+    std::scoped_lock lock(mu_);
+    if (!free_.empty()) {
+      auto r = std::move(free_.back());
+      free_.pop_back();
+      return r;
+    }
+    ++built_;
+  }
+  // Build outside the lock: model construction is the expensive part and
+  // the builder is a pure function of the seed.
+  auto r = std::make_unique<Replica>();
+  r->model = build_(seed_);
+  r->flat = std::make_unique<nn::FlatModel>(r->model);
+  return r;
+}
+
+void ReplicaPool::release(std::unique_ptr<Replica> r) {
+  std::scoped_lock lock(mu_);
+  free_.push_back(std::move(r));
+}
+
+std::size_t ReplicaPool::replicas_built() const {
+  std::scoped_lock lock(mu_);
+  return built_;
+}
+
+void ReplicaPool::execute(MathJob& job) {
+  if (job.cancelled.load(std::memory_order_relaxed)) return;
+  OSP_CHECK(job.loader != nullptr, "math job has no loader");
+  std::unique_ptr<Replica> r = acquire();
+
+  const data::Batch batch = job.loader->batch(job.epoch, job.batch_index);
+  r->flat->scatter_params(job.params);
+  r->model.zero_grad();
+  const tensor::Tensor logits = r->model.forward(batch.inputs, true);
+  const nn::LossResult loss =
+      job.is_qa ? nn::span_cross_entropy(logits, batch.starts, batch.ends)
+                : nn::softmax_cross_entropy(logits, batch.labels);
+  r->model.backward(loss.grad_logits);
+  job.grad.resize(r->flat->total_params());
+  r->flat->gather_grads(job.grad);
+  job.loss = loss.loss;
+  job.samples = batch.size();
+
+  release(std::move(r));
+}
+
+}  // namespace osp::runtime

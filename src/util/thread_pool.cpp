@@ -19,7 +19,49 @@ std::size_t default_pool_size() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+thread_local bool t_in_tracked_task = false;
+
 }  // namespace
+
+namespace detail {
+
+void TaskState::run() {
+  int expected = kQueued;
+  if (!status.compare_exchange_strong(expected, kRunning,
+                                      std::memory_order_acq_rel)) {
+    return;  // someone else claimed it (worker vs. stealing joiner)
+  }
+  const bool was_in_task = t_in_tracked_task;
+  t_in_tracked_task = true;
+  fn();
+  t_in_tracked_task = was_in_task;
+  if (tracked != nullptr) {
+    tracked->fetch_sub(1, std::memory_order_relaxed);
+  }
+  status.store(kDone, std::memory_order_release);
+  {
+    std::scoped_lock lock(mu);
+    done = true;
+  }
+  done_cv.notify_all();
+}
+
+}  // namespace detail
+
+bool TaskHandle::ready() const {
+  return state_ != nullptr &&
+         state_->status.load(std::memory_order_acquire) ==
+             detail::TaskState::kDone;
+}
+
+void TaskHandle::join() {
+  if (state_ == nullptr) return;
+  // Steal: if the task is still queued, claim and run it here. The pool's
+  // queued wrapper later finds the claim CAS failing and does nothing.
+  state_->run();
+  std::unique_lock lock(state_->mu);
+  state_->done_cv.wait(lock, [&] { return state_->done; });
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = default_pool_size();
@@ -48,6 +90,18 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   task_available_.notify_one();
 }
+
+TaskHandle ThreadPool::submit_task(std::function<void()> task) {
+  OSP_CHECK(task != nullptr, "null task");
+  auto state = std::make_shared<detail::TaskState>();
+  state->fn = std::move(task);
+  state->tracked = &tracked_in_flight_;
+  tracked_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  submit([state] { state->run(); });
+  return TaskHandle(std::move(state));
+}
+
+bool ThreadPool::in_task() { return t_in_tracked_task; }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);

@@ -1,4 +1,5 @@
-// A fixed-size worker pool with an OpenMP-style parallel_for.
+// A fixed-size worker pool with an OpenMP-style parallel_for and a
+// joinable task-submission API.
 //
 // The tensor kernels (matmul, conv, the rank-2 helpers) and the vec_math
 // aggregation kernels decompose their iteration space into chunks that the
@@ -8,6 +9,22 @@
 // job record — no per-chunk std::function, no per-chunk heap allocation.
 // The pool is created once and reused; tasks never allocate threads on the
 // hot path.
+//
+// submit_task() is the coarse-grained sibling: it enqueues one independent
+// unit of work (the engine's per-worker FP+BP jobs) and hands back a
+// TaskHandle the producer joins later. Joining a task that has not started
+// yet *steals* it — the joining thread claims and runs it inline instead
+// of blocking on a busy queue, so a consumer is never stuck behind
+// unrelated work.
+//
+// Saturation heuristic: when a tracked task itself calls parallel_for
+// while enough tracked tasks are in flight to occupy every pool worker,
+// the loop runs inline on the calling thread. Outer task-level parallelism
+// already owns all the cores at that point; fanning the inner kernel out
+// would only queue helper chunks behind other tasks and pay scheduling
+// overhead for zero extra concurrency. Kernel results are bit-identical
+// either way (see parallel_for's determinism contract), so the heuristic
+// affects wall-clock only.
 #pragma once
 
 #include <atomic>
@@ -49,7 +66,51 @@ struct ParallelForJob {
   std::size_t completed = 0;  // guarded by mu
 };
 
+/// State shared between a submitted task, the pool worker that may run it,
+/// and the TaskHandle that joins it. `status` moves queued → running →
+/// done; the queued → running transition is a CAS so exactly one thread
+/// (a pool worker or a stealing joiner) executes the callable.
+struct TaskState {
+  enum : int { kQueued = 0, kRunning = 1, kDone = 2 };
+
+  std::function<void()> fn;
+  std::atomic<std::size_t>* tracked = nullptr;  // pool's in-flight counter
+  std::atomic<int> status{kQueued};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  bool done = false;  // guarded by mu
+
+  /// Claim and execute (at most once); marks done and notifies joiners.
+  void run();
+};
+
 }  // namespace detail
+
+/// Join handle for one submit_task() call. Default-constructed handles are
+/// empty; joining one is a no-op.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// True once the task has finished executing (never true for a handle
+  /// that was default-constructed).
+  [[nodiscard]] bool ready() const;
+
+  /// Block until the task has run. If it is still sitting in the queue the
+  /// calling thread claims and runs it inline (work stealing) — the join
+  /// latency is then the task's own runtime, not the queue depth.
+  void join();
+
+ private:
+  friend class ThreadPool;
+  explicit TaskHandle(std::shared_ptr<detail::TaskState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TaskState> state_;
+};
 
 class ThreadPool {
  public:
@@ -65,6 +126,21 @@ class ThreadPool {
 
   /// Enqueue a task; returns immediately. Use wait_idle() to join.
   void submit(std::function<void()> task);
+
+  /// Enqueue a *tracked* task and return a handle the producer can join.
+  /// Tracked tasks count toward tasks_in_flight() (the saturation
+  /// heuristic's input) and set the in_task() flag while running.
+  [[nodiscard]] TaskHandle submit_task(std::function<void()> task);
+
+  /// Tracked tasks submitted but not yet finished (approximate — callers
+  /// use it only as a load heuristic).
+  [[nodiscard]] std::size_t tasks_in_flight() const {
+    return tracked_in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the calling thread is executing a tracked task (including
+  /// a task stolen by TaskHandle::join).
+  [[nodiscard]] static bool in_task();
 
   /// Block until every submitted task has finished.
   void wait_idle();
@@ -83,6 +159,12 @@ class ThreadPool {
     if (n == 0) return;
     grain = std::max<std::size_t>(grain, 1);
     if (n <= grain || size() <= 1) {
+      fn(0, n);
+      return;
+    }
+    // Saturation heuristic: a tracked task fanning out while every worker
+    // already has (or is queued) a tracked task would gain no concurrency.
+    if (in_task() && tasks_in_flight() >= size()) {
       fn(0, n);
       return;
     }
@@ -129,6 +211,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::atomic<std::size_t> tracked_in_flight_{0};
 };
 
 }  // namespace osp::util

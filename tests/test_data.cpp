@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "data/loader.hpp"
 #include "data/synthetic_image.hpp"
 #include "data/synthetic_qa.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace osp::data {
 namespace {
@@ -240,6 +242,68 @@ TEST(ShardLoader, RejectsBatchIndexOutOfRange) {
   SyntheticImageDataset ds(small_image_config());
   ShardLoader loader(ds, 0, 2, 8, 5);
   EXPECT_THROW((void)loader.batch(0, 4), util::CheckError);
+}
+
+TEST(ShardLoader, MemoizedOrderMatchesFreshShuffle) {
+  // Regression for the memoized per-epoch order: every batch must equal
+  // what a from-scratch shuffle of the shard produces — the cache is a
+  // pure optimization, derived from the same (seed, worker, epoch) RNG
+  // stream as the pre-memoization implementation.
+  SyntheticImageDataset ds(small_image_config());
+  const std::size_t worker = 1, num_workers = 2, batch_size = 8;
+  const std::uint64_t seed = 5;
+  ShardLoader loader(ds, worker, num_workers, batch_size, seed);
+  for (std::size_t epoch = 0; epoch < 3; ++epoch) {
+    std::vector<std::size_t> order = shard_indices(64, worker, num_workers);
+    util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (worker + 1)) ^
+                  (0xbf58476d1ce4e5b9ULL * (epoch + 1)));
+    rng.shuffle(order);
+    for (std::size_t b = 0; b < loader.batches_per_epoch(); ++b) {
+      const std::vector<std::size_t> picked(
+          order.begin() + static_cast<std::ptrdiff_t>(b * batch_size),
+          order.begin() + static_cast<std::ptrdiff_t>((b + 1) * batch_size));
+      const Batch expected = ds.make_batch(picked);
+      const Batch got = loader.batch(epoch, b);
+      ASSERT_EQ(got.inputs.numel(), expected.inputs.numel());
+      for (std::size_t i = 0; i < got.inputs.numel(); ++i) {
+        ASSERT_EQ(got.inputs[i], expected.inputs[i])
+            << "epoch " << epoch << " batch " << b;
+      }
+      EXPECT_EQ(got.labels, expected.labels);
+    }
+  }
+}
+
+TEST(ShardLoader, AccessOrderDoesNotChangeBatches) {
+  // Interleaving epochs (which evicts the cached order back and forth,
+  // exactly what a crash-abandoned job racing a restarted worker does)
+  // must produce the same batches as walking epochs sequentially.
+  SyntheticImageDataset ds(small_image_config());
+  ShardLoader sequential(ds, 0, 2, 8, 5);
+  ShardLoader interleaved(ds, 0, 2, 8, 5);
+  const std::size_t nb = sequential.batches_per_epoch();
+
+  std::vector<Batch> expected;
+  for (std::size_t e = 0; e < 2; ++e) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      expected.push_back(sequential.batch(e, b));
+    }
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    // epoch 1 first, then revisit epoch 0, then epoch 1 again.
+    const Batch e1 = interleaved.batch(1, b);
+    const Batch e0 = interleaved.batch(0, b);
+    const Batch e1_again = interleaved.batch(1, b);
+    const Batch& want0 = expected[b];
+    const Batch& want1 = expected[nb + b];
+    for (std::size_t i = 0; i < want0.inputs.numel(); ++i) {
+      ASSERT_EQ(e0.inputs[i], want0.inputs[i]) << "batch " << b;
+      ASSERT_EQ(e1.inputs[i], want1.inputs[i]) << "batch " << b;
+      ASSERT_EQ(e1_again.inputs[i], want1.inputs[i]) << "batch " << b;
+    }
+    EXPECT_EQ(e0.labels, want0.labels);
+    EXPECT_EQ(e1.labels, want1.labels);
+  }
 }
 
 }  // namespace

@@ -9,7 +9,9 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/parallel.hpp"
@@ -570,6 +572,121 @@ TEST(ParallelMap, GlobalPoolOverload) {
   const auto out = parallel_map(16, [](std::size_t i) { return 2 * i; });
   ASSERT_EQ(out.size(), 16u);
   EXPECT_EQ(out[15], 30u);
+}
+
+TEST(ThreadPoolTasks, SubmitTaskRunsAndJoinIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  TaskHandle h = pool.submit_task([&ran] { ran.fetch_add(1); });
+  ASSERT_TRUE(h.valid());
+  h.join();
+  EXPECT_TRUE(h.ready());
+  EXPECT_EQ(ran.load(), 1);
+  h.join();  // joining a finished task is a no-op
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTasks, DefaultHandleIsEmpty) {
+  TaskHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.ready());
+  h.join();  // no-op, must not block or crash
+}
+
+TEST(ThreadPoolTasks, JoinStealsQueuedTask) {
+  // Occupy the only worker, then join a task that is still queued: the
+  // joining (main) thread must claim and run it inline instead of waiting
+  // for the queue to drain.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::thread::id ran_on{};
+  TaskHandle h =
+      pool.submit_task([&ran_on] { ran_on = std::this_thread::get_id(); });
+  h.join();  // worker is blocked — this must steal
+  EXPECT_TRUE(h.ready());
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTasks, TasksInFlightCountsSubmittedUntilDone) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_in_flight(), 0u);
+  std::atomic<bool> release{false};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(pool.submit_task([&release] {
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  EXPECT_EQ(pool.tasks_in_flight(), 4u);
+  release.store(true);
+  for (TaskHandle& h : handles) h.join();
+  EXPECT_EQ(pool.tasks_in_flight(), 0u);
+}
+
+TEST(ThreadPoolTasks, InTaskFlagTracksTrackedExecution) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::in_task());
+  bool inside = false;
+  TaskHandle h =
+      pool.submit_task([&inside] { inside = ThreadPool::in_task(); });
+  h.join();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(ThreadPool::in_task());  // restored after a stolen join too
+}
+
+TEST(ThreadPoolTasks, SaturatedTasksRunParallelForInline) {
+  // With at least as many tracked tasks in flight as pool workers, a
+  // parallel_for issued from inside a tracked task must run inline (one
+  // fn(0, n) call on the calling thread): outer task-level parallelism
+  // already owns every core. Two spinning blocker tasks pin
+  // tasks_in_flight() >= size() for the whole probe, and the probe task is
+  // joined while queued, so the main thread steals and runs it as a
+  // tracked task deterministically.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::vector<TaskHandle> blockers;
+  for (int t = 0; t < 2; ++t) {
+    blockers.push_back(pool.submit_task([&release] {
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  std::atomic<int> calls{0};
+  std::atomic<bool> one_chunk_full_range{false};
+  std::atomic<bool> on_caller_thread{false};
+  TaskHandle probe = pool.submit_task([&] {
+    const std::thread::id self = std::this_thread::get_id();
+    pool.parallel_for(
+        8192,
+        [&](std::size_t b, std::size_t e) {
+          calls.fetch_add(1);
+          one_chunk_full_range.store(b == 0 && e == 8192);
+          on_caller_thread.store(std::this_thread::get_id() == self);
+        },
+        1);
+  });
+  probe.join();  // stolen: runs inline on this thread, under saturation
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_TRUE(one_chunk_full_range.load());
+  EXPECT_TRUE(on_caller_thread.load());
+  release.store(true);
+  for (TaskHandle& h : blockers) h.join();
+}
+
+TEST(ThreadPoolTasks, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(pool.submit_task([&count] { count.fetch_add(1); }));
+  }
+  for (TaskHandle& h : handles) h.join();
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_EQ(pool.tasks_in_flight(), 0u);
 }
 
 }  // namespace
