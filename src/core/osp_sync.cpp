@@ -4,7 +4,6 @@
 
 #include "core/pgp.hpp"
 #include "runtime/engine.hpp"
-#include "sync/sharding.hpp"
 #include "util/check.hpp"
 #include "util/serde.hpp"
 #include "util/vec_math.hpp"
@@ -45,8 +44,17 @@ void OspSync::attach(runtime::Engine& eng) {
   SyncModel::attach(eng);
   gib_ = Gib::all_important(eng.num_blocks());
   num_ps_ = eng.cluster().num_ps();
-  block_to_ps_ =
-      sync::assign_blocks_to_shards(eng.all_block_bytes(), num_ps_);
+  part_ = kv::byte_balanced_partition(eng.all_block_bytes(), num_ps_);
+  tx_.bind(eng);
+  {
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> numels;
+    for (const auto& b : eng.blocks()) {
+      offsets.push_back(b.offset);
+      numels.push_back(b.numel);
+    }
+    store_.init(offsets, numels);
+  }
 
   IcsBudgetParams p;
   // §6.1: with P parameter servers the ICS drains through P independent
@@ -109,14 +117,31 @@ double OspSync::u_max() const { return tuner_->u_max(); }
 
 double OspSync::ps_bytes(const Gib& gib, std::size_t ps,
                          bool important) const {
+  // Ascending-key accumulation via the KV selection helper — the same
+  // float order the pre-KV implementation used (the goldens pin it).
+  const auto& bytes = eng().all_block_bytes();
+  std::vector<std::uint8_t> keep(bytes.size(), 0);
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    keep[b] = part_.owner[b] == ps && gib.important(b) == important ? 1 : 0;
+  }
+  return kv::selected_bytes(keep, bytes);
+}
+
+kv::KvMessage OspSync::shard_message(kv::Op op, std::uint32_t sender,
+                                     std::uint64_t round, std::size_t ps,
+                                     const Gib& gib, bool important) const {
+  kv::KvMessage m;
+  m.begin(op, sender, round, {});
   const auto& bytes = eng().all_block_bytes();
   double total = 0.0;
   for (std::size_t b = 0; b < bytes.size(); ++b) {
-    if (block_to_ps_[b] == ps && gib.important(b) == important) {
+    if (part_.owner[b] == ps && gib.important(b) == important) {
+      m.keys.push_back(static_cast<kv::Key>(b));
       total += bytes[b];
     }
   }
-  return total;
+  m.set_accounting(total);
+  return m;
 }
 
 Gib OspSync::restrict_to_ps(const Gib& gib, std::size_t ps,
@@ -126,21 +151,22 @@ Gib OspSync::restrict_to_ps(const Gib& gib, std::size_t ps,
                                 : Gib::all_important(gib.size());
   for (std::size_t b = 0; b < gib.size(); ++b) {
     const bool selected =
-        block_to_ps_[b] == ps && gib.important(b) == want_important;
+        part_.owner[b] == ps && gib.important(b) == want_important;
     if (selected) out.set_important(b, encode_as_important);
   }
   return out;
 }
 
 void OspSync::on_gradient_ready(std::size_t worker) {
-  runtime::Engine& e = eng();
   const std::uint64_t r = round_ + 1;
   rs_awaiting_[worker] = true;
   rs_awaiting_round_[worker] = r;
   for (std::size_t p = 0; p < num_ps_; ++p) {
-    const double bytes = ps_bytes(gib_, p, /*important=*/true);
-    e.worker_transfer(worker, e.cluster().route_to_ps(worker, p), bytes,
-                      [this, r, worker] { on_rs_push_arrived(r, worker); });
+    const kv::KvMessage m =
+        shard_message(kv::Op::kPush, static_cast<std::uint32_t>(worker), r,
+                      p, gib_, /*important=*/true);
+    tx_.push(worker, p, m, /*owned=*/true,
+             [this, r, worker] { on_rs_push_arrived(r, worker); });
   }
   arm_rs_timer();
 }
@@ -291,6 +317,13 @@ void OspSync::close_rs() {
 
   // (b) Step the important blocks of the global model.
   e.apply_global_step_blocks(agg_, mask_from_gib(gib_, true));
+  {
+    std::vector<std::uint8_t> stepped(gib_.size(), 0);
+    for (std::size_t b = 0; b < gib_.size(); ++b) {
+      stepped[b] = gib_.important(b) ? 1 : 0;
+    }
+    store_.bump_selected(stepped);
+  }
 
   // (c) Asynchronous GIB calculation for the next round.
   const Gib round_gib = gib_;
@@ -321,17 +354,21 @@ void OspSync::close_rs() {
   // then the RS responses carrying the shard's updated important blocks +
   // the new GIB.
   for (std::size_t p = 0; p < num_ps_; ++p) {
-    const double important = ps_bytes(round_gib, p, /*important=*/true);
-    const double response_bytes =
-        important + static_cast<double>(gib_.wire_bytes());
+    // The response carries the shard's updated important blocks, with the
+    // next round's GIB piggybacked in the meta channel (§4.1's PushGIB).
+    kv::KvMessage resp =
+        shard_message(kv::Op::kPullResponse, static_cast<std::uint32_t>(p),
+                      this_round, p, round_gib, /*important=*/true);
+    store_.stamp_versions(resp);
+    resp.meta_bytes += static_cast<double>(gib_.wire_bytes());
+    const double important = resp.value_bytes;
     e.ps_submit(
         e.ps_apply_delay(important, 3.0),
-        [this, p, response_bytes, round_gib, lr, recipients] {
-          runtime::Engine& en = eng();
-          for (std::size_t w = 0; w < en.num_workers(); ++w) {
+        [this, p, resp, round_gib, lr, recipients] {
+          for (std::size_t w = 0; w < eng().num_workers(); ++w) {
             if (!recipients[w]) continue;
-            en.worker_transfer(
-                w, en.cluster().route_from_ps(w, p), response_bytes,
+            tx_.respond(
+                w, p, resp, /*owned=*/true,
                 [this, w, p, round_gib, lr] {
                   runtime::Engine& e2 = eng();
                   if (!e2.worker_alive(w) || rs_pending_[w] == 0) return;
@@ -368,8 +405,12 @@ void OspSync::catch_up(std::size_t worker) {
   runtime::Engine& e = eng();
   e.record_catch_up_pull();
   ++e.telemetry_round(round_).retries;
-  e.worker_transfer(worker, e.cluster().route_from_ps(worker),
-                    e.model_bytes(), [this, worker] {
+  // Full-model resync pull: every segment, current versions.
+  kv::KvMessage pull;
+  pull.begin(kv::Op::kPullResponse, 0, round_, store_.key_range());
+  store_.stamp_versions(pull);
+  pull.set_accounting(e.model_bytes());
+  tx_.respond(worker, 0, pull, /*owned=*/true, [this, worker] {
                       runtime::Engine& e2 = eng();
                       if (!e2.worker_alive(worker) || !rs_awaiting_[worker])
                         return;
@@ -449,14 +490,15 @@ void OspSync::start_ics_round(std::uint64_t round, const Gib& gib,
     }
   }
   for (std::size_t p = 0; p < num_ps_; ++p) {
-    const double push_bytes = ps_bytes(gib, p, /*important=*/false);
-    if (push_bytes <= 0.0) continue;
+    kv::KvMessage m = shard_message(kv::Op::kPush, 0, round, p, gib,
+                                    /*important=*/false);
+    if (m.value_bytes <= 0.0) continue;
     for (std::size_t w = 0; w < e.num_workers(); ++w) {
       if (!members[w]) continue;
-      e.worker_transfer(w, e.cluster().route_to_ps(w, p), push_bytes,
-                        [this, round, p, w] {
-                          on_ics_push_arrived(round, p, w);
-                        });
+      m.sender = static_cast<std::uint32_t>(w);
+      tx_.push(w, p, m, /*owned=*/true, [this, round, p, w] {
+        on_ics_push_arrived(round, p, w);
+      });
     }
   }
   if (timeouts().ics_timeout_s > 0.0) {
@@ -517,18 +559,27 @@ void OspSync::check_ics_round(std::uint64_t round) {
         restrict_to_ps(it->gib, p, /*want_important=*/false,
                        /*encode_as_important=*/false);
     e.apply_global_step_blocks(it->grad, mask_from_gib(shard_view, false));
+    {
+      // The correction stepped this shard's unimportant blocks.
+      std::vector<std::uint8_t> stepped(shard_view.size(), 0);
+      for (std::size_t b = 0; b < shard_view.size(); ++b) {
+        stepped[b] = shard_view.important(b) ? 0 : 1;
+      }
+      store_.bump_selected(stepped);
+    }
 
-    const double response_bytes =
-        ps_bytes(it->gib, p, /*important=*/false);
+    kv::KvMessage resp =
+        shard_message(kv::Op::kPullResponse, static_cast<std::uint32_t>(p),
+                      round, p, it->gib, /*important=*/false);
+    store_.stamp_versions(resp);
     const std::vector<bool> members = it->members;
     e.ps_submit(
-        e.ps_apply_delay(response_bytes, 3.0),
-        [this, round, p, shard_view, response_bytes, members] {
+        e.ps_apply_delay(resp.value_bytes, 3.0),
+        [this, round, p, shard_view, resp, members] {
           runtime::Engine& en = eng();
           for (std::size_t w = 0; w < en.num_workers(); ++w) {
             if (!members[w] || !en.worker_alive(w)) continue;
-            en.worker_transfer(w, en.cluster().route_from_ps(w, p),
-                               response_bytes,
+            tx_.respond(w, p, resp, /*owned=*/true,
                                [this, w, round, shard_view] {
                                  runtime::Engine& e2 = eng();
                                  if (!e2.worker_alive(w)) return;
@@ -620,7 +671,7 @@ void OspSync::on_epoch_complete(std::size_t epoch, double mean_loss) {
 }
 
 void OspSync::save_state(util::serde::Writer& w) const {
-  w.u8(1);  // OSP state version
+  w.u8(2);  // OSP state version (2: KV core)
   w.u64(round_);
   const std::vector<std::uint8_t> gib_bytes = gib_.serialize();
   w.bytes(gib_bytes);
@@ -648,11 +699,12 @@ void OspSync::save_state(util::serde::Writer& w) const {
   w.bool_vec(rs_awaiting_);
   w.u64_vec(rs_awaiting_round_);
   w.size_vec(rs_pending_);
+  store_.save_state(w);
 }
 
 void OspSync::load_state(util::serde::Reader& r) {
   const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 1, "unsupported OSP state version");
+  OSP_CHECK(version == 2, "unsupported OSP state version");
   round_ = r.u64();
   gib_ = Gib::deserialize(r.bytes());
   OSP_CHECK(gib_.size() == eng().num_blocks(),
@@ -690,6 +742,7 @@ void OspSync::load_state(util::serde::Reader& r) {
                 rs_contributed_.size() == n && rs_awaiting_.size() == n &&
                 rs_awaiting_round_.size() == n && rs_pending_.size() == n,
             "OSP checkpoint worker count mismatch");
+  store_.load_state(r);
   rs_timer_armed_ = false;  // re-armed by the next push
   ics_inflight_.clear();    // drained before every snapshot
 }

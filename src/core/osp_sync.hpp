@@ -48,6 +48,10 @@
 #include "core/gib.hpp"
 #include "core/lgp.hpp"
 #include "core/tuning.hpp"
+#include "kv/message.hpp"
+#include "kv/partition.hpp"
+#include "kv/store.hpp"
+#include "kv/transport.hpp"
 #include "runtime/sync_model.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +153,13 @@ class OspSync : public runtime::SyncModel {
   /// `gib`.
   [[nodiscard]] double ps_bytes(const Gib& gib, std::size_t ps,
                                 bool important) const;
+  /// KV message addressed to PS `ps`'s blocks whose GIB state equals
+  /// `important`: key list + wire accounting (no payload copy — RS/ICS
+  /// values stay by-reference in the engine's buffers).
+  [[nodiscard]] kv::KvMessage shard_message(kv::Op op, std::uint32_t sender,
+                                            std::uint64_t round,
+                                            std::size_t ps, const Gib& gib,
+                                            bool important) const;
   // ---- observability ----
   //
   // ICS spans outlive IcsRound bookkeeping (the PS erases a round once all
@@ -185,7 +196,9 @@ class OspSync : public runtime::SyncModel {
   std::unique_ptr<EmaLgp> ema_lgp_;
 
   std::size_t num_ps_ = 1;
-  std::vector<std::size_t> block_to_ps_;
+  kv::Partition part_;     ///< block → PS (byte-balanced)
+  kv::Transport tx_;       ///< all RS/ICS traffic (worker-owned flows)
+  kv::KvStore store_;      ///< per-block segment versions
 
   std::vector<float> agg_;     ///< mean of this round's full gradients
   std::uint64_t round_ = 0;    ///< RS rounds closed; collecting id round_+1

@@ -1,0 +1,72 @@
+#include "kv/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/simd.hpp"
+
+namespace osp::kv {
+
+std::size_t sparsify(std::span<float> grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng,
+                     SparsifyScratch& scratch) {
+  OSP_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "keep fraction must be in (0, 1]");
+  const std::size_t n = grad.size();
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(keep_fraction *
+                                               static_cast<double>(n))));
+  if (keep >= n) return n;
+  const util::simd::Kernels& k = util::simd::kernels();
+  if (mode == CompressionMode::TopK) {
+    // Threshold at the keep-th largest magnitude. `mags` keeps element
+    // order for the scan passes; `sel` is the nth_element workspace.
+    scratch.mags.resize(n);
+    scratch.sel.resize(n);
+    k.abs_into(grad.data(), scratch.mags.data(), n);
+    std::copy(scratch.mags.begin(), scratch.mags.end(), scratch.sel.begin());
+    std::nth_element(scratch.sel.begin(),
+                     scratch.sel.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                     scratch.sel.end(), std::greater<float>());
+    const float threshold = scratch.sel[keep - 1];
+    // Keep strictly-above first; elements equal to the threshold fill
+    // remaining slots in index order (deterministic tie handling).
+    const std::size_t kept_above = k.count_gt(scratch.mags.data(), threshold, n);
+    const std::size_t ties_kept = k.threshold_zero(
+        grad.data(), scratch.mags.data(), threshold, keep - kept_above, n);
+    return kept_above + ties_kept;
+  }
+  // RandomK: reservoir-free selection via shuffled index prefix.
+  OSP_CHECK(n <= std::numeric_limits<std::uint32_t>::max(),
+            "RandomK gradient block too large for 32-bit indices");
+  scratch.idx.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.idx[i] = static_cast<std::uint32_t>(i);
+  }
+  rng.shuffle(scratch.idx);
+  scratch.mask.assign(n, 0);
+  for (std::size_t i = 0; i < keep; ++i) scratch.mask[scratch.idx[i]] = 1;
+  k.mask_zero(grad.data(), scratch.mask.data(), n);
+  return keep;
+}
+
+std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
+                     double keep_fraction, util::Rng& rng) {
+  SparsifyScratch scratch;
+  return sparsify(std::span<float>(grad), mode, keep_fraction, rng, scratch);
+}
+
+float quantize_dequantize_int8(std::span<float> grad) {
+  const util::simd::Kernels& k = util::simd::kernels();
+  const float max_abs = k.max_abs(grad.data(), grad.size());
+  if (max_abs == 0.0f) return 0.0f;
+  const float scale = max_abs / 127.0f;
+  const float inv = 1.0f / scale;
+  k.quantize_dequantize(grad.data(), scale, inv, grad.size());
+  return scale;
+}
+
+}  // namespace osp::kv

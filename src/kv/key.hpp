@@ -1,0 +1,76 @@
+// Key space of the KV parameter-server core.
+//
+// Parameters are addressed by dense 64-bit keys; a key identifies one
+// *segment* (a contiguous run of model parameters, in this codebase one
+// layer block). Messages address either a half-open contiguous
+// [begin, end) KeyRange or an explicit key list (shards produced by a
+// byte-balancing partitioner are generally not contiguous).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace osp::kv {
+
+using Key = std::uint64_t;
+
+/// Half-open key interval [begin, end). Empty when begin == end.
+struct KeyRange {
+  Key begin = 0;
+  Key end = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(end - begin);
+  }
+  [[nodiscard]] bool empty() const { return begin == end; }
+  [[nodiscard]] bool contains(Key k) const { return k >= begin && k < end; }
+  [[nodiscard]] bool operator==(const KeyRange&) const = default;
+};
+
+/// Split `range` into `n` contiguous subranges whose sizes differ by at
+/// most one (the first `size % n` subranges get the extra key). The
+/// concatenation of the result is exactly `range`; empty input ranges
+/// yield n empty subranges at `begin`.
+[[nodiscard]] inline std::vector<KeyRange> split_range(KeyRange range,
+                                                       std::size_t n) {
+  OSP_CHECK(range.begin <= range.end, "invalid key range");
+  OSP_CHECK(n >= 1, "cannot split into zero ranges");
+  const std::uint64_t total = range.end - range.begin;
+  const std::uint64_t base = total / n;
+  const std::uint64_t extra = total % n;
+  std::vector<KeyRange> out;
+  out.reserve(n);
+  Key cursor = range.begin;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t len = base + (i < extra ? 1 : 0);
+    out.push_back({cursor, cursor + len});
+    cursor += len;
+  }
+  return out;
+}
+
+/// Coalesce a sorted, non-overlapping list of ranges, merging adjacent
+/// ones (a.end == b.begin) and dropping empties. Inverse of split_range
+/// up to empty subranges: merge_ranges(split_range(r, n)) == {r} for any
+/// non-empty r.
+[[nodiscard]] inline std::vector<KeyRange> merge_ranges(
+    std::vector<KeyRange> ranges) {
+  std::vector<KeyRange> out;
+  for (const KeyRange& r : ranges) {
+    OSP_CHECK(r.begin <= r.end, "invalid key range");
+    if (r.empty()) continue;
+    OSP_CHECK(out.empty() || r.begin >= out.back().end,
+              "ranges must be sorted and non-overlapping");
+    if (!out.empty() && out.back().end == r.begin) {
+      out.back().end = r.end;
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace osp::kv

@@ -1,0 +1,99 @@
+#include "kv/partition.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace osp::kv {
+
+Partition byte_balanced_partition(std::span<const double> key_bytes,
+                                  std::size_t num_shards) {
+  OSP_CHECK(num_shards >= 1, "need at least one shard");
+  Partition part;
+  part.num_shards = num_shards;
+  part.owner.assign(key_bytes.size(), 0);
+  if (num_shards == 1) return part;
+  // Largest-first greedy: stable and near-balanced for practical inputs.
+  std::vector<std::size_t> order(key_bytes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return key_bytes[a] > key_bytes[b];
+                   });
+  std::vector<double> load(num_shards, 0.0);
+  for (std::size_t idx : order) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    part.owner[idx] = target;
+    load[target] += key_bytes[idx];
+  }
+  return part;
+}
+
+std::vector<double> partition_bytes(std::span<const double> key_bytes,
+                                    const Partition& part) {
+  OSP_CHECK(part.owner.size() == key_bytes.size(),
+            "partition arity mismatch");
+  std::vector<double> out(part.num_shards, 0.0);
+  for (std::size_t i = 0; i < key_bytes.size(); ++i) {
+    OSP_CHECK(part.owner[i] < part.num_shards, "owner out of range");
+    out[part.owner[i]] += key_bytes[i];
+  }
+  return out;
+}
+
+double selected_bytes(std::span<const std::uint8_t> keep,
+                      std::span<const double> key_bytes) {
+  OSP_CHECK(keep.size() == key_bytes.size(), "selection arity mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] != 0) total += key_bytes[i];
+  }
+  return total;
+}
+
+ConsistentHashRing::ConsistentHashRing(std::size_t num_shards,
+                                       std::size_t vnodes,
+                                       std::uint64_t salt)
+    : num_shards_(num_shards), salt_(salt) {
+  OSP_CHECK(num_shards >= 1, "need at least one shard");
+  OSP_CHECK(vnodes >= 1, "need at least one virtual node per shard");
+  ring_.reserve(num_shards * vnodes);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // splitmix64 of the (salt, shard, vnode) triple: well-mixed, stable
+      // across platforms, and independent of the shard count below `s` —
+      // which is what makes ring growth move only the new shard's arcs.
+      std::uint64_t state = salt_ ^ (0x9e3779b97f4a7c15ULL * (s + 1));
+      (void)util::splitmix64(state);
+      state ^= 0xbf58476d1ce4e5b9ULL * (v + 1);
+      ring_.push_back({util::splitmix64(state), s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+  });
+}
+
+std::size_t ConsistentHashRing::shard_of(Key k) const {
+  std::uint64_t state = salt_ ^ k;
+  const std::uint64_t h = util::splitmix64(state);
+  // First ring point clockwise of h, wrapping to the smallest point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+Partition ConsistentHashRing::partition(std::size_t num_keys) const {
+  Partition part;
+  part.num_shards = num_shards_;
+  part.owner.resize(num_keys);
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    part.owner[k] = shard_of(static_cast<Key>(k));
+  }
+  return part;
+}
+
+}  // namespace osp::kv

@@ -1,0 +1,79 @@
+// Key partitioning across parameter-server shards.
+//
+// Two strategies:
+//
+//  * byte_balanced_partition — greedy largest-first placement onto the
+//    least-loaded shard (§6.1). This is the historical `sync/sharding`
+//    assignment, preserved bit-for-bit: every ported sync model keeps
+//    producing the exact shard layout (and therefore the exact flow
+//    schedule) it produced before the KV refactor.
+//
+//  * ConsistentHashRing — hash-ring ownership with virtual nodes, the
+//    general mechanism for clusters whose shard count changes at
+//    runtime: adding a shard moves only the keys that land on the new
+//    shard's arcs (≈ 1/(P+1) of the key space in expectation), instead
+//    of reshuffling everything the way any balanced recomputation does.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/key.hpp"
+
+namespace osp::kv {
+
+/// Key → shard ownership table for a dense key space [0, num_keys).
+struct Partition {
+  std::vector<std::size_t> owner;   ///< owner[k] = shard of key k
+  std::size_t num_shards = 1;
+
+  [[nodiscard]] std::size_t shard_of(Key k) const {
+    OSP_CHECK(k < owner.size(), "key out of partition range");
+    return owner[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::size_t num_keys() const { return owner.size(); }
+};
+
+/// Greedy byte-balancing partition: walk keys largest-first (stable on
+/// ties) and place each on the currently least-loaded shard.
+[[nodiscard]] Partition byte_balanced_partition(
+    std::span<const double> key_bytes, std::size_t num_shards);
+
+/// Total bytes owned by each shard under `part`.
+[[nodiscard]] std::vector<double> partition_bytes(
+    std::span<const double> key_bytes, const Partition& part);
+
+/// Sum of key_bytes over keys with keep[k] != 0, accumulated in
+/// ascending key order (the order matters: these doubles feed simulated
+/// flow sizes, which the bit-identity goldens pin down).
+[[nodiscard]] double selected_bytes(std::span<const std::uint8_t> keep,
+                                    std::span<const double> key_bytes);
+
+/// Consistent-hash ring: each shard owns `vnodes` pseudo-random points
+/// on a 64-bit ring; a key belongs to the shard owning the first point
+/// clockwise of hash(key). Deterministic for a given (salt, vnodes).
+class ConsistentHashRing {
+ public:
+  ConsistentHashRing(std::size_t num_shards, std::size_t vnodes = 64,
+                     std::uint64_t salt = 0x05f061746e696f70ULL);
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::size_t shard_of(Key k) const;
+
+  /// Materialize the ring's ownership over a dense key space.
+  [[nodiscard]] Partition partition(std::size_t num_keys) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t shard;
+  };
+  std::size_t num_shards_;
+  std::uint64_t salt_;
+  std::vector<Point> ring_;  ///< sorted by hash
+};
+
+}  // namespace osp::kv

@@ -1,0 +1,73 @@
+#include "kv/store.hpp"
+
+#include "util/serde.hpp"
+
+namespace osp::kv {
+
+void KvStore::init(std::span<const std::size_t> offsets,
+                   std::span<const std::size_t> numels) {
+  OSP_CHECK(offsets.size() == numels.size(), "segment arity mismatch");
+  segments_.clear();
+  segments_.reserve(offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    segments_.push_back({static_cast<Key>(i), offsets[i], numels[i], 0});
+  }
+}
+
+const KvStore::Segment& KvStore::segment(Key k) const {
+  OSP_CHECK(k < segments_.size(), "segment key out of range");
+  return segments_[static_cast<std::size_t>(k)];
+}
+
+void KvStore::bump(Key k) {
+  OSP_CHECK(k < segments_.size(), "segment key out of range");
+  ++segments_[static_cast<std::size_t>(k)].version;
+}
+
+void KvStore::bump_selected(std::span<const std::uint8_t> keep) {
+  OSP_CHECK(keep.size() == segments_.size(), "selection arity mismatch");
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] != 0) ++segments_[i].version;
+  }
+}
+
+void KvStore::bump_all() {
+  for (Segment& s : segments_) ++s.version;
+}
+
+void KvStore::stamp_versions(KvMessage& m) const {
+  m.versions.clear();
+  if (!m.keys.empty()) {
+    m.versions.reserve(m.keys.size());
+    for (Key k : m.keys) m.versions.push_back(version(k));
+    return;
+  }
+  m.versions.reserve(m.range.size());
+  for (Key k = m.range.begin; k < m.range.end; ++k) {
+    m.versions.push_back(version(k));
+  }
+}
+
+void KvStore::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // KV store state version
+  w.u64(segments_.size());
+  for (const Segment& s : segments_) {
+    w.u64(s.key);
+    w.u64(s.offset);
+    w.u64(s.numel);
+    w.u64(s.version);
+  }
+}
+
+void KvStore::load_state(util::serde::Reader& r) {
+  OSP_CHECK(r.u8() == 1, "unsupported KV store state version");
+  OSP_CHECK(r.u64() == segments_.size(),
+            "KV store checkpoint segment count mismatch");
+  for (Segment& s : segments_) {
+    OSP_CHECK(r.u64() == s.key && r.u64() == s.offset && r.u64() == s.numel,
+              "KV store checkpoint layout mismatch");
+    s.version = r.u64();
+  }
+}
+
+}  // namespace osp::kv

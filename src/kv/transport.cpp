@@ -1,0 +1,39 @@
+#include "kv/transport.hpp"
+
+#include <utility>
+
+namespace osp::kv {
+
+void Transport::push(std::size_t worker, std::size_t ps, const KvMessage& m,
+                     bool owned, std::function<void()> done) {
+  OSP_CHECK(bound(), "transport not bound to an engine");
+  send(worker, eng_->cluster().route_to_ps(worker, ps), m.wire_bytes(),
+       owned, std::move(done));
+}
+
+void Transport::respond(std::size_t worker, std::size_t ps,
+                        const KvMessage& m, bool owned,
+                        std::function<void()> done) {
+  OSP_CHECK(bound(), "transport not bound to an engine");
+  send(worker, eng_->cluster().route_from_ps(worker, ps), m.wire_bytes(),
+       owned, std::move(done));
+}
+
+void Transport::send(std::size_t worker, std::vector<sim::LinkId> route,
+                     double bytes, bool owned, std::function<void()> done) {
+  if (owned) {
+    eng_->worker_transfer(worker, std::move(route), bytes, std::move(done));
+    return;
+  }
+  const double overhead = eng_->cluster().config().transfer_overhead_s;
+  if (route.empty()) {
+    // Route through the engine so pending loopbacks are visible to the
+    // checkpoint quiescence check.
+    eng_->loopback_transfer(overhead, std::move(done));
+    return;
+  }
+  eng_->cluster().network().start_flow(std::move(route), bytes,
+                                       std::move(done), overhead);
+}
+
+}  // namespace osp::kv

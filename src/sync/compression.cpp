@@ -1,11 +1,9 @@
 #include "sync/compression.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
-#include <limits>
+#include <memory>
 
-#include "sync/transfer.hpp"
 #include "util/check.hpp"
 #include "util/serde.hpp"
 #include "util/simd.hpp"
@@ -13,64 +11,33 @@
 
 namespace osp::sync {
 
-std::size_t sparsify(std::span<float> grad, CompressionMode mode,
-                     double keep_fraction, util::Rng& rng,
-                     SparsifyScratch& scratch) {
-  OSP_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
-            "keep fraction must be in (0, 1]");
-  const std::size_t n = grad.size();
-  const auto keep = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::llround(keep_fraction *
-                                               static_cast<double>(n))));
-  if (keep >= n) return n;
-  const util::simd::Kernels& k = util::simd::kernels();
-  if (mode == CompressionMode::TopK) {
-    // Threshold at the keep-th largest magnitude. `mags` keeps element
-    // order for the scan passes; `sel` is the nth_element workspace.
-    scratch.mags.resize(n);
-    scratch.sel.resize(n);
-    k.abs_into(grad.data(), scratch.mags.data(), n);
-    std::copy(scratch.mags.begin(), scratch.mags.end(), scratch.sel.begin());
-    std::nth_element(scratch.sel.begin(),
-                     scratch.sel.begin() + static_cast<std::ptrdiff_t>(keep - 1),
-                     scratch.sel.end(), std::greater<float>());
-    const float threshold = scratch.sel[keep - 1];
-    // Keep strictly-above first; elements equal to the threshold fill
-    // remaining slots in index order (deterministic tie handling).
-    const std::size_t kept_above = k.count_gt(scratch.mags.data(), threshold, n);
-    const std::size_t ties_kept = k.threshold_zero(
-        grad.data(), scratch.mags.data(), threshold, keep - kept_above, n);
-    return kept_above + ties_kept;
+namespace {
+/// Dense segment layout of the engine's layer blocks for KvStore::init.
+void init_store_from_blocks(kv::KvStore& store, runtime::Engine& eng) {
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> numels;
+  offsets.reserve(eng.num_blocks());
+  numels.reserve(eng.num_blocks());
+  for (const auto& b : eng.blocks()) {
+    offsets.push_back(b.offset);
+    numels.push_back(b.numel);
   }
-  // RandomK: reservoir-free selection via shuffled index prefix.
-  OSP_CHECK(n <= std::numeric_limits<std::uint32_t>::max(),
-            "RandomK gradient block too large for 32-bit indices");
-  scratch.idx.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    scratch.idx[i] = static_cast<std::uint32_t>(i);
-  }
-  rng.shuffle(scratch.idx);
-  scratch.mask.assign(n, 0);
-  for (std::size_t i = 0; i < keep; ++i) scratch.mask[scratch.idx[i]] = 1;
-  k.mask_zero(grad.data(), scratch.mask.data(), n);
-  return keep;
+  store.init(offsets, numels);
 }
-
-std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
-                     double keep_fraction, util::Rng& rng) {
-  SparsifyScratch scratch;
-  return sparsify(std::span<float>(grad), mode, keep_fraction, rng, scratch);
-}
+}  // namespace
 
 CompressedBspSync::CompressedBspSync(CompressionMode mode,
                                      double keep_fraction, std::uint64_t seed,
                                      bool error_feedback)
     : mode_(mode),
       keep_fraction_(keep_fraction),
-      rng_(seed),
       error_feedback_(error_feedback) {
   OSP_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
             "keep fraction must be in (0, 1]");
+  // The selection RNG lives in the filter and is constructed once here —
+  // re-attaching must not rewind the stream (historical behavior).
+  topk_ = static_cast<kv::TopKFilter*>(&pipeline_.add(
+      std::make_unique<kv::TopKFilter>(mode, keep_fraction, seed)));
 }
 
 std::string CompressedBspSync::name() const {
@@ -85,8 +52,12 @@ std::string CompressedBspSync::name() const {
 
 void CompressedBspSync::attach(runtime::Engine& eng) {
   SyncModel::attach(eng);
-  sparse_.assign(eng.num_workers(),
-                 std::vector<float>(eng.global_params().size(), 0.0f));
+  tx_.bind(eng);
+  init_store_from_blocks(store_, eng);
+  inbox_.assign(eng.num_workers(), kv::KvMessage{});
+  for (kv::KvMessage& m : inbox_) {
+    m.values.assign(eng.global_params().size(), 0.0f);
+  }
   if (error_feedback_) {
     residual_.assign(eng.num_workers(),
                      std::vector<float>(eng.global_params().size(), 0.0f));
@@ -99,27 +70,31 @@ void CompressedBspSync::attach(runtime::Engine& eng) {
 void CompressedBspSync::on_gradient_ready(std::size_t worker) {
   runtime::Engine& e = eng();
   auto grad = e.worker_gradient(worker);
+  kv::KvMessage& m = inbox_[worker];
+  m.begin(kv::Op::kPush, static_cast<std::uint32_t>(worker), tel_rounds_ + 1,
+          store_.key_range());
   if (error_feedback_) {
     // Fold the previously dropped mass back in before selecting, writing
     // grad + residual to both the transmit buffer and the residual in one
     // pass (the residual copy is what sub() consumes below).
     util::simd::kernels().add_copy2(grad.data(), residual_[worker].data(),
-                                    sparse_[worker].data(),
+                                    m.values.data(),
                                     residual_[worker].data(), grad.size());
   } else {
-    util::copy(grad, sparse_[worker]);
+    util::copy(grad, m.values);
   }
-  const std::size_t kept = sparsify(std::span<float>(sparse_[worker]), mode_,
-                                    keep_fraction_, rng_, scratch_);
+  m.dense_numel = grad.size();
+  // Proxy-scale dense accounting; the Top-K stage replaces it with the
+  // kept-element wire format (4-byte index + 4-byte value per element).
+  m.dense_value_bytes = m.value_bytes =
+      4.0 * static_cast<double>(grad.size());
+  pipeline_.encode(m);
   if (error_feedback_) {
     // residual = (grad + residual) − transmitted.
-    util::sub(residual_[worker], sparse_[worker], residual_[worker]);
+    util::sub(residual_[worker], m.values, residual_[worker]);
   }
-  // Wire format: 4-byte index + 4-byte value per kept element.
-  const double bytes = static_cast<double>(kept) * 8.0;
-  tel_push_bytes_ += bytes;
-  transfer(e, e.cluster().route_to_ps(worker), bytes,
-           [this] { on_push_arrived(); });
+  tel_push_bytes_ += m.wire_bytes();
+  tx_.push(worker, 0, m, /*owned=*/false, [this] { on_push_arrived(); });
 }
 
 void CompressedBspSync::on_push_arrived() {
@@ -136,9 +111,14 @@ void CompressedBspSync::aggregate_and_broadcast() {
   agg_.assign(e.global_params().size(), 0.0f);
   const float scale = 1.0f / static_cast<float>(n);
   for (std::size_t w = 0; w < n; ++w) {
-    util::axpy(scale, sparse_[w], agg_);
+    // Decode symmetry: in-memory delivery keeps the dense receiver view,
+    // so this is a structural no-op — the PS trains on exactly what the
+    // pipeline's decode of the serialized form would yield.
+    pipeline_.decode(inbox_[w]);
+    util::axpy(scale, inbox_[w].values, agg_);
   }
   e.apply_global_step(agg_);
+  store_.bump_all();
   // Telemetry reports the actual sparse wire bytes, not the dense model
   // size — that is the whole point of the baseline.
   auto& rec = record_full_round(++tel_rounds_, n);
@@ -151,8 +131,12 @@ void CompressedBspSync::aggregate_and_broadcast() {
       std::min(e.model_bytes(), static_cast<double>(support) * 8.0);
   e.ps_submit(e.ps_apply_delay(bytes, 3.0), [this, bytes] {
     runtime::Engine& en = eng();
+    kv::KvMessage resp;
+    resp.begin(kv::Op::kPullResponse, 0, tel_rounds_, store_.key_range());
+    store_.stamp_versions(resp);
+    resp.set_accounting(bytes);
     for (std::size_t w = 0; w < en.num_workers(); ++w) {
-      transfer(en, en.cluster().route_from_ps(w), bytes, [this, w] {
+      tx_.respond(w, 0, resp, /*owned=*/false, [this, w] {
         runtime::Engine& e2 = eng();
         util::copy(e2.global_params(), e2.worker_params(w));
         e2.finish_sync(w);
@@ -161,20 +145,44 @@ void CompressedBspSync::aggregate_and_broadcast() {
   });
 }
 
-float quantize_dequantize_int8(std::span<float> grad) {
-  const util::simd::Kernels& k = util::simd::kernels();
-  const float max_abs = k.max_abs(grad.data(), grad.size());
-  if (max_abs == 0.0f) return 0.0f;
-  const float scale = max_abs / 127.0f;
-  const float inv = 1.0f / scale;
-  k.quantize_dequantize(grad.data(), scale, inv, grad.size());
-  return scale;
+void CompressedBspSync::save_state(util::serde::Writer& w) const {
+  w.u8(2);  // compressed-BSP state version (2: KV core)
+  w.u64(arrived_);
+  pipeline_.save_state(w);  // the selection RNG stream
+  // Error-feedback residuals are true training state: losing them changes
+  // every subsequent sparsification. Without error feedback they stay
+  // empty and serialize as a zero count.
+  w.boolean(error_feedback_);
+  w.u64(residual_.size());
+  for (const auto& res : residual_) w.f32_vec(res);
+  store_.save_state(w);
+}
+
+void CompressedBspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 2, "unsupported compressed-BSP state version");
+  arrived_ = static_cast<std::size_t>(r.u64());
+  pipeline_.load_state(r);
+  OSP_CHECK(r.boolean() == error_feedback_,
+            "compressed-BSP checkpoint error-feedback mode mismatch");
+  const std::uint64_t n = r.u64();
+  OSP_CHECK(n == residual_.size(),
+            "compressed-BSP checkpoint residual count mismatch");
+  // Read straight into the attached residual buffers (f32_into validates
+  // the stored length against each buffer's size).
+  for (auto& res : residual_) r.f32_into(res);
+  store_.load_state(r);
+}
+
+QuantizedBspSync::QuantizedBspSync() {
+  pipeline_.add(std::make_unique<kv::QuantizeInt8Filter>());
 }
 
 void QuantizedBspSync::attach(runtime::Engine& eng) {
   SyncModel::attach(eng);
-  dequantized_.assign(eng.num_workers(),
-                      std::vector<float>(eng.global_params().size(), 0.0f));
+  tx_.bind(eng);
+  init_store_from_blocks(store_, eng);
+  inbox_.assign(eng.num_workers(), kv::KvMessage{});
   arrived_ = 0;
   tel_rounds_ = 0;
 }
@@ -182,12 +190,16 @@ void QuantizedBspSync::attach(runtime::Engine& eng) {
 void QuantizedBspSync::on_gradient_ready(std::size_t worker) {
   runtime::Engine& e = eng();
   auto grad = e.worker_gradient(worker);
-  dequantized_[worker].assign(grad.begin(), grad.end());
-  (void)quantize_dequantize_int8(dequantized_[worker]);
-  // int8 payload + one fp32 scale.
-  const double bytes = e.model_bytes() / 4.0 + 4.0;
-  transfer(e, e.cluster().route_to_ps(worker), bytes,
-           [this] { on_push_arrived(); });
+  kv::KvMessage& m = inbox_[worker];
+  m.begin(kv::Op::kPush, static_cast<std::uint32_t>(worker), tel_rounds_ + 1,
+          store_.key_range());
+  m.values.assign(grad.begin(), grad.end());
+  m.dense_numel = grad.size();
+  // Real-model-scale dense accounting; the int8 stage divides it by 4 and
+  // adds the fp32 scale, giving the historical model_bytes/4 + 4.
+  m.dense_value_bytes = m.value_bytes = e.model_bytes();
+  pipeline_.encode(m);
+  tx_.push(worker, 0, m, /*owned=*/false, [this] { on_push_arrived(); });
 }
 
 void QuantizedBspSync::on_push_arrived() {
@@ -204,16 +216,22 @@ void QuantizedBspSync::aggregate_and_broadcast() {
   agg_.assign(e.global_params().size(), 0.0f);
   const float scale = 1.0f / static_cast<float>(n);
   for (std::size_t w = 0; w < n; ++w) {
-    util::axpy(scale, dequantized_[w], agg_);
+    pipeline_.decode(inbox_[w]);  // dense dequantized view: structural no-op
+    util::axpy(scale, inbox_[w].values, agg_);
   }
   e.apply_global_step(agg_);
+  store_.bump_all();
   const double bytes = e.model_bytes() / 4.0 + 4.0;
   auto& rec = record_full_round(++tel_rounds_, n);
   rec.important_bytes = static_cast<double>(n) * bytes;
   e.ps_submit(e.ps_apply_delay(e.model_bytes(), 3.0), [this, bytes] {
     runtime::Engine& en = eng();
+    kv::KvMessage resp;
+    resp.begin(kv::Op::kPullResponse, 0, tel_rounds_, store_.key_range());
+    store_.stamp_versions(resp);
+    resp.set_accounting(bytes);
     for (std::size_t w = 0; w < en.num_workers(); ++w) {
-      transfer(en, en.cluster().route_from_ps(w), bytes, [this, w] {
+      tx_.respond(w, 0, resp, /*owned=*/false, [this, w] {
         runtime::Engine& e2 = eng();
         util::copy(e2.global_params(), e2.worker_params(w));
         e2.finish_sync(w);
@@ -222,49 +240,17 @@ void QuantizedBspSync::aggregate_and_broadcast() {
   });
 }
 
-void CompressedBspSync::save_state(util::serde::Writer& w) const {
-  w.u8(1);  // compressed-BSP state version
-  w.u64(arrived_);
-  const util::RngState rng = rng_.state();
-  for (std::uint64_t word : rng.s) w.u64(word);
-  w.boolean(rng.have_spare_normal);
-  w.f64(rng.spare_normal);
-  // Error-feedback residuals are true training state: losing them changes
-  // every subsequent sparsification. Without error feedback they stay
-  // empty and serialize as a zero count.
-  w.boolean(error_feedback_);
-  w.u64(residual_.size());
-  for (const auto& res : residual_) w.f32_vec(res);
-}
-
-void CompressedBspSync::load_state(util::serde::Reader& r) {
-  const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 1, "unsupported compressed-BSP state version");
-  arrived_ = static_cast<std::size_t>(r.u64());
-  util::RngState rng;
-  for (std::uint64_t& word : rng.s) word = r.u64();
-  rng.have_spare_normal = r.boolean();
-  rng.spare_normal = r.f64();
-  rng_.set_state(rng);
-  OSP_CHECK(r.boolean() == error_feedback_,
-            "compressed-BSP checkpoint error-feedback mode mismatch");
-  const std::uint64_t n = r.u64();
-  OSP_CHECK(n == residual_.size(),
-            "compressed-BSP checkpoint residual count mismatch");
-  // Read straight into the attached residual buffers (f32_into validates
-  // the stored length against each buffer's size).
-  for (auto& res : residual_) r.f32_into(res);
-}
-
 void QuantizedBspSync::save_state(util::serde::Writer& w) const {
-  w.u8(1);  // quantized-BSP state version
+  w.u8(2);  // quantized-BSP state version (2: KV core)
   w.u64(arrived_);
+  store_.save_state(w);
 }
 
 void QuantizedBspSync::load_state(util::serde::Reader& r) {
   const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 1, "unsupported quantized-BSP state version");
+  OSP_CHECK(version == 2, "unsupported quantized-BSP state version");
   arrived_ = static_cast<std::size_t>(r.u64());
+  store_.load_state(r);
 }
 
 }  // namespace osp::sync

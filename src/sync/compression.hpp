@@ -1,41 +1,48 @@
 // Gradient-compression baselines: Top-K and Random-K sparsified BSP
-// (§2.2.2, §7). Each worker transmits only a fraction of its gradient
-// elements (as index+value pairs, 8 bytes each); dropped gradients are
-// LOST — no error feedback — which is exactly the accuracy-degradation
-// failure mode the paper contrasts OSP against.
+// (§2.2.2, §7) and 8-bit quantized BSP, built on the KV core.
+//
+// Each model runs its pushes through a kv::FilterPipeline — a single
+// TopKFilter or QuantizeInt8Filter stage — so the wire bytes the
+// network simulator charges are exactly the composed pipeline's output,
+// and the PS trains on the pipeline's decoded receiver view. Dropped
+// Top-K gradients are LOST unless error feedback is on — exactly the
+// accuracy-degradation failure mode the paper contrasts OSP against.
+//
+// The raw kernels (sparsify, int8 quantize) live in kv/compress.hpp;
+// the aliases below keep the historical sync:: entry points for tests
+// and benches.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "kv/compress.hpp"
+#include "kv/filter.hpp"
+#include "kv/store.hpp"
+#include "kv/transport.hpp"
 #include "runtime/sync_model.hpp"
 #include "util/rng.hpp"
 
 namespace osp::sync {
 
-enum class CompressionMode { TopK, RandomK };
+using CompressionMode = kv::CompressionMode;
+using SparsifyScratch = kv::SparsifyScratch;
 
-/// Reusable working memory for sparsify(). Sized on first use and reused
-/// across rounds, so the per-round selection does no heap allocation after
-/// warm-up.
-struct SparsifyScratch {
-  std::vector<float> mags;        // |grad[i]|, kept in element order
-  std::vector<float> sel;         // nth_element workspace (permuted)
-  std::vector<std::uint32_t> idx; // RandomK shuffle indices
-  std::vector<std::uint8_t> mask; // RandomK keep byte-mask
-};
+inline std::size_t sparsify(std::span<float> grad, CompressionMode mode,
+                            double keep_fraction, util::Rng& rng,
+                            SparsifyScratch& scratch) {
+  return kv::sparsify(grad, mode, keep_fraction, rng, scratch);
+}
 
-/// Sparsify `grad` in place, keeping `keep_fraction` of its elements
-/// (highest |g| for TopK, uniform for RandomK); zeroes the rest. Returns
-/// the number of kept elements.
-std::size_t sparsify(std::span<float> grad, CompressionMode mode,
-                     double keep_fraction, util::Rng& rng,
-                     SparsifyScratch& scratch);
+inline std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
+                            double keep_fraction, util::Rng& rng) {
+  return kv::sparsify(grad, mode, keep_fraction, rng);
+}
 
-/// Convenience overload with throwaway scratch (tests, one-shot callers).
-std::size_t sparsify(std::vector<float>& grad, CompressionMode mode,
-                     double keep_fraction, util::Rng& rng);
+inline float quantize_dequantize_int8(std::span<float> grad) {
+  return kv::quantize_dequantize_int8(grad);
+}
 
 class CompressedBspSync : public runtime::SyncModel {
  public:
@@ -59,29 +66,25 @@ class CompressedBspSync : public runtime::SyncModel {
 
   CompressionMode mode_;
   double keep_fraction_;
-  util::Rng rng_;
   bool error_feedback_;
+  kv::FilterPipeline pipeline_;     // one TopKFilter stage
+  kv::TopKFilter* topk_ = nullptr;  // owned by pipeline_
+  kv::Transport tx_;
+  kv::KvStore store_;
   std::size_t arrived_ = 0;
-  std::vector<std::vector<float>> sparse_;    // per-worker sparsified grads
+  std::vector<kv::KvMessage> inbox_;          // per-worker pushes
   std::vector<std::vector<float>> residual_;  // per-worker error memory
   std::vector<float> agg_;
-  SparsifyScratch scratch_;
   std::uint64_t tel_rounds_ = 0;
   double tel_push_bytes_ = 0.0;  // sparse bytes pushed this round
 };
-
-/// Symmetric per-tensor int8 quantization: q = round(clamp(g/s)) with
-/// s = max|g|/127. Returns the scale; `grad` is replaced by the
-/// dequantized values (the receiver's view), so quantization noise enters
-/// the training numerics exactly as it would on a real system.
-float quantize_dequantize_int8(std::span<float> grad);
 
 /// 8-bit quantized BSP (§2.2.2 / §7): every gradient travels as int8
 /// (model_bytes/4 on the wire + a 4-byte scale) — bounded 4× communication
 /// reduction, small quantization noise, no gradients dropped.
 class QuantizedBspSync : public runtime::SyncModel {
  public:
-  QuantizedBspSync() = default;
+  QuantizedBspSync();
 
   [[nodiscard]] std::string name() const override { return "Q8-BSP"; }
   void attach(runtime::Engine& eng) override;
@@ -94,8 +97,11 @@ class QuantizedBspSync : public runtime::SyncModel {
   void on_push_arrived();
   void aggregate_and_broadcast();
 
+  kv::FilterPipeline pipeline_;  // one QuantizeInt8Filter stage
+  kv::Transport tx_;
+  kv::KvStore store_;
   std::size_t arrived_ = 0;
-  std::vector<std::vector<float>> dequantized_;  // per-worker views
+  std::vector<kv::KvMessage> inbox_;  // per-worker dequantized views
   std::vector<float> agg_;
   std::uint64_t tel_rounds_ = 0;
 };

@@ -1,0 +1,194 @@
+#include "sync/kv_bsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "runtime/engine.hpp"
+#include "util/check.hpp"
+#include "util/serde.hpp"
+#include "util/vec_math.hpp"
+
+namespace osp::sync {
+
+KvBspSync::KvBspSync(KvBspOptions options) : options_(options) {
+  // Stage order is the composition contract: key addressing first, then
+  // the block-level GIB projection, then element-level top-k over the
+  // survivors, then the int8 value transform (quantizer composes after
+  // the sparsifier — it divides whatever value bytes remain).
+  if (options_.key_cache) {
+    pipeline_.add(std::make_unique<kv::KeyCacheFilter>());
+  }
+  if (options_.gib_keep_fraction > 0.0 && options_.gib_keep_fraction < 1.0) {
+    gib_ = static_cast<kv::GibFilter*>(&pipeline_.add(
+        std::make_unique<kv::GibFilter>(options_.gib_attach_bitmap)));
+  }
+  if (options_.topk_keep_fraction > 0.0 &&
+      options_.topk_keep_fraction < 1.0) {
+    topk_ = static_cast<kv::TopKFilter*>(
+        &pipeline_.add(std::make_unique<kv::TopKFilter>(
+            kv::CompressionMode::TopK, options_.topk_keep_fraction,
+            options_.topk_seed)));
+  }
+  if (options_.quantize_int8) {
+    pipeline_.add(std::make_unique<kv::QuantizeInt8Filter>());
+  }
+}
+
+std::string KvBspSync::name() const {
+  return pipeline_.size() == 0 ? "KvBSP" : "KvBSP[" + pipeline_.name() + "]";
+}
+
+void KvBspSync::attach(runtime::Engine& eng) {
+  SyncModel::attach(eng);
+  tx_.bind(eng);
+  {
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> numels;
+    for (const auto& b : eng.blocks()) {
+      offsets.push_back(b.offset);
+      numels.push_back(b.numel);
+    }
+    store_.init(offsets, numels);
+  }
+  if (gib_ != nullptr) {
+    std::vector<kv::GibFilter::Block> blocks;
+    for (const auto& b : eng.blocks()) {
+      // Self-consistent proxy scale: a block costs its own fp32 bytes.
+      blocks.push_back({b.offset, b.numel, 4.0 * (double)b.numel});
+    }
+    gib_->set_blocks(std::move(blocks));
+    gib_keep_.assign(eng.num_blocks(), 1);  // round 1: everything travels
+    gib_->set_selection(gib_keep_);
+  }
+  inbox_.assign(eng.num_workers(), kv::KvMessage{});
+  for (kv::KvMessage& m : inbox_) {
+    m.values.assign(eng.global_params().size(), 0.0f);
+  }
+  arrived_ = 0;
+  tel_rounds_ = 0;
+  tel_push_bytes_ = 0.0;
+  last_round_push_bytes_ = 0.0;
+}
+
+void KvBspSync::on_gradient_ready(std::size_t worker) {
+  runtime::Engine& e = eng();
+  auto grad = e.worker_gradient(worker);
+  kv::KvMessage& m = inbox_[worker];
+  m.begin(kv::Op::kPush, static_cast<std::uint32_t>(worker), tel_rounds_ + 1,
+          store_.key_range());
+  util::copy(grad, m.values);
+  m.dense_numel = grad.size();
+  m.dense_value_bytes = m.value_bytes =
+      4.0 * static_cast<double>(grad.size());
+  pipeline_.encode(m);
+  tel_push_bytes_ += m.wire_bytes();
+  tx_.push(worker, 0, m, /*owned=*/false, [this] { on_push_arrived(); });
+}
+
+void KvBspSync::on_push_arrived() {
+  ++arrived_;
+  if (arrived_ == eng().num_workers()) {
+    arrived_ = 0;
+    aggregate_and_broadcast();
+  }
+}
+
+void KvBspSync::aggregate_and_broadcast() {
+  runtime::Engine& e = eng();
+  const std::size_t n = e.num_workers();
+  agg_.assign(e.global_params().size(), 0.0f);
+  const float scale = 1.0f / static_cast<float>(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    // Symmetry rule: in-memory delivery kept the dense receiver view, so
+    // decode is a structural no-op — the PS trains on what a decode of
+    // the serialized compact form would reproduce.
+    pipeline_.decode(inbox_[w]);
+    util::axpy(scale, inbox_[w].values, agg_);
+  }
+  e.apply_global_step(agg_);
+  store_.bump_all();
+  update_gib_selection();
+  auto& rec = record_full_round(++tel_rounds_, n);
+  rec.important_bytes = tel_push_bytes_;
+  last_round_push_bytes_ = tel_push_bytes_;
+  tel_push_bytes_ = 0.0;
+  // Dense broadcast of the refreshed model (proxy scale).
+  const double bytes = 4.0 * static_cast<double>(e.global_params().size());
+  e.ps_submit(e.ps_apply_delay(bytes, 3.0), [this, bytes] {
+    runtime::Engine& en = eng();
+    kv::KvMessage resp;
+    resp.begin(kv::Op::kPullResponse, 0, tel_rounds_, store_.key_range());
+    store_.stamp_versions(resp);
+    resp.set_accounting(bytes);
+    for (std::size_t w = 0; w < en.num_workers(); ++w) {
+      tx_.respond(w, 0, resp, /*owned=*/false, [this, w] {
+        runtime::Engine& e2 = eng();
+        util::copy(e2.global_params(), e2.worker_params(w));
+        e2.finish_sync(w);
+      });
+    }
+  });
+}
+
+void KvBspSync::update_gib_selection() {
+  if (gib_ == nullptr) return;
+  runtime::Engine& e = eng();
+  const std::size_t nb = e.num_blocks();
+  // Density-normalized magnitude: mean |agg| per block.
+  std::vector<double> importance(nb, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const auto& info = e.blocks()[b];
+    double sum = 0.0;
+    for (std::size_t i = info.offset; i < info.offset + info.numel; ++i) {
+      sum += std::abs(static_cast<double>(agg_[i]));
+    }
+    importance[b] = info.numel > 0 ? sum / static_cast<double>(info.numel)
+                                   : 0.0;
+  }
+  std::vector<std::size_t> order(nb);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return importance[a] > importance[b];
+                   });
+  double total = 0.0;
+  for (const auto& blk : gib_->blocks()) total += blk.wire_bytes;
+  const double budget = options_.gib_keep_fraction * total;
+  gib_keep_.assign(nb, 0);
+  double kept = 0.0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    const std::size_t b = order[i];
+    if (i > 0 && kept + gib_->blocks()[b].wire_bytes > budget) continue;
+    gib_keep_[b] = 1;
+    kept += gib_->blocks()[b].wire_bytes;
+  }
+  gib_->set_selection(gib_keep_);
+}
+
+void KvBspSync::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // KvBSP state version
+  w.u64(arrived_);
+  pipeline_.save_state(w);
+  w.bytes(gib_keep_);
+  store_.save_state(w);
+}
+
+void KvBspSync::load_state(util::serde::Reader& r) {
+  const std::uint8_t version = r.u8();
+  OSP_CHECK(version == 1, "unsupported KvBSP state version");
+  arrived_ = static_cast<std::size_t>(r.u64());
+  pipeline_.load_state(r);
+  gib_keep_ = r.bytes();
+  if (gib_ != nullptr) {
+    OSP_CHECK(gib_keep_.size() == eng().num_blocks(),
+              "KvBSP checkpoint GIB selection size mismatch");
+    gib_->set_selection(gib_keep_);
+  }
+  store_.load_state(r);
+}
+
+bool KvBspSync::drained() const { return arrived_ == 0; }
+
+}  // namespace osp::sync

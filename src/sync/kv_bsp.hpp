@@ -1,0 +1,100 @@
+// BSP on the KV core with a *configurable* filter pipeline — the
+// demonstrator for composed message filters (key-cache, GIB significance
+// filtering, top-k sparsification, int8 quantization stacked in one
+// pipeline).
+//
+// Unlike the ported legacy models (compression.hpp keeps the historical
+// wire formulas for bit-identity), KvBspSync uses one self-consistent
+// byte scale throughout: the proxy payload's own fp32 size (4 bytes per
+// element, per-block 4*numel for the GIB stage). That makes the composed
+// accounting directly comparable across pipeline configurations — the
+// EXPERIMENTS.md wire-bytes table and the composed-telemetry test in
+// tests/test_sync.cpp are built on this model.
+//
+// Per round: every worker pushes its full gradient through the pipeline
+// (GIB selection recomputed each aggregate from per-block gradient
+// magnitude), the PS decodes each message (symmetry rule: in-memory
+// delivery keeps the dense receiver view), averages, steps, bumps the
+// store versions and broadcasts. Telemetry `important_bytes` is the sum
+// of the round's encoded push wire bytes — exactly what the transport
+// charged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/filter.hpp"
+#include "kv/message.hpp"
+#include "kv/store.hpp"
+#include "kv/transport.hpp"
+#include "runtime/sync_model.hpp"
+
+namespace osp::sync {
+
+struct KvBspOptions {
+  /// Fraction of total block bytes the GIB stage keeps (by descending
+  /// per-block mean |aggregate|; round 1 keeps everything). Outside
+  /// (0, 1) the stage is omitted.
+  double gib_keep_fraction = -1.0;
+  /// Charge the serialized GIB bitmap (4 + ceil(B/8) bytes) per message.
+  bool gib_attach_bitmap = true;
+  /// Top-k keep fraction over the (post-GIB) dense payload. Outside
+  /// (0, 1) the stage is omitted.
+  double topk_keep_fraction = -1.0;
+  std::uint64_t topk_seed = 4242;
+  /// Append the int8 quantization stage.
+  bool quantize_int8 = false;
+  /// Prepend the key-cache stage (first push pays the key list, repeats
+  /// pay an 8-byte signature).
+  bool key_cache = false;
+};
+
+class KvBspSync : public runtime::SyncModel {
+ public:
+  explicit KvBspSync(KvBspOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  void attach(runtime::Engine& eng) override;
+  void on_gradient_ready(std::size_t worker) override;
+  void save_state(util::serde::Writer& w) const override;
+  void load_state(util::serde::Reader& r) override;
+  [[nodiscard]] bool drained() const override;
+
+  /// Introspection for tests: the composed pipeline and the last round's
+  /// summed push wire bytes (what telemetry records).
+  [[nodiscard]] const kv::FilterPipeline& pipeline() const {
+    return pipeline_;
+  }
+  [[nodiscard]] kv::TopKFilter* topk() const { return topk_; }
+  [[nodiscard]] kv::GibFilter* gib() const { return gib_; }
+  [[nodiscard]] double last_round_push_bytes() const {
+    return last_round_push_bytes_;
+  }
+  /// The last encoded push of worker w (accounting inspection).
+  [[nodiscard]] const kv::KvMessage& inbox(std::size_t w) const {
+    return inbox_[w];
+  }
+
+ private:
+  void on_push_arrived();
+  void aggregate_and_broadcast();
+  /// Recompute the GIB keep mask from per-block mean |agg| under the
+  /// byte budget (descending importance, always >= 1 block).
+  void update_gib_selection();
+
+  KvBspOptions options_;
+  kv::FilterPipeline pipeline_;
+  kv::TopKFilter* topk_ = nullptr;   // owned by pipeline_
+  kv::GibFilter* gib_ = nullptr;     // owned by pipeline_
+  std::vector<std::uint8_t> gib_keep_;
+  kv::Transport tx_;
+  kv::KvStore store_;
+  std::vector<kv::KvMessage> inbox_;
+  std::size_t arrived_ = 0;
+  std::vector<float> agg_;
+  std::uint64_t tel_rounds_ = 0;
+  double tel_push_bytes_ = 0.0;
+  double last_round_push_bytes_ = 0.0;
+};
+
+}  // namespace osp::sync

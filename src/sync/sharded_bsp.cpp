@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "sync/sharding.hpp"
-#include "sync/transfer.hpp"
 #include "util/check.hpp"
 #include "util/serde.hpp"
 #include "util/vec_math.hpp"
@@ -16,20 +14,45 @@ std::string ShardedBspSync::name() const {
 
 void ShardedBspSync::attach(runtime::Engine& eng) {
   SyncModel::attach(eng);
+  tx_.bind(eng);
   num_ps_ = eng.cluster().num_ps();
-  block_to_ps_ = assign_blocks_to_shards(eng.all_block_bytes(), num_ps_);
-  shard_bytes_ = shard_bytes(eng.all_block_bytes(), block_to_ps_, num_ps_);
+  part_ = kv::byte_balanced_partition(eng.all_block_bytes(), num_ps_);
+  shard_bytes_ = kv::partition_bytes(eng.all_block_bytes(), part_);
+  {
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> numels;
+    for (const auto& b : eng.blocks()) {
+      offsets.push_back(b.offset);
+      numels.push_back(b.numel);
+    }
+    store_.init(offsets, numels);
+  }
   shard_arrived_.assign(num_ps_, 0);
   worker_pending_.assign(eng.num_workers(), 0);
   agg_.assign(eng.global_params().size(), 0.0f);
   tel_shards_closed_ = 0;
 }
 
+std::vector<kv::Key> ShardedBspSync::shard_keys(std::size_t ps) const {
+  std::vector<kv::Key> keys;
+  for (std::size_t b = 0; b < part_.num_keys(); ++b) {
+    if (part_.owner[b] == ps) keys.push_back(static_cast<kv::Key>(b));
+  }
+  return keys;
+}
+
 void ShardedBspSync::on_gradient_ready(std::size_t worker) {
-  runtime::Engine& e = eng();
   worker_pending_[worker] = num_ps_;
   for (std::size_t p = 0; p < num_ps_; ++p) {
-    transfer(e, e.cluster().route_to_ps(worker, p), shard_bytes_[p],
+    // The push addresses the shard's key list; the gradient itself stays
+    // by-reference in the worker's buffer (the PS reads it at aggregate
+    // time), so the message carries accounting + addressing only.
+    kv::KvMessage m;
+    m.begin(kv::Op::kPush, static_cast<std::uint32_t>(worker),
+            tel_shards_closed_ / num_ps_ + 1, {});
+    m.keys = shard_keys(p);
+    m.set_accounting(shard_bytes_[p]);
+    tx_.push(worker, p, m, /*owned=*/false,
              [this, p] { on_shard_push_arrived(p); });
   }
 }
@@ -48,7 +71,7 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
   std::vector<bool> mask(e.num_blocks(), false);
   const float scale = 1.0f / static_cast<float>(n);
   for (std::size_t b = 0; b < e.num_blocks(); ++b) {
-    if (block_to_ps_[b] != ps) continue;
+    if (part_.owner[b] != ps) continue;
     mask[b] = true;
     const auto& info = e.blocks()[b];
     auto dst = std::span<float>(agg_).subspan(info.offset, info.numel);
@@ -59,6 +82,9 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
     }
   }
   e.apply_global_step_blocks(agg_, mask);
+  for (std::size_t b = 0; b < e.num_blocks(); ++b) {
+    if (part_.owner[b] == ps) store_.bump(static_cast<kv::Key>(b));
+  }
   // The P shard closes of one logical barrier share a telemetry record;
   // the last shard's close stamps the final close time.
   ++tel_shards_closed_;
@@ -67,44 +93,49 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
       e.ps_apply_delay(shard_bytes_[ps], 3.0),
       [this, ps] {
         runtime::Engine& en = eng();
+        kv::KvMessage resp;
+        resp.begin(kv::Op::kPullResponse, static_cast<std::uint32_t>(ps),
+                   tel_shards_closed_ / num_ps_, {});
+        resp.keys = shard_keys(ps);
+        store_.stamp_versions(resp);
+        resp.set_accounting(shard_bytes_[ps]);
         for (std::size_t w = 0; w < en.num_workers(); ++w) {
-          transfer(en, en.cluster().route_from_ps(w, ps), shard_bytes_[ps],
-                   [this, w, ps] {
-                     runtime::Engine& e2 = eng();
-                     // Install this shard's fresh blocks.
-                     for (std::size_t b = 0; b < e2.num_blocks(); ++b) {
-                       if (block_to_ps_[b] != ps) continue;
-                       const auto& info = e2.blocks()[b];
-                       util::copy(e2.global_params().subspan(info.offset,
-                                                             info.numel),
-                                  e2.worker_params(w).subspan(info.offset,
-                                                              info.numel));
-                     }
-                     OSP_CHECK(worker_pending_[w] > 0,
-                               "unexpected shard response");
-                     if (--worker_pending_[w] == 0) e2.finish_sync(w);
-                   });
+          tx_.respond(w, ps, resp, /*owned=*/false, [this, w, ps] {
+            runtime::Engine& e2 = eng();
+            // Install this shard's fresh blocks.
+            for (std::size_t b = 0; b < e2.num_blocks(); ++b) {
+              if (part_.owner[b] != ps) continue;
+              const auto& info = e2.blocks()[b];
+              util::copy(e2.global_params().subspan(info.offset, info.numel),
+                         e2.worker_params(w).subspan(info.offset,
+                                                     info.numel));
+            }
+            OSP_CHECK(worker_pending_[w] > 0, "unexpected shard response");
+            if (--worker_pending_[w] == 0) e2.finish_sync(w);
+          });
         }
       },
       ps);
 }
 
 void ShardedBspSync::save_state(util::serde::Writer& w) const {
-  w.u8(1);  // sharded-BSP state version
+  w.u8(2);  // sharded-BSP state version (2: KV core)
   w.u64(num_ps_);
   w.size_vec(shard_arrived_);
   w.size_vec(worker_pending_);
+  store_.save_state(w);
 }
 
 void ShardedBspSync::load_state(util::serde::Reader& r) {
   const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 1, "unsupported sharded-BSP state version");
+  OSP_CHECK(version == 2, "unsupported sharded-BSP state version");
   OSP_CHECK(r.u64() == num_ps_, "sharded-BSP checkpoint PS count mismatch");
   shard_arrived_ = r.size_vec();
   worker_pending_ = r.size_vec();
   OSP_CHECK(shard_arrived_.size() == num_ps_ &&
                 worker_pending_.size() == eng().num_workers(),
             "sharded-BSP checkpoint shape mismatch");
+  store_.load_state(r);
 }
 
 bool ShardedBspSync::drained() const {

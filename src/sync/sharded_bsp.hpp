@@ -1,16 +1,23 @@
-// Sharded BSP for multi-PS clusters (§6.1, BytePS-style).
+// Sharded BSP for multi-PS clusters (§6.1, BytePS-style), on the KV core.
 //
-// Parameters are partitioned across P servers; each iteration a worker
-// pushes shard p of its gradient to PS p (P parallel flows), every PS
-// aggregates its shard when all N workers' pieces arrive, applies its part
-// of the optimizer step on its own serial queue, and broadcasts its shard
-// of the updated parameters. A worker resumes when all P shard responses
-// have landed. With P = 1 this is exactly BspSync.
+// Parameters are partitioned across P servers by the byte-balancing
+// partitioner (kv/partition.hpp); each iteration a worker pushes shard
+// p of its gradient to PS p as a KV push addressed by that shard's key
+// list (P parallel flows), every PS aggregates its shard when all N
+// workers' pieces arrive, applies its part of the optimizer step on its
+// own serial queue, bumps its segments' versions, and broadcasts its
+// shard of the updated parameters as a version-stamped pull response. A
+// worker resumes when all P shard responses have landed. With P = 1
+// this is exactly BspSync.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "kv/message.hpp"
+#include "kv/partition.hpp"
+#include "kv/store.hpp"
+#include "kv/transport.hpp"
 #include "runtime/sync_model.hpp"
 
 namespace osp::sync {
@@ -27,14 +34,17 @@ class ShardedBspSync : public runtime::SyncModel {
  private:
   void on_shard_push_arrived(std::size_t ps);
   void shard_aggregate(std::size_t ps);
+  /// Keys (= block ids) owned by PS `ps`, ascending.
+  [[nodiscard]] std::vector<kv::Key> shard_keys(std::size_t ps) const;
 
   std::size_t num_ps_ = 1;
-  std::vector<std::size_t> block_to_ps_;
-  std::vector<double> shard_bytes_;
+  kv::Partition part_;                         // block → PS
+  std::vector<double> shard_bytes_;            // per-PS wire size
+  kv::Transport tx_;
+  kv::KvStore store_;
   std::vector<std::size_t> shard_arrived_;     // per PS
   std::vector<std::size_t> worker_pending_;    // responses awaited
   std::vector<float> agg_;
-  std::size_t agg_round_workers_ = 0;          // pushes folded into agg_
   std::uint64_t tel_shards_closed_ = 0;        // telemetry: P closes = 1 round
 };
 

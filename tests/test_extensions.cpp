@@ -9,8 +9,8 @@
 #include "runtime/engine.hpp"
 #include "sync/bsp.hpp"
 #include "sync/compression.hpp"
+#include "kv/partition.hpp"
 #include "sync/sharded_bsp.hpp"
-#include "sync/sharding.hpp"
 #include "sync/sync_switch.hpp"
 #include "util/check.hpp"
 
@@ -139,28 +139,28 @@ TEST(ErrorFeedback, RecoversTopKAccuracy) {
 
 TEST(Sharding, SingleShardIsAllZero) {
   std::vector<double> bytes = {10, 20, 30};
-  const auto a = sync::assign_blocks_to_shards(bytes, 1);
-  for (std::size_t s : a) EXPECT_EQ(s, 0u);
+  const auto part = kv::byte_balanced_partition(bytes, 1);
+  for (std::size_t s : part.owner) EXPECT_EQ(s, 0u);
 }
 
 TEST(Sharding, BalancesBytes) {
   std::vector<double> bytes = {50, 30, 20, 20, 10, 10};
-  const auto a = sync::assign_blocks_to_shards(bytes, 2);
-  const auto loads = sync::shard_bytes(bytes, a, 2);
+  const auto part = kv::byte_balanced_partition(bytes, 2);
+  const auto loads = kv::partition_bytes(bytes, part);
   EXPECT_DOUBLE_EQ(loads[0] + loads[1], 140.0);
   EXPECT_NEAR(loads[0], loads[1], 10.0);  // greedy gets within one block
 }
 
 TEST(Sharding, EveryShardNonEmptyWhenEnoughBlocks) {
   std::vector<double> bytes(8, 10.0);
-  const auto a = sync::assign_blocks_to_shards(bytes, 4);
-  const auto loads = sync::shard_bytes(bytes, a, 4);
+  const auto part = kv::byte_balanced_partition(bytes, 4);
+  const auto loads = kv::partition_bytes(bytes, part);
   for (double l : loads) EXPECT_GT(l, 0.0);
 }
 
 TEST(Sharding, RejectsZeroShards) {
   std::vector<double> bytes = {1.0};
-  EXPECT_THROW((void)sync::assign_blocks_to_shards(bytes, 0),
+  EXPECT_THROW((void)kv::byte_balanced_partition(bytes, 0),
                util::CheckError);
 }
 

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 
+#include "kv/message.hpp"
 #include "models/zoo.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/engine.hpp"
@@ -211,6 +213,102 @@ TEST(Trace, SyncFractionMath) {
   for (const auto& [phase, share] : shares) sum += share;
   EXPECT_DOUBLE_EQ(sum, 1.0);
   EXPECT_TRUE(empty.phase_shares().empty());
+}
+
+// ------------------------------------------------- KV wire format fuzzing
+//
+// The OSPKVMSG envelope must reject every corruption with a CheckError —
+// truncation at any prefix, trailing bytes, any single-bit flip, version
+// skew, structural nonsense — and must never mis-decode (a corrupt buffer
+// either throws or, impossibly, reproduces the original message; silent
+// acceptance of different content is the failure mode these tests hunt).
+
+kv::KvMessage sample_kv_message() {
+  kv::KvMessage m;
+  m.begin(kv::Op::kPush, 3, 17, {0, 4});
+  m.keys = {0, 1, 2, 3};
+  m.versions = {5, 6, 7, 8};
+  m.set_values(std::vector<float>{0.5f, -1.25f, 0.0f, 3.75f, 0.0f, 2.0f},
+               24.0);
+  m.meta_bytes = 8.0;
+  return m;
+}
+
+TEST(KvWire, ValidRoundTripSanity) {
+  const kv::KvMessage m = sample_kv_message();
+  const auto d = kv::deserialize(kv::serialize(m));
+  EXPECT_EQ(d.values, m.values);
+  EXPECT_EQ(d.keys, m.keys);
+  EXPECT_EQ(d.versions, m.versions);
+  EXPECT_DOUBLE_EQ(d.wire_bytes(), m.wire_bytes());
+}
+
+TEST(KvWire, EveryTruncationRejected) {
+  const auto bytes = kv::serialize(sample_kv_message());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        (void)kv::deserialize(std::span(bytes.data(), len)),
+        util::CheckError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(KvWire, TrailingBytesRejected) {
+  auto bytes = kv::serialize(sample_kv_message());
+  bytes.push_back(0x00);
+  EXPECT_THROW((void)kv::deserialize(bytes), util::CheckError);
+  bytes.pop_back();
+  bytes.push_back(0xff);
+  EXPECT_THROW((void)kv::deserialize(bytes), util::CheckError);
+}
+
+TEST(KvWire, EverySingleBitFlipRejected) {
+  // Magic flips fail the magic check, version flips the version check,
+  // length flips truncate, payload and CRC flips fail the CRC — there is
+  // no byte whose corruption goes unnoticed.
+  const auto clean = kv::serialize(sample_kv_message());
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = clean;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW((void)kv::deserialize(corrupt), util::CheckError)
+          << "flip of bit " << bit << " in byte " << byte << " decoded";
+    }
+  }
+}
+
+TEST(KvWire, VersionSkewRejected) {
+  // The u32 version sits right after the 8-byte magic and outside the
+  // CRC; a writer from the future must be rejected up front.
+  auto bytes = kv::serialize(sample_kv_message());
+  bytes[8] = static_cast<std::uint8_t>(kv::kMessageVersion + 1);
+  EXPECT_THROW((void)kv::deserialize(bytes), util::CheckError);
+}
+
+TEST(KvWire, StructurallyInvalidPayloadsRejected) {
+  // serialize() writes whatever it is given; deserialize() must catch
+  // the structural lies even when the envelope (magic/CRC) is intact.
+  {
+    kv::KvMessage m = sample_kv_message();
+    m.range = {9, 2};  // inverted
+    EXPECT_THROW((void)kv::deserialize(kv::serialize(m)), util::CheckError);
+  }
+  {
+    kv::KvMessage m = sample_kv_message();
+    m.versions = {1, 2};  // matches neither keys nor range arity
+    EXPECT_THROW((void)kv::deserialize(kv::serialize(m)), util::CheckError);
+  }
+  {
+    kv::KvMessage m = sample_kv_message();
+    m.sparse = true;
+    m.indices = {2, 99};  // out of bounds of dense_numel
+    EXPECT_THROW((void)kv::deserialize(kv::serialize(m)), util::CheckError);
+  }
+  {
+    kv::KvMessage m = sample_kv_message();
+    m.values.resize(3);  // dense count no longer matches dense_numel
+    EXPECT_THROW((void)kv::deserialize(kv::serialize(m)), util::CheckError);
+  }
 }
 
 }  // namespace

@@ -1,17 +1,40 @@
 // Behavioural tests of the sync models, verified through full engine runs
 // on the tiny workload: ordering properties (who waits, who doesn't),
 // staleness bounds, sparsification correctness, and cross-model invariants.
+// The GoldenBitIdentity suite at the bottom pins every sync model's full
+// RunResult + final parameters against goldens captured from main before
+// the KV-core refactor, at 1/2/8 pool threads.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/osp_sync.hpp"
 #include "models/zoo.hpp"
 #include "runtime/engine.hpp"
 #include "sync/asp.hpp"
 #include "sync/bsp.hpp"
+#include "sync/casp.hpp"
 #include "sync/compression.hpp"
+#include "sync/dssp.hpp"
+#include "sync/kv_bsp.hpp"
 #include "sync/r2sp.hpp"
+#include "sync/sharded_bsp.hpp"
 #include "sync/ssp.hpp"
+#include "sync/sync_switch.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace osp {
 namespace {
@@ -306,6 +329,233 @@ TEST(OspBehaviour, NamesEncodeOptions) {
   EXPECT_EQ(core::OspSync(c).name(), "OSP(fixed=50%)");
 }
 
+// ---- Golden bit-identity regression ------------------------------------
+//
+// Every sync model runs the tiny workload to completion and its final
+// global parameters + full RunResult are hashed and compared against
+// goldens captured from main *before* the KV-core refactor (the file in
+// tests/golden/). Each case runs under 1-, 2-, and 8-thread pools, so the
+// suite simultaneously pins thread-count invariance and the KV port's
+// flow-for-flow equivalence: any change to a wire byte count, an event
+// ordering, or a float operation shows up as a hash mismatch.
+//
+// Regenerate (only for an intentional, reviewed behaviour change):
+//   OSP_UPDATE_GOLDENS=1 ./test_sync --gtest_filter='GoldenBitIdentity.*'
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void fold_f64(std::uint64_t& h, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  h = fnv1a(&bits, sizeof(bits), h);
+}
+
+void fold_u64(std::uint64_t& h, std::uint64_t v) {
+  h = fnv1a(&v, sizeof(v), h);
+}
+
+std::uint64_t hash_params(std::span<const float> params) {
+  return fnv1a(params.data(), params.size() * sizeof(float));
+}
+
+std::uint64_t hash_result(const runtime::RunResult& r) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(r.sync_name.data(), r.sync_name.size(), h);
+  fold_f64(h, r.total_time_s);
+  fold_f64(h, r.total_samples);
+  fold_f64(h, r.throughput);
+  fold_f64(h, r.best_metric);
+  fold_f64(h, r.final_loss);
+  fold_f64(h, r.mean_bct_s);
+  fold_f64(h, r.mean_bst_s);
+  fold_f64(h, r.steady_bst_s);
+  fold_f64(h, r.p99_bst_s);
+  fold_f64(h, r.steady_throughput);
+  fold_f64(h, r.iters_to_target.value_or(-1.0));
+  fold_f64(h, r.time_to_target_s.value_or(-1.0));
+  fold_u64(h, r.curve.size());
+  for (const auto& p : r.curve) {
+    fold_f64(h, p.time_s);
+    fold_f64(h, p.samples);
+    fold_f64(h, p.metric);
+    fold_f64(h, p.loss);
+  }
+  fold_u64(h, r.epoch_losses.size());
+  for (double l : r.epoch_losses) fold_f64(h, l);
+  fold_u64(h, r.faults.worker_crashes);
+  fold_u64(h, r.faults.flows_cancelled);
+  fold_u64(h, r.faults.timed_out_rounds);
+  fold_u64(h, r.checkpoints_taken);
+  return h;
+}
+
+struct GoldenCase {
+  std::string tag;
+  std::function<std::unique_ptr<runtime::SyncModel>()> make;
+  runtime::EngineConfig cfg;
+};
+
+runtime::EngineConfig golden_cfg(std::size_t num_ps = 1) {
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_epochs = 3;
+  cfg.seed = 42;
+  cfg.straggler_jitter = 0.1;
+  cfg.cluster.num_ps = num_ps;
+  return cfg;
+}
+
+std::vector<GoldenCase> golden_cases() {
+  using sync::CompressionMode;
+  std::vector<GoldenCase> cases;
+  cases.push_back({"bsp",
+                   [] { return std::make_unique<sync::BspSync>(); },
+                   golden_cfg()});
+  cases.push_back({"asp",
+                   [] { return std::make_unique<sync::AspSync>(); },
+                   golden_cfg()});
+  cases.push_back({"ssp2",
+                   [] { return std::make_unique<sync::SspSync>(2); },
+                   golden_cfg()});
+  cases.push_back({"r2sp",
+                   [] { return std::make_unique<sync::R2spSync>(); },
+                   golden_cfg()});
+  cases.push_back({"dssp",
+                   [] { return std::make_unique<sync::DsspSync>(1, 3); },
+                   golden_cfg()});
+  cases.push_back({"casp",
+                   [] { return std::make_unique<sync::CaspSync>(); },
+                   golden_cfg()});
+  cases.push_back({"sync_switch",
+                   [] { return std::make_unique<sync::SyncSwitchSync>(0.3); },
+                   golden_cfg()});
+  cases.push_back({"sharded_bsp_2ps",
+                   [] { return std::make_unique<sync::ShardedBspSync>(); },
+                   golden_cfg(/*num_ps=*/2)});
+  cases.push_back({"topk_ef",
+                   [] {
+                     return std::make_unique<sync::CompressedBspSync>(
+                         CompressionMode::TopK, 0.25, /*seed=*/99,
+                         /*error_feedback=*/true);
+                   },
+                   golden_cfg()});
+  cases.push_back({"randomk",
+                   [] {
+                     return std::make_unique<sync::CompressedBspSync>(
+                         CompressionMode::RandomK, 0.25);
+                   },
+                   golden_cfg()});
+  cases.push_back({"q8",
+                   [] { return std::make_unique<sync::QuantizedBspSync>(); },
+                   golden_cfg()});
+  cases.push_back({"osp",
+                   [] { return std::make_unique<core::OspSync>(); },
+                   golden_cfg()});
+  cases.push_back({"osp_fixed50",
+                   [] {
+                     core::OspOptions opt;
+                     opt.fixed_budget_fraction = 0.5;
+                     return std::make_unique<core::OspSync>(opt);
+                   },
+                   golden_cfg()});
+  cases.push_back({"osp_ema",
+                   [] {
+                     core::OspOptions opt;
+                     opt.use_ema_lgp = true;
+                     return std::make_unique<core::OspSync>(opt);
+                   },
+                   golden_cfg()});
+  cases.push_back({"osp_2ps_fixed50",
+                   [] {
+                     core::OspOptions opt;
+                     opt.fixed_budget_fraction = 0.5;
+                     return std::make_unique<core::OspSync>(opt);
+                   },
+                   golden_cfg(/*num_ps=*/2)});
+  return cases;
+}
+
+struct GoldenHashes {
+  std::uint64_t params = 0;
+  std::uint64_t result = 0;
+};
+
+GoldenHashes run_golden_case(const GoldenCase& c, std::size_t threads) {
+  util::ThreadPool pool(threads);
+  util::ThreadPool::ScopedGlobal guard(pool);
+  const runtime::WorkloadSpec spec = models::tiny_mlp();
+  auto sync = c.make();
+  runtime::Engine engine(spec, c.cfg, *sync);
+  const runtime::RunResult result = engine.run();
+  return {hash_params(engine.global_params()), hash_result(result)};
+}
+
+std::string golden_file_path() {
+  return std::string(OSP_GOLDEN_DIR) + "/sync_goldens.txt";
+}
+
+std::map<std::string, GoldenHashes> load_goldens() {
+  std::map<std::string, GoldenHashes> out;
+  std::ifstream in(golden_file_path());
+  std::string tag, params_hex, result_hex;
+  while (in >> tag >> params_hex >> result_hex) {
+    GoldenHashes g;
+    g.params = std::stoull(params_hex, nullptr, 16);
+    g.result = std::stoull(result_hex, nullptr, 16);
+    out[tag] = g;
+  }
+  return out;
+}
+
+TEST(GoldenBitIdentity, AllSyncModelsMatchMainAt128Threads) {
+  const bool update = std::getenv("OSP_UPDATE_GOLDENS") != nullptr;
+  const auto cases = golden_cases();
+  std::map<std::string, GoldenHashes> goldens;
+  if (!update) {
+    goldens = load_goldens();
+    ASSERT_EQ(goldens.size(), cases.size())
+        << "golden file out of sync with the case list; regenerate with "
+           "OSP_UPDATE_GOLDENS=1";
+  }
+  std::ostringstream regenerated;
+  for (const GoldenCase& c : cases) {
+    const GoldenHashes ref = run_golden_case(c, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const GoldenHashes got = run_golden_case(c, threads);
+      EXPECT_EQ(got.params, ref.params)
+          << c.tag << ": params diverged at " << threads << " threads";
+      EXPECT_EQ(got.result, ref.result)
+          << c.tag << ": RunResult diverged at " << threads << " threads";
+    }
+    if (update) {
+      regenerated << c.tag << ' ' << std::hex << ref.params << ' '
+                  << ref.result << std::dec << '\n';
+      continue;
+    }
+    ASSERT_TRUE(goldens.count(c.tag)) << "no golden for " << c.tag;
+    EXPECT_EQ(ref.params, goldens[c.tag].params)
+        << c.tag << ": final params differ from the pre-refactor golden";
+    EXPECT_EQ(ref.result, goldens[c.tag].result)
+        << c.tag << ": RunResult differs from the pre-refactor golden";
+  }
+  if (update) {
+    std::ofstream out(golden_file_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_file_path();
+    out << regenerated.str();
+    std::cout << "regenerated " << golden_file_path() << "\n";
+  }
+}
+
 TEST(CrossModel, AllModelsReachSameSampleCount) {
   // Every sync model must process exactly max_epochs over each shard.
   const auto spec = models::tiny_mlp();
@@ -321,6 +571,74 @@ TEST(CrossModel, AllModelsReachSameSampleCount) {
   EXPECT_DOUBLE_EQ(run_model(r2sp, cfg, spec).total_samples, expected);
   EXPECT_DOUBLE_EQ(run_model(ssp, cfg, spec).total_samples, expected);
   EXPECT_DOUBLE_EQ(run_model(osp, cfg, spec).total_samples, expected);
+}
+
+// -------------------------------------------------- composed KV pipelines
+
+TEST(KvBspComposition, TelemetryMatchesComposedPipeline) {
+  // The acceptance stack — GIB ∘ top-k ∘ int8 as filter stages — must
+  // report telemetry wire bytes equal to the composed accounting: kept
+  // elements (top-k replaces the GIB block bytes) quartered by int8, the
+  // GIB bitmap + kept indices on the index channel, the fp32 scale in
+  // meta. KvBspSync uses one self-consistent proxy byte scale, so the
+  // prediction is exact, per round, per worker.
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_epochs = 2;
+  cfg.seed = 42;
+  cfg.record_telemetry = true;
+  sync::KvBspOptions opt;
+  opt.gib_keep_fraction = 0.5;
+  opt.topk_keep_fraction = 0.25;
+  opt.quantize_int8 = true;
+  sync::KvBspSync kvbsp(opt);
+  runtime::Engine engine(spec, cfg, kvbsp);
+  const runtime::RunResult r = engine.run();
+
+  EXPECT_EQ(kvbsp.name(), "KvBSP[gib∘topk∘q8]");
+  const std::size_t numel = engine.global_params().size();
+  const double kept = static_cast<double>(std::max<long long>(
+      1, std::llround(0.25 * static_cast<double>(numel))));
+  const double bitmap =
+      4.0 + static_cast<double>((engine.num_blocks() + 7) / 8);
+  const double per_push = kept * 4.0 / 4.0    // values: top-k kept, int8'd
+                          + bitmap + kept * 4.0  // GIB bitmap + indices
+                          + 4.0;                 // the fp32 quant scale
+  ASSERT_FALSE(r.rounds.empty());
+  for (const auto& rec : r.rounds) {
+    EXPECT_DOUBLE_EQ(rec.important_bytes, 4.0 * per_push);
+  }
+  EXPECT_DOUBLE_EQ(kvbsp.last_round_push_bytes(), 4.0 * per_push);
+  EXPECT_GT(r.best_metric, 0.0);
+}
+
+TEST(KvBspComposition, GibAloneChargesSelectedBlockBytes) {
+  const auto spec = models::tiny_mlp();
+  runtime::EngineConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_epochs = 2;
+  cfg.seed = 42;
+  cfg.record_telemetry = true;
+  sync::KvBspOptions opt;
+  opt.gib_keep_fraction = 0.5;
+  sync::KvBspSync kvbsp(opt);
+  runtime::Engine engine(spec, cfg, kvbsp);
+  const runtime::RunResult r = engine.run();
+
+  EXPECT_EQ(kvbsp.name(), "KvBSP[gib]");
+  const double dense = 4.0 * static_cast<double>(engine.global_params().size());
+  const double bitmap =
+      4.0 + static_cast<double>((engine.num_blocks() + 7) / 8);
+  ASSERT_FALSE(r.rounds.empty());
+  // Round 1 ships everything (first selection is all-important); later
+  // rounds drop at least one block under the 50 % byte budget (greedy
+  // always keeps the top block, so the floor stays above the bitmap).
+  EXPECT_DOUBLE_EQ(r.rounds.front().important_bytes, 2.0 * (dense + bitmap));
+  for (std::size_t i = 1; i < r.rounds.size(); ++i) {
+    EXPECT_LT(r.rounds[i].important_bytes, r.rounds.front().important_bytes);
+    EXPECT_GT(r.rounds[i].important_bytes, 2.0 * bitmap);
+  }
 }
 
 }  // namespace
