@@ -88,6 +88,15 @@ void OspSync::attach(runtime::Engine& eng) {
               "OSP-C needs a co-located cluster configuration");
     eng.set_worker_compute_overhead(0, eng.spec().gib_overhead_fraction);
   }
+  replica_.init(part_, eng.all_block_bytes());
+  serving_.resize(num_ps_);
+  for (std::size_t p = 0; p < num_ps_; ++p) serving_[p] = p;
+  shard_epoch_.assign(num_ps_, 0);
+  rs_arrived_.assign(num_ps_,
+                     std::vector<std::uint8_t>(eng.num_workers(), 0));
+  pending_rs_resp_.clear();
+  next_resp_id_ = 0;
+
   const std::size_t n = eng.num_workers();
   round_ = 0;
   rs_shards_arrived_.assign(n, 0);
@@ -162,13 +171,26 @@ void OspSync::on_gradient_ready(std::size_t worker) {
   rs_awaiting_[worker] = true;
   rs_awaiting_round_[worker] = r;
   for (std::size_t p = 0; p < num_ps_; ++p) {
-    const kv::KvMessage m =
-        shard_message(kv::Op::kPush, static_cast<std::uint32_t>(worker), r,
-                      p, gib_, /*important=*/true);
-    tx_.push(worker, p, m, /*owned=*/true,
-             [this, r, worker] { on_rs_push_arrived(r, worker); });
+    push_rs_shard(worker, r, p);
   }
   arm_rs_timer();
+}
+
+void OspSync::push_rs_shard(std::size_t worker, std::uint64_t round,
+                            std::size_t p) {
+  // Whole chain down: the push is re-issued when a restart repoints the
+  // shard (repoint_shard re-pushes for every worker still awaiting).
+  const std::size_t host = serving_[p];
+  if (host == kv::ReplicaTable::npos) return;
+  const kv::KvMessage m =
+      shard_message(kv::Op::kPush, static_cast<std::uint32_t>(worker), round,
+                    p, gib_, /*important=*/true);
+  // The epoch fences deliveries against a failover: a flow addressed to a
+  // host that lost the shard in the meantime is void on arrival.
+  const std::uint64_t epoch = shard_epoch_[p];
+  tx_.push(worker, host, m, /*owned=*/true, [this, round, p, worker, epoch] {
+    on_rs_push_arrived(round, p, worker, epoch);
+  });
 }
 
 void OspSync::arm_rs_timer() {
@@ -193,7 +215,9 @@ void OspSync::arm_rs_timer() {
   });
 }
 
-void OspSync::on_rs_push_arrived(std::uint64_t round, std::size_t worker) {
+void OspSync::on_rs_push_arrived(std::uint64_t round, std::size_t p,
+                                 std::size_t worker, std::uint64_t epoch) {
+  if (epoch != shard_epoch_[p]) return;  // landed at a deposed host
   if (round != round_ + 1) {
     // Late shard from a round that already closed: the gradient is stale —
     // discard it and resync the worker so it can rejoin.
@@ -201,6 +225,8 @@ void OspSync::on_rs_push_arrived(std::uint64_t round, std::size_t worker) {
       catch_up(worker);
     return;
   }
+  if (rs_arrived_[p][worker] != 0) return;  // re-push raced its original
+  rs_arrived_[p][worker] = 1;
   if (++rs_shards_arrived_[worker] < num_ps_) return;
   rs_contributed_[worker] = true;
   ++rs_contributed_count_;
@@ -213,7 +239,10 @@ void OspSync::on_worker_crashed(std::size_t worker) {
   rs_pending_[worker] = 0;
   // Partial shard pushes can no longer complete; a finished contribution
   // is kept (the gradient already reached every shard).
-  if (!rs_contributed_[worker]) rs_shards_arrived_[worker] = 0;
+  if (!rs_contributed_[worker]) {
+    rs_shards_arrived_[worker] = 0;
+    for (std::size_t p = 0; p < num_ps_; ++p) rs_arrived_[p][worker] = 0;
+  }
   // Drop it from every in-flight ICS round; some shards may now complete
   // with the remaining members.
   std::vector<std::uint64_t> affected;
@@ -236,6 +265,90 @@ void OspSync::on_worker_restarted(std::size_t worker) {
   (void)worker;
   OSP_CHECK(unhealthy_ > 0, "restart without a preceding crash");
   --unhealthy_;
+}
+
+void OspSync::on_ps_crashed(std::size_t ps) {
+  replica_.set_alive(ps, false);
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (serving_[p] == ps) repoint_shard(p);
+  }
+}
+
+void OspSync::on_ps_restarted(std::size_t ps) {
+  replica_.set_alive(ps, true);
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (replica_.serving(p) != serving_[p]) repoint_shard(p);
+  }
+}
+
+void OspSync::repoint_shard(std::size_t p) {
+  runtime::Engine& e = eng();
+  const std::size_t target = replica_.serving(p);
+  if (target == serving_[p]) return;
+  serving_[p] = target;
+  ++shard_epoch_[p];  // arrivals addressed to the deposed host are void
+  // Arrivals the dead host was holding for the collecting round never
+  // made it into an aggregate: un-count them so the barrier waits for the
+  // re-pushes (a worker that lost a shard loses its "contributed" mark).
+  const std::uint64_t collecting = round_ + 1;
+  for (std::size_t w = 0; w < e.num_workers(); ++w) {
+    if (rs_arrived_[p][w] == 0) continue;
+    rs_arrived_[p][w] = 0;
+    OSP_CHECK(rs_shards_arrived_[w] > 0, "RS arrival accounting underflow");
+    --rs_shards_arrived_[w];
+    if (rs_contributed_[w]) {
+      rs_contributed_[w] = false;
+      --rs_contributed_count_;
+    }
+  }
+  if (target == kv::ReplicaTable::npos) return;  // wait for a restart
+  // Version-predicate catch-up: ship exactly the segments whose tail
+  // update had not reached the replica, and charge the new host's queue.
+  const double shipped = replica_.catch_up(p, store_);
+  e.record_ps_promotion(shipped);
+  {
+    runtime::SyncTelemetry& rec = e.telemetry_round(collecting);
+    ++rec.promotions;
+    rec.catch_up_bytes += shipped;
+  }
+  if (shipped > 0.0) {
+    e.ps_submit(e.ps_apply_delay(shipped, 1.0), [] {}, target);
+  }
+  // RS responses whose job died with the old host's queue are re-submitted
+  // on the promoted replica — re-answered, never re-applied (the optimizer
+  // step ran once at close_rs; the version stamps stay monotone).
+  for (PendingRsResp& pr : pending_rs_resp_) {
+    if (pr.ps != p) continue;
+    if (pr.host != kv::ReplicaTable::npos && e.ps_alive(pr.host)) continue;
+    pr.host = target;
+    submit_rs_response(pr.id);
+  }
+  // Workers still awaiting the collecting round re-push this shard to the
+  // new host (their original flows, if in flight, are epoch-fenced).
+  for (std::size_t w = 0; w < e.num_workers(); ++w) {
+    if (!e.worker_alive(w)) continue;
+    if (!rs_awaiting_[w] || rs_awaiting_round_[w] != collecting) continue;
+    push_rs_shard(w, collecting, p);
+  }
+  // In-flight ICS rounds whose shard-p step has not run yet lost whatever
+  // the dead host had collected: alive members re-push shard p. Shards
+  // already applied stay applied — their step is never re-run.
+  for (IcsRound& r : ics_inflight_) {
+    if (r.applied[p]) continue;
+    kv::KvMessage m = shard_message(kv::Op::kPush, 0, r.round, p, r.gib,
+                                    /*important=*/false);
+    if (m.value_bytes <= 0.0) continue;
+    const std::uint64_t epoch = shard_epoch_[p];
+    for (std::size_t w = 0; w < e.num_workers(); ++w) {
+      if (!r.members[w] || !e.worker_alive(w)) continue;
+      r.arrived_from[p][w] = false;
+      m.sender = static_cast<std::uint32_t>(w);
+      const std::uint64_t rnd = r.round;
+      tx_.push(w, target, m, /*owned=*/true, [this, rnd, p, w, epoch] {
+        on_ics_push_arrived(rnd, p, w, epoch);
+      });
+    }
+  }
 }
 
 void OspSync::maybe_close_rs() {
@@ -264,6 +377,9 @@ void OspSync::close_rs() {
   rs_shards_arrived_.assign(n, 0);
   rs_contributed_.assign(n, false);
   rs_contributed_count_ = 0;
+  for (auto& row : rs_arrived_) {
+    std::fill(row.begin(), row.end(), std::uint8_t{0});
+  }
 
   // Telemetry record for this round — created before the empty-round early
   // return so timed-out rounds with zero contributors stay visible, and
@@ -307,6 +423,9 @@ void OspSync::close_rs() {
     for (std::size_t w = 0; w < n; ++w) {
       if (contributors[w]) weight_sum += e.worker_weight(w);
     }
+    // Defensive twin of the contributed == 0 gate above: a contributor set
+    // whose weights sum to zero must close as a no-op, not divide by zero.
+    if (weight_sum <= 0.0) return;
     for (std::size_t w = 0; w < n; ++w) {
       if (!contributors[w]) continue;
       util::axpy(static_cast<float>(e.worker_weight(w) / weight_sum),
@@ -323,6 +442,13 @@ void OspSync::close_rs() {
       stepped[b] = gib_.important(b) ? 1 : 0;
     }
     store_.bump_selected(stepped);
+    for (std::size_t b = 0; b < gib_.size(); ++b) {
+      if (stepped[b] != 0) {
+        // Async replication trails the apply by one update per segment.
+        replica_.note_update(static_cast<kv::Key>(b),
+                             store_.version(static_cast<kv::Key>(b)));
+      }
+    }
   }
 
   // (c) Asynchronous GIB calculation for the next round.
@@ -336,6 +462,7 @@ void OspSync::close_rs() {
     rec.gib_unimportant = round_gib.count_unimportant();
     rec.important_bytes = round_gib.important_bytes(e.all_block_bytes());
     rec.unimportant_bytes = round_gib.unimportant_bytes(e.all_block_bytes());
+    rec.replica_lag = replica_.lag(store_);
   }
 
   const double lr = e.current_lr();
@@ -361,56 +488,92 @@ void OspSync::close_rs() {
                       this_round, p, round_gib, /*important=*/true);
     store_.stamp_versions(resp);
     resp.meta_bytes += static_cast<double>(gib_.wire_bytes());
-    const double important = resp.value_bytes;
-    e.ps_submit(
-        e.ps_apply_delay(important, 3.0),
-        [this, p, resp, round_gib, lr, recipients] {
-          for (std::size_t w = 0; w < eng().num_workers(); ++w) {
-            if (!recipients[w]) continue;
-            tx_.respond(
-                w, p, resp, /*owned=*/true,
-                [this, w, p, round_gib, lr] {
-                  runtime::Engine& e2 = eng();
-                  if (!e2.worker_alive(w) || rs_pending_[w] == 0) return;
-                  // Install this shard's important blocks (the restricted
-                  // view encodes the selection as its important set).
-                  copy_important_blocks(
-                      e2.worker_params(w), e2.global_params(), e2.blocks(),
-                      restrict_to_ps(round_gib, p, /*want_important=*/true,
-                                     /*encode_as_important=*/true));
-                  if (--rs_pending_[w] > 0) return;
-                  // Last shard delivered: LGP prediction + next iteration.
-                  rs_awaiting_[w] = false;
-                  if (options_.enable_lgp) {
-                    if (ema_lgp_ != nullptr) {
-                      ema_lgp_->apply_local_step(e2.worker_params(w),
-                                                 e2.worker_gradient(w), lr,
-                                                 e2.blocks(), round_gib);
-                    } else {
-                      lgp_apply_local_step(e2.worker_params(w),
-                                           e2.worker_gradient(w), lr,
-                                           e2.blocks(), round_gib);
-                    }
-                  }
-                  e2.finish_sync(w);
-                });
-          }
-        },
-        p);
+    PendingRsResp pending;
+    pending.id = next_resp_id_++;
+    pending.ps = p;
+    pending.host = serving_[p];
+    pending.resp = std::move(resp);
+    pending.round_gib = round_gib;
+    pending.lr = lr;
+    pending.recipients = recipients;
+    pending_rs_resp_.push_back(std::move(pending));
+    submit_rs_response(pending_rs_resp_.back().id);
   }
   start_ics_round(this_round, round_gib, recipients);
 }
 
+void OspSync::submit_rs_response(std::uint64_t id) {
+  runtime::Engine& e = eng();
+  const auto it = std::find_if(
+      pending_rs_resp_.begin(), pending_rs_resp_.end(),
+      [id](const PendingRsResp& r) { return r.id == id; });
+  OSP_CHECK(it != pending_rs_resp_.end(), "unknown pending RS response");
+  // Shard's whole chain down: repoint_shard re-submits at the restart.
+  if (it->host == kv::ReplicaTable::npos) return;
+  e.ps_submit(
+      e.ps_apply_delay(it->resp.value_bytes, 3.0),
+      [this, id] {
+        const auto fit = std::find_if(
+            pending_rs_resp_.begin(), pending_rs_resp_.end(),
+            [id](const PendingRsResp& r) { return r.id == id; });
+        if (fit == pending_rs_resp_.end()) return;
+        // Detach: once the responses are on the wire (worker-owned flows,
+        // which survive PS crashes) there is nothing left to re-drive.
+        const PendingRsResp pr = std::move(*fit);
+        pending_rs_resp_.erase(fit);
+        const std::size_t p = pr.ps;
+        const Gib round_gib = pr.round_gib;
+        const double lr = pr.lr;
+        for (std::size_t w = 0; w < eng().num_workers(); ++w) {
+          if (!pr.recipients[w]) continue;
+          tx_.respond(
+              w, pr.host, pr.resp, /*owned=*/true,
+              [this, w, p, round_gib, lr] {
+                runtime::Engine& e2 = eng();
+                if (!e2.worker_alive(w) || rs_pending_[w] == 0) return;
+                // Install this shard's important blocks (the restricted
+                // view encodes the selection as its important set).
+                copy_important_blocks(
+                    e2.worker_params(w), e2.global_params(), e2.blocks(),
+                    restrict_to_ps(round_gib, p, /*want_important=*/true,
+                                   /*encode_as_important=*/true));
+                if (--rs_pending_[w] > 0) return;
+                // Last shard delivered: LGP prediction + next iteration.
+                rs_awaiting_[w] = false;
+                if (options_.enable_lgp) {
+                  if (ema_lgp_ != nullptr) {
+                    ema_lgp_->apply_local_step(e2.worker_params(w),
+                                               e2.worker_gradient(w), lr,
+                                               e2.blocks(), round_gib);
+                  } else {
+                    lgp_apply_local_step(e2.worker_params(w),
+                                         e2.worker_gradient(w), lr,
+                                         e2.blocks(), round_gib);
+                  }
+                }
+                e2.finish_sync(w);
+              });
+        }
+      },
+      it->host);
+}
+
 void OspSync::catch_up(std::size_t worker) {
   runtime::Engine& e = eng();
+  // The pull is served by whichever host currently serves shard 0; with
+  // the whole chain down it is skipped — the RS watchdog retries at the
+  // next expiry (the worker stays rs_awaiting_).
+  const std::size_t src = serving_[0];
+  if (src == kv::ReplicaTable::npos) return;
   e.record_catch_up_pull();
   ++e.telemetry_round(round_).retries;
   // Full-model resync pull: every segment, current versions.
   kv::KvMessage pull;
-  pull.begin(kv::Op::kPullResponse, 0, round_, store_.key_range());
+  pull.begin(kv::Op::kPullResponse, static_cast<std::uint32_t>(src), round_,
+             store_.key_range());
   store_.stamp_versions(pull);
   pull.set_accounting(e.model_bytes());
-  tx_.respond(worker, 0, pull, /*owned=*/true, [this, worker] {
+  tx_.respond(worker, src, pull, /*owned=*/true, [this, worker] {
                       runtime::Engine& e2 = eng();
                       if (!e2.worker_alive(worker) || !rs_awaiting_[worker])
                         return;
@@ -424,9 +587,11 @@ void OspSync::catch_up(std::size_t worker) {
 
 Gib OspSync::compute_next_gib() {
   runtime::Engine& e = eng();
-  // §4.3 under faults: while any worker is down, degrade to RS-only (all
-  // blocks important, no ICS) — Algorithm 1's budget resumes on recovery.
+  // §4.3 under faults: while any worker or PS host is down, degrade to
+  // RS-only (all blocks important, no ICS) — Algorithm 1's budget resumes
+  // on recovery.
   if (unhealthy_ > 0) return Gib::all_important(e.num_blocks());
+  if (e.num_ps_crashed() > 0) return Gib::all_important(e.num_blocks());
   if (ics_budget_ <= 0.0) return Gib::all_important(e.num_blocks());
   std::vector<double> importance;
   switch (options_.ranking) {
@@ -493,11 +658,16 @@ void OspSync::start_ics_round(std::uint64_t round, const Gib& gib,
     kv::KvMessage m = shard_message(kv::Op::kPush, 0, round, p, gib,
                                     /*important=*/false);
     if (m.value_bytes <= 0.0) continue;
+    // Whole chain down: skipped now, re-pushed when a restart repoints
+    // the shard (repoint_shard re-drives unapplied ICS shards).
+    const std::size_t host = serving_[p];
+    if (host == kv::ReplicaTable::npos) continue;
+    const std::uint64_t epoch = shard_epoch_[p];
     for (std::size_t w = 0; w < e.num_workers(); ++w) {
       if (!members[w]) continue;
       m.sender = static_cast<std::uint32_t>(w);
-      tx_.push(w, p, m, /*owned=*/true, [this, round, p, w] {
-        on_ics_push_arrived(round, p, w);
+      tx_.push(w, host, m, /*owned=*/true, [this, round, p, w, epoch] {
+        on_ics_push_arrived(round, p, w, epoch);
       });
     }
   }
@@ -515,7 +685,8 @@ void OspSync::start_ics_round(std::uint64_t round, const Gib& gib,
 }
 
 void OspSync::on_ics_push_arrived(std::uint64_t round, std::size_t ps,
-                                  std::size_t worker) {
+                                  std::size_t worker, std::uint64_t epoch) {
+  if (epoch != shard_epoch_[ps]) return;  // landed at a deposed host
   auto it = std::find_if(
       ics_inflight_.begin(), ics_inflight_.end(),
       [round](const IcsRound& r) { return r.round == round; });
@@ -566,6 +737,13 @@ void OspSync::check_ics_round(std::uint64_t round) {
         stepped[b] = shard_view.important(b) ? 0 : 1;
       }
       store_.bump_selected(stepped);
+      for (std::size_t b = 0; b < shard_view.size(); ++b) {
+        if (stepped[b] != 0) {
+          // Async replication trails the apply by one update per segment.
+          replica_.note_update(static_cast<kv::Key>(b),
+                               store_.version(static_cast<kv::Key>(b)));
+        }
+      }
     }
 
     kv::KvMessage resp =
@@ -573,13 +751,18 @@ void OspSync::check_ics_round(std::uint64_t round) {
                       round, p, it->gib, /*important=*/false);
     store_.stamp_versions(resp);
     const std::vector<bool> members = it->members;
+    // Correction answers queue on the shard's serving host (the one the
+    // completing push just landed on). A correction that dies with a
+    // crashed queue is NOT re-driven: the member keeps its LGP prediction
+    // — exactly the no-correction degradation OSP already tolerates.
+    const std::size_t host = serving_[p];
     e.ps_submit(
         e.ps_apply_delay(resp.value_bytes, 3.0),
-        [this, round, p, shard_view, resp, members] {
+        [this, round, shard_view, resp, members, host] {
           runtime::Engine& en = eng();
           for (std::size_t w = 0; w < en.num_workers(); ++w) {
             if (!members[w] || !en.worker_alive(w)) continue;
-            tx_.respond(w, p, resp, /*owned=*/true,
+            tx_.respond(w, host, resp, /*owned=*/true,
                                [this, w, round, shard_view] {
                                  runtime::Engine& e2 = eng();
                                  if (!e2.worker_alive(w)) return;
@@ -622,7 +805,7 @@ void OspSync::check_ics_round(std::uint64_t round) {
                                });
           }
         },
-        p);
+        host);
   }
 
   bool all_applied = true;
@@ -671,7 +854,7 @@ void OspSync::on_epoch_complete(std::size_t epoch, double mean_loss) {
 }
 
 void OspSync::save_state(util::serde::Writer& w) const {
-  w.u8(2);  // OSP state version (2: KV core)
+  w.u8(3);  // OSP state version (3: PS replication)
   w.u64(round_);
   const std::vector<std::uint8_t> gib_bytes = gib_.serialize();
   w.bytes(gib_bytes);
@@ -699,12 +882,15 @@ void OspSync::save_state(util::serde::Writer& w) const {
   w.bool_vec(rs_awaiting_);
   w.u64_vec(rs_awaiting_round_);
   w.size_vec(rs_pending_);
+  w.size_vec(serving_);
+  w.u64_vec(shard_epoch_);
+  replica_.save_state(w);
   store_.save_state(w);
 }
 
 void OspSync::load_state(util::serde::Reader& r) {
   const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 2, "unsupported OSP state version");
+  OSP_CHECK(version == 3, "unsupported OSP state version");
   round_ = r.u64();
   gib_ = Gib::deserialize(r.bytes());
   OSP_CHECK(gib_.size() == eng().num_blocks(),
@@ -742,9 +928,17 @@ void OspSync::load_state(util::serde::Reader& r) {
                 rs_contributed_.size() == n && rs_awaiting_.size() == n &&
                 rs_awaiting_round_.size() == n && rs_pending_.size() == n,
             "OSP checkpoint worker count mismatch");
+  serving_ = r.size_vec();
+  shard_epoch_ = r.u64_vec();
+  OSP_CHECK(serving_.size() == num_ps_ && shard_epoch_.size() == num_ps_,
+            "OSP checkpoint failover state mismatch");
+  replica_.load_state(r);
   store_.load_state(r);
   rs_timer_armed_ = false;  // re-armed by the next push
   ics_inflight_.clear();    // drained before every snapshot
+  // Collecting-round bookkeeping is empty at the drain barrier.
+  rs_arrived_.assign(num_ps_, std::vector<std::uint8_t>(n, 0));
+  pending_rs_resp_.clear();
 }
 
 bool OspSync::drained() const {

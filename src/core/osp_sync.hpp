@@ -50,6 +50,7 @@
 #include "core/tuning.hpp"
 #include "kv/message.hpp"
 #include "kv/partition.hpp"
+#include "kv/replication.hpp"
 #include "kv/store.hpp"
 #include "kv/transport.hpp"
 #include "runtime/sync_model.hpp"
@@ -101,6 +102,8 @@ class OspSync : public runtime::SyncModel {
   void on_epoch_complete(std::size_t epoch, double mean_loss) override;
   void on_worker_crashed(std::size_t worker) override;
   void on_worker_restarted(std::size_t worker) override;
+  void on_ps_crashed(std::size_t ps) override;
+  void on_ps_restarted(std::size_t ps) override;
 
   /// Introspection for tests/benches.
   [[nodiscard]] const Gib& current_gib() const { return gib_; }
@@ -112,6 +115,11 @@ class OspSync : public runtime::SyncModel {
   [[nodiscard]] std::size_t num_ps() const { return num_ps_; }
   /// Currently-crashed worker count (drives the §4.3 fault degradation).
   [[nodiscard]] std::size_t num_unhealthy() const { return unhealthy_; }
+  /// Introspection for tests: host currently serving logical shard `p`.
+  [[nodiscard]] std::size_t serving_host(std::size_t p) const {
+    return serving_[p];
+  }
+  [[nodiscard]] const kv::ReplicaTable& replicas() const { return replica_; }
 
   void save_state(util::serde::Writer& w) const override;
   void load_state(util::serde::Reader& r) override;
@@ -125,11 +133,38 @@ class OspSync : public runtime::SyncModel {
  private:
   // ---- RS ----
   void arm_rs_timer();
-  void on_rs_push_arrived(std::uint64_t round, std::size_t worker);
+  /// One shard flow of worker `worker`'s round-`round` important push,
+  /// routed to shard `p`'s serving host.
+  void push_rs_shard(std::size_t worker, std::uint64_t round, std::size_t p);
+  void on_rs_push_arrived(std::uint64_t round, std::size_t p,
+                          std::size_t worker, std::uint64_t epoch);
   void maybe_close_rs();
   void close_rs();
   void catch_up(std::size_t worker);
   Gib compute_next_gib();
+
+  // ---- PS failover ----
+  //
+  // An RS response is queued as a job on the shard's serving host; until
+  // the job fires its payload is recorded here so a crash of that host
+  // (which drops its serial queue) can re-submit the *same* response on
+  // the promoted replica. Re-submission never re-applies the optimizer
+  // step — the step ran at close_rs; only the answer is re-driven.
+  struct PendingRsResp {
+    std::uint64_t id = 0;
+    std::size_t ps = 0;        ///< logical shard
+    std::size_t host = 0;      ///< host the job is queued on
+    kv::KvMessage resp;
+    Gib round_gib = Gib::all_important(0);
+    double lr = 0.0;
+    std::vector<bool> recipients;
+  };
+  /// Queue pending_rs_resp_ entry `id` on its host's serial queue.
+  void submit_rs_response(std::uint64_t id);
+  /// Serving host for shard `p` changed (crash or restart): catch the new
+  /// host up and re-drive what the old host still owed (RS pushes of the
+  /// collecting round, unapplied ICS shard pushes, queued RS responses).
+  void repoint_shard(std::size_t p);
 
   // ---- ICS ----
   struct IcsRound {
@@ -143,7 +178,7 @@ class OspSync : public runtime::SyncModel {
   void start_ics_round(std::uint64_t round, const Gib& gib,
                        const std::vector<bool>& members);
   void on_ics_push_arrived(std::uint64_t round, std::size_t ps,
-                           std::size_t worker);
+                           std::size_t worker, std::uint64_t epoch);
   /// Apply every shard whose remaining members' pushes all arrived; erase
   /// the round once all byte-carrying shards applied (or no member is
   /// left to deliver the rest).
@@ -199,6 +234,7 @@ class OspSync : public runtime::SyncModel {
   kv::Partition part_;     ///< block → PS (byte-balanced)
   kv::Transport tx_;       ///< all RS/ICS traffic (worker-owned flows)
   kv::KvStore store_;      ///< per-block segment versions
+  kv::ReplicaTable replica_;
 
   std::vector<float> agg_;     ///< mean of this round's full gradients
   std::uint64_t round_ = 0;    ///< RS rounds closed; collecting id round_+1
@@ -216,6 +252,16 @@ class OspSync : public runtime::SyncModel {
   std::vector<std::uint64_t> last_ics_applied_;  ///< per worker
   std::size_t ics_rounds_completed_ = 0;
   std::map<std::uint64_t, IcsTrace> ics_trace_;  ///< tracing only
+
+  // ---- PS failover state (identity / empty on a healthy run) ----
+  std::vector<std::size_t> serving_;        ///< logical shard → host
+  std::vector<std::uint64_t> shard_epoch_;  ///< fences stale arrivals
+  /// Collecting-round RS arrivals per [shard][worker]; pairs with the
+  /// rs_shards_arrived_ counter so a promotion can un-count the arrivals
+  /// the dead host was holding.
+  std::vector<std::vector<std::uint8_t>> rs_arrived_;
+  std::vector<PendingRsResp> pending_rs_resp_;
+  std::uint64_t next_resp_id_ = 0;
 };
 
 }  // namespace osp::core

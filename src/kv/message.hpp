@@ -32,6 +32,10 @@ namespace osp::kv {
 inline constexpr const char* kMessageMagic = "OSPKVMSG";
 inline constexpr std::uint32_t kMessageVersion = 1;
 
+/// Fixed per-message frame the serialized format carries regardless of the
+/// payload: 8-byte magic, u32 format version, u64 payload length, u32 CRC.
+inline constexpr double kFrameOverheadBytes = 8.0 + 4.0 + 8.0 + 4.0;
+
 enum class Op : std::uint8_t { kPush = 0, kPull = 1, kPullResponse = 2 };
 
 struct KvMessage {
@@ -61,9 +65,11 @@ struct KvMessage {
   double index_bytes = 0.0;           ///< index / bitmap side channel
   double meta_bytes = 0.0;            ///< scales, signatures, piggybacks
 
-  /// Total simulated cost the transport charges for this message.
+  /// Total simulated cost the transport charges for this message: the
+  /// filtered payload plus the fixed frame every serialized message carries
+  /// (magic | version | length | crc32).
   [[nodiscard]] double wire_bytes() const {
-    return value_bytes + index_bytes + meta_bytes;
+    return value_bytes + index_bytes + meta_bytes + kFrameOverheadBytes;
   }
 
   /// Re-arm a (possibly reused) message for a fresh send: resets every

@@ -86,6 +86,23 @@ std::size_t ConsistentHashRing::shard_of(Key k) const {
   return it->shard;
 }
 
+std::size_t ConsistentHashRing::successor(std::size_t shard) const {
+  OSP_CHECK(shard < num_shards_, "shard out of range");
+  if (num_shards_ == 1) return shard;
+  // The ring is sorted by hash, so the shard's lowest-hash vnode is its
+  // first occurrence; walk clockwise (wrapping) to the next foreign point.
+  auto anchor = std::find_if(
+      ring_.begin(), ring_.end(),
+      [shard](const Point& p) { return p.shard == shard; });
+  OSP_CHECK(anchor != ring_.end(), "shard missing from ring");
+  const std::size_t start = static_cast<std::size_t>(anchor - ring_.begin());
+  for (std::size_t step = 1; step < ring_.size(); ++step) {
+    const Point& p = ring_[(start + step) % ring_.size()];
+    if (p.shard != shard) return p.shard;
+  }
+  return shard;  // unreachable with >= 2 shards, defensive
+}
+
 Partition ConsistentHashRing::partition(std::size_t num_keys) const {
   Partition part;
   part.num_shards = num_shards_;

@@ -66,6 +66,14 @@ class ConsistentHashRing {
   /// Materialize the ring's ownership over a dense key space.
   [[nodiscard]] Partition partition(std::size_t num_keys) const;
 
+  /// Replica placement: the shard owning the first ring point clockwise of
+  /// `shard`'s lowest-hash vnode that belongs to a *different* shard. This
+  /// is the primary-backup successor rule — deterministic, and with the
+  /// same bounded-movement property as key ownership: adding a shard only
+  /// changes the successors of its ring neighbours. With one shard the
+  /// successor is the shard itself (no distinct backup exists).
+  [[nodiscard]] std::size_t successor(std::size_t shard) const;
+
  private:
   struct Point {
     std::uint64_t hash;

@@ -1,0 +1,117 @@
+#include "kv/replication.hpp"
+
+#include "util/serde.hpp"
+
+namespace osp::kv {
+
+void ReplicaTable::init(const Partition& part,
+                        std::span<const double> key_bytes,
+                        std::size_t replication_factor) {
+  OSP_CHECK(part.num_shards >= 1, "need at least one host");
+  OSP_CHECK(replication_factor >= 1, "replication factor counts the primary");
+  OSP_CHECK(key_bytes.size() == part.owner.size(),
+            "key byte table arity mismatch");
+  part_ = part;
+  key_bytes_.assign(key_bytes.begin(), key_bytes.end());
+  backup_versions_.assign(part.owner.size(), 0);
+  alive_.assign(part.num_shards, true);
+
+  // Chain for shard p: primary p, then ring successors until the factor
+  // is met or the hosts run out. The ring is the same construction key
+  // ownership uses, so membership changes keep bounded movement.
+  const ConsistentHashRing ring(part.num_shards);
+  chains_.assign(part.num_shards, {});
+  for (std::size_t p = 0; p < part.num_shards; ++p) {
+    std::vector<std::size_t>& chain = chains_[p];
+    chain.push_back(p);
+    std::size_t host = p;
+    while (chain.size() < replication_factor) {
+      host = ring.successor(host);
+      if (std::find(chain.begin(), chain.end(), host) != chain.end()) break;
+      chain.push_back(host);
+    }
+  }
+}
+
+const std::vector<std::size_t>& ReplicaTable::chain(std::size_t shard) const {
+  OSP_CHECK(shard < chains_.size(), "shard out of range");
+  return chains_[shard];
+}
+
+bool ReplicaTable::alive(std::size_t host) const {
+  OSP_CHECK(host < alive_.size(), "host out of range");
+  return alive_[host];
+}
+
+void ReplicaTable::set_alive(std::size_t host, bool up) {
+  OSP_CHECK(host < alive_.size(), "host out of range");
+  alive_[host] = up;
+}
+
+std::size_t ReplicaTable::serving(std::size_t shard) const {
+  for (std::size_t host : chain(shard)) {
+    if (alive_[host]) return host;
+  }
+  return npos;
+}
+
+void ReplicaTable::note_update(Key k, std::uint64_t version_now) {
+  OSP_CHECK(k < backup_versions_.size(), "key out of range");
+  OSP_CHECK(version_now >= 1, "note_update before any apply");
+  backup_versions_[static_cast<std::size_t>(k)] = version_now - 1;
+}
+
+bool ReplicaTable::fresh(Key k, const KvStore& store) const {
+  OSP_CHECK(k < backup_versions_.size(), "key out of range");
+  return backup_versions_[static_cast<std::size_t>(k)] == store.version(k);
+}
+
+std::size_t ReplicaTable::lag(const KvStore& store) const {
+  std::size_t stale = 0;
+  for (std::size_t k = 0; k < backup_versions_.size(); ++k) {
+    if (!fresh(static_cast<Key>(k), store)) ++stale;
+  }
+  return stale;
+}
+
+double ReplicaTable::stale_bytes(std::size_t shard,
+                                 const KvStore& store) const {
+  double total = 0.0;
+  for (std::size_t k = 0; k < backup_versions_.size(); ++k) {
+    if (part_.owner[k] != shard) continue;
+    if (!fresh(static_cast<Key>(k), store)) total += key_bytes_[k];
+  }
+  return total;
+}
+
+double ReplicaTable::catch_up(std::size_t shard, const KvStore& store) {
+  double shipped = 0.0;
+  for (std::size_t k = 0; k < backup_versions_.size(); ++k) {
+    if (part_.owner[k] != shard) continue;
+    const Key key = static_cast<Key>(k);
+    if (fresh(key, store)) continue;
+    shipped += key_bytes_[k];
+    backup_versions_[k] = store.version(key);
+  }
+  return shipped;
+}
+
+void ReplicaTable::save_state(util::serde::Writer& w) const {
+  w.u8(1);  // replica table state version
+  w.u64_vec(backup_versions_);
+  w.bool_vec(alive_);
+}
+
+void ReplicaTable::load_state(util::serde::Reader& r) {
+  OSP_CHECK(r.u8() == 1, "unsupported replica table state version");
+  const std::vector<std::uint64_t> versions = r.u64_vec();
+  OSP_CHECK(versions.size() == backup_versions_.size(),
+            "replica table checkpoint key count mismatch");
+  backup_versions_ = versions;
+  const std::vector<bool> alive = r.bool_vec();
+  OSP_CHECK(alive.size() == alive_.size(),
+            "replica table checkpoint host count mismatch");
+  alive_ = alive;
+}
+
+}  // namespace osp::kv

@@ -1,0 +1,109 @@
+// Primary-backup replication of key segments across PS shards.
+//
+// Placement: logical shard p (one per PS host, from the sync model's key
+// partition) is primary on host p; its backups are the ring-successor
+// hosts on the existing consistent-hash ring (kv/partition.hpp), so a
+// membership change moves only the chains of the ring neighbours —
+// the same bounded-movement property key ownership already has.
+//
+// Freshness: the KV store's per-segment version stamps are the
+// replica-sync predicate — a backup is *fresh* for segment k iff its
+// recorded version matches the primary's authoritative version, and
+// catch-up ships only the stale segments. The replication stream is
+// modeled asynchronously, trailing the apply stream by exactly one
+// update per segment: when the primary applies an update (bumping the
+// store version to v) the backup is known-good up to v-1, and becomes
+// fresh for v only at the next apply or at an explicit catch-up. At a
+// crash, the version predicate therefore selects exactly the segments
+// whose tail update was still in flight to the backup.
+//
+// Failover: the *serving* host of a shard is the first alive host in
+// its chain. When the primary crashes, serving moves to the backup
+// (promotion); when it restarts, serving moves back (failback). Both
+// transitions run a catch-up that ships the stale segments and marks
+// every segment fresh.
+//
+// Determinism: on a healthy run every call here is pure in-memory
+// bookkeeping — no simulated flows, no RNG, no virtual-time cost — so
+// runs with an empty fault schedule stay bit-identical to the sync
+// goldens with replication enabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/partition.hpp"
+#include "kv/store.hpp"
+
+namespace osp::util::serde {
+class Writer;
+class Reader;
+}  // namespace osp::util::serde
+
+namespace osp::kv {
+
+class ReplicaTable {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Build the replica chains for `part` (one logical shard per host;
+  /// shard p is primary on host p). `key_bytes` sizes catch-up traffic.
+  /// `replication_factor` counts the primary, so 2 = one backup. Chains
+  /// never repeat a host; with a single host there is no backup.
+  void init(const Partition& part, std::span<const double> key_bytes,
+            std::size_t replication_factor = 2);
+
+  [[nodiscard]] std::size_t num_hosts() const { return chains_.size(); }
+  [[nodiscard]] std::size_t num_keys() const {
+    return backup_versions_.size();
+  }
+  [[nodiscard]] const std::vector<std::size_t>& chain(
+      std::size_t shard) const;
+  [[nodiscard]] bool has_backup(std::size_t shard) const {
+    return chain(shard).size() > 1;
+  }
+
+  // ---- host liveness (mirrors the engine's PS fault state) ----
+  [[nodiscard]] bool alive(std::size_t host) const;
+  void set_alive(std::size_t host, bool up);
+
+  /// The host currently serving `shard`: the first alive host in its
+  /// chain, or npos when the whole chain is down.
+  [[nodiscard]] std::size_t serving(std::size_t shard) const;
+
+  // ---- version-predicate freshness ----
+
+  /// The primary applied an update to key k; the store's authoritative
+  /// version is now `version_now`. The async replication stream trails by
+  /// one update, so this marks the backup fresh up to version_now - 1.
+  void note_update(Key k, std::uint64_t version_now);
+
+  /// Backup fresh for k ⇔ its recorded version matches the store's.
+  [[nodiscard]] bool fresh(Key k, const KvStore& store) const;
+
+  /// Stale segments across the whole key space (the replica-lag metric).
+  [[nodiscard]] std::size_t lag(const KvStore& store) const;
+
+  /// Bytes of `shard`'s stale segments — what a catch-up would ship.
+  [[nodiscard]] double stale_bytes(std::size_t shard,
+                                   const KvStore& store) const;
+
+  /// Ship `shard`'s stale segments: marks them fresh at the authoritative
+  /// versions and returns the bytes shipped (ascending key order, the
+  /// same accumulation discipline as selected_bytes).
+  double catch_up(std::size_t shard, const KvStore& store);
+
+  void save_state(util::serde::Writer& w) const;
+  void load_state(util::serde::Reader& r);
+
+ private:
+  Partition part_;                   ///< key → primary logical shard
+  std::vector<double> key_bytes_;
+  std::vector<std::vector<std::size_t>> chains_;  ///< per shard
+  std::vector<std::uint64_t> backup_versions_;    ///< per key
+  std::vector<bool> alive_;                       ///< per host
+};
+
+}  // namespace osp::kv

@@ -39,7 +39,15 @@ void KvStore::stamp_versions(KvMessage& m) const {
   m.versions.clear();
   if (!m.keys.empty()) {
     m.versions.reserve(m.keys.size());
-    for (Key k : m.keys) m.versions.push_back(version(k));
+    for (Key k : m.keys) {
+      // A message that addresses a contiguous range must not list keys
+      // outside it (shard messages legitimately carry an empty range and
+      // an explicit key list — those only need to be in-store).
+      OSP_CHECK(m.range.size() == 0 ||
+                    (k >= m.range.begin && k < m.range.end),
+                "stamp_versions: listed key outside the message range");
+      m.versions.push_back(version(k));
+    }
     return;
   }
   m.versions.reserve(m.range.size());

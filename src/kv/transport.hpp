@@ -1,9 +1,11 @@
 // KV transport: moves messages between workers and parameter-server
 // shards over the engine's simulated network.
 //
-// The transport charges exactly KvMessage::wire_bytes() — the composed
-// filter pipeline's output — per send and adds no framing of its own,
-// so telemetry and flow sizes always equal the filtered payload.
+// The transport charges exactly KvMessage::wire_bytes() per send — the
+// composed filter pipeline's output plus the fixed serialization frame
+// (kFrameOverheadBytes: magic | version | length | crc32) every message
+// carries — and adds nothing of its own, so telemetry and flow sizes
+// always equal what a serialized message would put on the wire.
 //
 // Routes come from the cluster topology: an empty route is a co-located
 // loopback and completes through the engine's event queue (deterministic

@@ -6,7 +6,9 @@ namespace osp::runtime {
 namespace {
 
 constexpr char kMagic[] = "OSPRUN01";
-constexpr std::uint32_t kVersion = 1;
+// v2: PS-shard fault state (crashed flags, crash/restart times) and the
+// PS fields appended to FaultStats.
+constexpr std::uint32_t kVersion = 2;
 
 void write_rng(util::serde::Writer& w, const util::RngState& st) {
   for (std::uint64_t word : st.s) w.u64(word);
@@ -54,6 +56,10 @@ void write_fault_stats(util::serde::Writer& w, const sim::FaultStats& fs) {
   w.u64(fs.ics_rounds_abandoned);
   w.u64(fs.catch_up_pulls);
   w.u64(fs.checkpoint_restores);
+  w.u64(fs.ps_crashes);
+  w.u64(fs.ps_restarts);
+  w.u64(fs.ps_promotions);
+  w.f64(fs.replica_catchup_bytes);
   w.f64(fs.worker_downtime_s);
 }
 
@@ -71,6 +77,10 @@ sim::FaultStats read_fault_stats(util::serde::Reader& r) {
   fs.ics_rounds_abandoned = static_cast<std::size_t>(r.u64());
   fs.catch_up_pulls = static_cast<std::size_t>(r.u64());
   fs.checkpoint_restores = static_cast<std::size_t>(r.u64());
+  fs.ps_crashes = static_cast<std::size_t>(r.u64());
+  fs.ps_restarts = static_cast<std::size_t>(r.u64());
+  fs.ps_promotions = static_cast<std::size_t>(r.u64());
+  fs.replica_catchup_bytes = r.f64();
   fs.worker_downtime_s = r.f64();
   return fs;
 }
@@ -132,6 +142,9 @@ void RunCheckpoint::serialize(util::serde::Writer& w) const {
   w.size_vec(epoch_done_counts);
   w.f64_vec(epoch_loss_sums);
   w.f64_vec(ps_busy_until);
+  w.bool_vec(ps_crashed);
+  w.f64_vec(ps_crashed_at);
+  w.f64_vec(ps_restart_at);
   write_fault_stats(w, fault_stats);
 
   write_stats(w, bct);
@@ -176,6 +189,9 @@ RunCheckpoint RunCheckpoint::deserialize(util::serde::Reader& r) {
   c.epoch_done_counts = r.size_vec();
   c.epoch_loss_sums = r.f64_vec();
   c.ps_busy_until = r.f64_vec();
+  c.ps_crashed = r.bool_vec();
+  c.ps_crashed_at = r.f64_vec();
+  c.ps_restart_at = r.f64_vec();
   c.fault_stats = read_fault_stats(r);
 
   c.bct = read_stats(r);

@@ -92,6 +92,9 @@ struct RunCheckpoint {
   std::vector<std::size_t> epoch_done_counts;
   std::vector<double> epoch_loss_sums;
   std::vector<double> ps_busy_until;
+  std::vector<bool> ps_crashed;           ///< per-PS crashed flag
+  std::vector<double> ps_crashed_at;
+  std::vector<double> ps_restart_at;      ///< pending restart (< 0: none)
   sim::FaultStats fault_stats;
 
   // ---- metrics recorder ----

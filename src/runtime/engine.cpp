@@ -80,6 +80,10 @@ Engine::Engine(const WorkloadSpec& spec, const EngineConfig& config,
   }
 
   ps_busy_until_.assign(cluster_cfg.num_ps, 0.0);
+  ps_crashed_.assign(cluster_cfg.num_ps, 0);
+  ps_crashed_at_.assign(cluster_cfg.num_ps, 0.0);
+  ps_restart_at_.assign(cluster_cfg.num_ps, -1.0);
+  ps_epoch_.assign(cluster_cfg.num_ps, 0);
   alive_count_ = config.num_workers;
   eval_stride_ = config.eval_every_samples > 0 ? config.eval_every_samples
                                                : spec.train->size();
@@ -125,9 +129,19 @@ void Engine::ps_submit(double seconds, std::function<void()> done,
   OSP_CHECK(seconds >= 0.0, "negative PS work");
   OSP_CHECK(done != nullptr, "null completion");
   OSP_CHECK(ps < ps_busy_until_.size(), "ps id out of range");
+  // A dead host's queue is refusing connections; the submission is lost
+  // (sync models route around crashed hosts via their replica chains).
+  if (ps_crashed_[ps] != 0) return;
   const double start = std::max(sim_.now(), ps_busy_until_[ps]);
   ps_busy_until_[ps] = start + seconds;
-  sim_.schedule_at(ps_busy_until_[ps], std::move(done));
+  // The completion is invalidated if the host crashes before it fires:
+  // the queue dies with the host and does not come back at restart.
+  const std::uint64_t epoch = ps_epoch_[ps];
+  sim_.schedule_at(ps_busy_until_[ps],
+                   [this, ps, epoch, done = std::move(done)] {
+                     if (ps_epoch_[ps] != epoch) return;
+                     done();
+                   });
 }
 
 std::span<const float> Engine::worker_gradient(std::size_t w) const {
@@ -230,6 +244,14 @@ RunResult Engine::run() {
         maybe_checkpoint_now();
         if (halted_) return;
         restart_worker(w);
+      });
+    }
+    for (std::size_t p = 0; p < ps_crashed_.size(); ++p) {
+      if (ps_crashed_[p] == 0 || ps_restart_at_[p] < 0.0) continue;
+      sim_.schedule_at(ps_restart_at_[p], [this, p] {
+        maybe_checkpoint_now();
+        if (halted_) return;
+        restart_ps(p);
       });
     }
   } else {
@@ -615,6 +637,11 @@ void Engine::install_faults(double resume_time) {
                   "fault worker id out of range");
         if (start_pending) gated(ev);
         break;
+      case sim::FaultKind::kPsCrash:
+        OSP_CHECK(ev.target < ps_busy_until_.size(),
+                  "fault ps id out of range");
+        if (start_pending) gated(ev);
+        break;
       case sim::FaultKind::kLinkDown:
         OSP_CHECK(ev.target < net.num_links(), "fault link id out of range");
         if (start_pending) gated(ev);
@@ -656,6 +683,9 @@ void Engine::apply_fault(const sim::FaultEvent& ev) {
       break;
     case sim::FaultKind::kWorkerCrash:
       crash_worker(ev.target, ev.duration);
+      break;
+    case sim::FaultKind::kPsCrash:
+      crash_ps(ev.target, ev.duration);
       break;
     case sim::FaultKind::kLinkDown:
       ++fault_stats_.link_down_events;
@@ -773,6 +803,55 @@ void Engine::restart_worker(std::size_t w) {
                   });
 }
 
+bool Engine::ps_alive(std::size_t ps) const {
+  OSP_CHECK(ps < ps_crashed_.size(), "ps id out of range");
+  return ps_crashed_[ps] == 0;
+}
+
+void Engine::crash_ps(std::size_t ps, double restart_after) {
+  OSP_CHECK(ps < ps_busy_until_.size(), "ps id out of range");
+  if (ps_crashed_[ps] != 0) return;
+  ps_crashed_[ps] = 1;
+  ps_crashed_at_[ps] = sim_.now();
+  ++ps_crashed_count_;
+  ++fault_stats_.ps_crashes;
+  // The serial update queue dies with the host: bump the epoch so every
+  // already-scheduled ps_submit completion no-ops, and clear the busy
+  // horizon so the drain barrier does not wait on phantom work.
+  ++ps_epoch_[ps];
+  ps_busy_until_[ps] = sim_.now();
+  if (config_.record_trace) {
+    trace_.add_counter(
+        sim_.now(), "alive_ps",
+        static_cast<double>(ps_crashed_.size() - ps_crashed_count_));
+  }
+  sync_->on_ps_crashed(ps);
+  if (restart_after >= 0.0) {
+    // Gated like fault-schedule events (see install_faults); the restart
+    // time is checkpointed so a resumed run can re-schedule it.
+    ps_restart_at_[ps] = sim_.now() + restart_after;
+    sim_.schedule(restart_after, [this, ps] {
+      maybe_checkpoint_now();
+      if (halted_) return;
+      restart_ps(ps);
+    });
+  }
+}
+
+void Engine::restart_ps(std::size_t ps) {
+  ps_restart_at_[ps] = -1.0;
+  if (ps_crashed_[ps] == 0) return;
+  ++fault_stats_.ps_restarts;
+  ps_crashed_[ps] = 0;
+  --ps_crashed_count_;
+  if (config_.record_trace) {
+    trace_.add_counter(
+        sim_.now(), "alive_ps",
+        static_cast<double>(ps_crashed_.size() - ps_crashed_count_));
+  }
+  sync_->on_ps_restarted(ps);
+}
+
 bool Engine::should_park(std::size_t w) const {
   return next_checkpoint_iter_ > 0 && !halted_ &&
          workers_[w].iteration >= next_checkpoint_iter_;
@@ -870,6 +949,9 @@ RunCheckpoint Engine::make_checkpoint() const {
   c.epoch_done_counts = epoch_done_counts_;
   c.epoch_loss_sums = epoch_loss_sums_;
   c.ps_busy_until = ps_busy_until_;
+  c.ps_crashed.assign(ps_crashed_.begin(), ps_crashed_.end());
+  c.ps_crashed_at = ps_crashed_at_;
+  c.ps_restart_at = ps_restart_at_;
   c.fault_stats = fault_stats_;
 
   c.bct = metrics_.bct();
@@ -938,6 +1020,14 @@ void Engine::restore_checkpoint(const RunCheckpoint& ckpt) {
   epoch_done_counts_ = ckpt.epoch_done_counts;
   epoch_loss_sums_ = ckpt.epoch_loss_sums;
   ps_busy_until_ = ckpt.ps_busy_until;
+  OSP_CHECK(ckpt.ps_crashed.size() == ps_crashed_.size(),
+            "checkpoint PS fault state mismatch");
+  ps_crashed_.assign(ckpt.ps_crashed.begin(), ckpt.ps_crashed.end());
+  ps_crashed_at_ = ckpt.ps_crashed_at;
+  ps_restart_at_ = ckpt.ps_restart_at;
+  ps_crashed_count_ = static_cast<std::size_t>(
+      std::count(ps_crashed_.begin(), ps_crashed_.end(),
+                 std::uint8_t{1}));
   fault_stats_ = ckpt.fault_stats;
   metrics_.restore(ckpt.bct, ckpt.bst, ckpt.bst_samples, ckpt.curve,
                    ckpt.epoch_losses);

@@ -144,6 +144,8 @@ class Engine {
   /// queue behind each other, which is what makes N independent async
   /// updates per round more expensive at the PS than one aggregated
   /// OSP/BSP step. With multiple PSes (§6.1) each shard has its own queue.
+  /// A PS crash (FaultKind::kPsCrash) drops the queue: jobs submitted
+  /// before the crash never run, even if the host later restarts.
   void ps_submit(double seconds, std::function<void()> done,
                  std::size_t ps = 0);
 
@@ -209,10 +211,22 @@ class Engine {
   /// pending loopbacks and does not snapshot across them.
   void loopback_transfer(double delay, std::function<void()> done);
 
+  /// False while PS shard `ps` is crashed (between the crash event and its
+  /// restart). Sync models route around dead hosts via their replica
+  /// chains (kv/replication.hpp).
+  [[nodiscard]] bool ps_alive(std::size_t ps) const;
+  [[nodiscard]] std::size_t num_ps_crashed() const { return ps_crashed_count_; }
+
   /// Fault-accounting hooks for sync models.
   void record_round_timeout() { ++fault_stats_.timed_out_rounds; }
   void record_ics_abandoned() { ++fault_stats_.ics_rounds_abandoned; }
   void record_catch_up_pull() { ++fault_stats_.catch_up_pulls; }
+  /// A key range was repointed at a replica after a PS fault;
+  /// `catchup_bytes` is what the version-predicate catch-up shipped.
+  void record_ps_promotion(double catchup_bytes) {
+    ++fault_stats_.ps_promotions;
+    fault_stats_.replica_catchup_bytes += catchup_bytes;
+  }
   [[nodiscard]] const sim::FaultStats& fault_stats() const {
     return fault_stats_;
   }
@@ -306,6 +320,8 @@ class Engine {
   void crash_worker(std::size_t w, double restart_after);
   void restart_worker(std::size_t w);
   void pause_worker(std::size_t w, double duration);
+  void crash_ps(std::size_t ps, double restart_after);
+  void restart_ps(std::size_t ps);
 
   // ---- checkpointing ----
   [[nodiscard]] bool should_park(std::size_t w) const;
@@ -367,6 +383,15 @@ class Engine {
   std::map<sim::FlowId, PendingFlow> pending_flows_;
   sim::FaultStats fault_stats_;
   std::vector<double> ps_busy_until_;
+  // PS-shard fault state. ps_epoch_ invalidates the serial queue: every
+  // ps_submit captures the epoch at submission and its completion event
+  // no-ops if the host crashed in between (the queue is lost with the
+  // host, and does not come back at restart).
+  std::vector<std::uint8_t> ps_crashed_;
+  std::vector<double> ps_crashed_at_;
+  std::vector<double> ps_restart_at_;   // pending restart time (< 0: none)
+  std::vector<std::uint64_t> ps_epoch_;
+  std::size_t ps_crashed_count_ = 0;
   // Live (non-crashed) workers, maintained on crash/restart so num_alive()
   // is O(1) — it is called per round in several hot paths.
   std::size_t alive_count_ = 0;

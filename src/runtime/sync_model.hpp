@@ -71,6 +71,16 @@ class SyncModel {
   virtual void on_worker_crashed(std::size_t worker) { (void)worker; }
   virtual void on_worker_restarted(std::size_t worker) { (void)worker; }
 
+  /// PS-shard fault notifications. When a PS crashes its serial queue is
+  /// dropped (queued ps_submit callbacks never fire); models replicating
+  /// key segments (kv/replication.hpp) repoint the crashed host's shards
+  /// at their backups here and re-drive any exchange the dead host owed.
+  /// Models without PS state may ignore both (the engine-level timeout /
+  /// catch-up contract still applies). Restart fires when the host's
+  /// queue is accepting work again.
+  virtual void on_ps_crashed(std::size_t ps) { (void)ps; }
+  virtual void on_ps_restarted(std::size_t ps) { (void)ps; }
+
   void set_timeouts(const SyncTimeouts& timeouts) { timeouts_ = timeouts; }
   [[nodiscard]] const SyncTimeouts& timeouts() const { return timeouts_; }
 

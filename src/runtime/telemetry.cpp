@@ -23,7 +23,10 @@ bool write_telemetry_jsonl(const std::string& path,
         .set("lgp_correction_l2", r.lgp_correction_l2())
         .set("retries", r.retries)
         .set("timeouts", r.timeouts)
-        .set("wire_bytes", r.wire_bytes);
+        .set("wire_bytes", r.wire_bytes)
+        .set("replica_lag", r.replica_lag)
+        .set("promotions", r.promotions)
+        .set("catch_up_bytes", r.catch_up_bytes);
     out << o.str() << '\n';
   }
   return static_cast<bool>(out);

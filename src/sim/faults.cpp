@@ -35,6 +35,18 @@ FaultSchedule& FaultSchedule::crash_worker(double at, std::size_t worker,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::crash_ps(double at, std::size_t ps,
+                                       double restart_after) {
+  OSP_CHECK(at >= 0.0, "fault time must be non-negative");
+  FaultEvent ev;
+  ev.kind = FaultKind::kPsCrash;
+  ev.time = at;
+  ev.duration = restart_after;
+  ev.target = ps;
+  events_.push_back(ev);
+  return *this;
+}
+
 FaultSchedule& FaultSchedule::link_down(double at, LinkId link,
                                         double duration) {
   check_window(at, duration);
@@ -108,7 +120,8 @@ bool FaultStats::any() const {
          flows_cancelled > 0 || messages_dropped > 0 ||
          messages_delayed > 0 || timed_out_rounds > 0 ||
          ics_rounds_abandoned > 0 || catch_up_pulls > 0 ||
-         worker_downtime_s > 0.0;
+         ps_crashes > 0 || ps_restarts > 0 || ps_promotions > 0 ||
+         replica_catchup_bytes > 0.0 || worker_downtime_s > 0.0;
 }
 
 }  // namespace osp::sim

@@ -31,6 +31,9 @@ enum class FaultKind : std::uint8_t {
   kLinkDegrade,   ///< target = link; bandwidth_factor/extra_loss window
   kMessageDelay,  ///< flows starting inside the window gain delay_s latency
   kMessageDrop,   ///< flows starting inside the window vanish w.p. drop_prob
+  kPsCrash,       ///< target = PS shard; its serial queue is lost and its
+                  ///< key range fails over to the replica chain; restarts
+                  ///< after `duration` (< 0 = never)
 };
 
 struct FaultEvent {
@@ -55,6 +58,9 @@ class FaultSchedule {
   /// `restart_after < 0` crashes the worker permanently.
   FaultSchedule& crash_worker(double at, std::size_t worker,
                               double restart_after = -1.0);
+  /// `restart_after < 0` crashes the PS shard permanently.
+  FaultSchedule& crash_ps(double at, std::size_t ps,
+                          double restart_after = -1.0);
   FaultSchedule& link_down(double at, LinkId link, double duration);
   FaultSchedule& degrade_link(double at, LinkId link, double duration,
                               double bandwidth_factor,
@@ -91,6 +97,10 @@ struct FaultStats {
   std::size_t catch_up_pulls = 0;     ///< late workers resynced by full pull
   std::size_t checkpoint_restores = 0;  ///< crashed workers restored from a
                                         ///< run checkpoint instead of a pull
+  std::size_t ps_crashes = 0;         ///< PS shards lost mid-run
+  std::size_t ps_restarts = 0;        ///< PS shards that came back
+  std::size_t ps_promotions = 0;      ///< key ranges repointed to a replica
+  double replica_catchup_bytes = 0.0;  ///< stale segments shipped at failover
   double worker_downtime_s = 0.0;     ///< crash downtime + pause durations
 
   [[nodiscard]] bool any() const;

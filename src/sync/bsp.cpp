@@ -127,6 +127,10 @@ void BspSync::close_round() {
   for (std::size_t w = 0; w < n; ++w) {
     if (contributors[w]) weight_sum += e.worker_weight(w);
   }
+  // Defensive twin of the contributed == 0 gate above: a partial round
+  // whose contributor weights sum to zero must close as a no-op, not
+  // renormalize by zero (the full-round path never divides).
+  if (contributed != n && weight_sum <= 0.0) return;
   for (std::size_t w = 0; w < n; ++w) {
     if (!contributors[w]) continue;
     const double weight = contributed == n

@@ -70,6 +70,26 @@ void KvBspSync::attach(runtime::Engine& eng) {
   tel_rounds_ = 0;
   tel_push_bytes_ = 0.0;
   last_round_push_bytes_ = 0.0;
+  {
+    // One logical shard (primary host 0) spanning every PS host; the
+    // ring-successor rule picks the backup. Catch-up prices a key at its
+    // fp32 bytes — the model's one self-consistent byte scale.
+    kv::Partition part;
+    part.num_shards = eng.cluster().num_ps();
+    part.owner.assign(eng.num_blocks(), 0);
+    std::vector<double> key_bytes;
+    for (const auto& b : eng.blocks()) {
+      key_bytes.push_back(4.0 * static_cast<double>(b.numel));
+    }
+    replica_.init(part, key_bytes);
+  }
+  serving_ = 0;
+  epoch_ = 0;
+  pushed_.assign(eng.num_workers(), 0);
+  arrived_bits_.assign(eng.num_workers(), 0);
+  resp_pending_.assign(eng.num_workers(), 0);
+  resp_outstanding_ = 0;
+  resp_host_ = 0;
 }
 
 void KvBspSync::on_gradient_ready(std::size_t worker) {
@@ -84,10 +104,26 @@ void KvBspSync::on_gradient_ready(std::size_t worker) {
       4.0 * static_cast<double>(grad.size());
   pipeline_.encode(m);
   tel_push_bytes_ += m.wire_bytes();
-  tx_.push(worker, 0, m, /*owned=*/false, [this] { on_push_arrived(); });
+  pushed_[worker] = 1;
+  resp_pending_[worker] = 1;
+  push_message(worker);
 }
 
-void KvBspSync::on_push_arrived() {
+void KvBspSync::push_message(std::size_t worker) {
+  const std::size_t host = serving_;
+  // Whole chain down: the push stays recorded in pushed_ and is issued
+  // when a restart repoints the shard.
+  if (host == kv::ReplicaTable::npos) return;
+  // The epoch fences deliveries against a failover: a flow addressed to a
+  // host that lost the shard in the meantime is void on arrival.
+  const std::uint64_t epoch = epoch_;
+  tx_.push(worker, host, inbox_[worker], /*owned=*/false,
+           [this, worker, epoch] { on_push_arrived(worker, epoch); });
+}
+
+void KvBspSync::on_push_arrived(std::size_t worker, std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // landed at a deposed host
+  arrived_bits_[worker] = 1;
   ++arrived_;
   if (arrived_ == eng().num_workers()) {
     arrived_ = 0;
@@ -109,27 +145,102 @@ void KvBspSync::aggregate_and_broadcast() {
   }
   e.apply_global_step(agg_);
   store_.bump_all();
+  for (std::size_t b = 0; b < e.num_blocks(); ++b) {
+    const auto k = static_cast<kv::Key>(b);
+    // Async replication trails the apply by one update per segment.
+    replica_.note_update(k, store_.version(k));
+  }
+  std::fill(pushed_.begin(), pushed_.end(), std::uint8_t{0});
+  std::fill(arrived_bits_.begin(), arrived_bits_.end(), std::uint8_t{0});
   update_gib_selection();
   auto& rec = record_full_round(++tel_rounds_, n);
   rec.important_bytes = tel_push_bytes_;
+  rec.replica_lag = replica_.lag(store_);
   last_round_push_bytes_ = tel_push_bytes_;
   tel_push_bytes_ = 0.0;
+  resp_outstanding_ = 1;
+  broadcast();
+}
+
+void KvBspSync::broadcast() {
+  runtime::Engine& e = eng();
+  const std::size_t host = serving_;
+  if (host == kv::ReplicaTable::npos) return;  // re-driven at repoint
+  resp_host_ = host;
   // Dense broadcast of the refreshed model (proxy scale).
   const double bytes = 4.0 * static_cast<double>(e.global_params().size());
-  e.ps_submit(e.ps_apply_delay(bytes, 3.0), [this, bytes] {
-    runtime::Engine& en = eng();
-    kv::KvMessage resp;
-    resp.begin(kv::Op::kPullResponse, 0, tel_rounds_, store_.key_range());
-    store_.stamp_versions(resp);
-    resp.set_accounting(bytes);
-    for (std::size_t w = 0; w < en.num_workers(); ++w) {
-      tx_.respond(w, 0, resp, /*owned=*/false, [this, w] {
-        runtime::Engine& e2 = eng();
-        util::copy(e2.global_params(), e2.worker_params(w));
-        e2.finish_sync(w);
-      });
+  e.ps_submit(
+      e.ps_apply_delay(bytes, 3.0),
+      [this, bytes, host] {
+        runtime::Engine& en = eng();
+        resp_outstanding_ = 0;
+        kv::KvMessage resp;
+        resp.begin(kv::Op::kPullResponse, static_cast<std::uint32_t>(host),
+                   tel_rounds_, store_.key_range());
+        store_.stamp_versions(resp);
+        resp.set_accounting(bytes);
+        for (std::size_t w = 0; w < en.num_workers(); ++w) {
+          if (resp_pending_[w] == 0) continue;
+          tx_.respond(w, host, resp, /*owned=*/false, [this, w] {
+            runtime::Engine& e2 = eng();
+            // Duplicate delivery after a failover re-broadcast: the first
+            // copy already installed the (identical, version-stamped)
+            // model.
+            if (resp_pending_[w] == 0) return;
+            resp_pending_[w] = 0;
+            util::copy(e2.global_params(), e2.worker_params(w));
+            e2.finish_sync(w);
+          });
+        }
+      },
+      host);
+}
+
+void KvBspSync::on_ps_crashed(std::size_t ps) {
+  replica_.set_alive(ps, false);
+  if (serving_ == ps) repoint();
+}
+
+void KvBspSync::on_ps_restarted(std::size_t ps) {
+  replica_.set_alive(ps, true);
+  if (replica_.serving(0) != serving_) repoint();
+}
+
+void KvBspSync::repoint() {
+  runtime::Engine& e = eng();
+  const std::size_t target = replica_.serving(0);
+  if (target == serving_) return;
+  serving_ = target;
+  ++epoch_;  // arrivals addressed to the deposed host are void
+  if (target == kv::ReplicaTable::npos) return;  // wait for a restart
+  // Version-predicate catch-up: ship exactly the segments whose tail
+  // update had not reached the replica, and charge the new host's queue.
+  const double shipped = replica_.catch_up(0, store_);
+  e.record_ps_promotion(shipped);
+  {
+    runtime::SyncTelemetry& prec = e.telemetry_round(tel_rounds_ + 1);
+    ++prec.promotions;
+    prec.catch_up_bytes += shipped;
+  }
+  if (shipped > 0.0) {
+    e.ps_submit(e.ps_apply_delay(shipped, 1.0), [] {}, target);
+  }
+  // An aggregated round whose broadcast died with the old host's queue is
+  // re-broadcast from the new host — never re-applied (the store versions
+  // were already bumped by the one aggregation).
+  if (resp_outstanding_ != 0 && !e.ps_alive(resp_host_)) broadcast();
+  // Whatever the old host had collected for the open round is gone:
+  // workers that already pushed re-send their encoded inbox message to
+  // the new host (in-flight flows to the old host are fenced by the
+  // epoch bump). The re-send is real traffic, so it is re-charged.
+  arrived_ = 0;
+  std::fill(arrived_bits_.begin(), arrived_bits_.end(), std::uint8_t{0});
+  for (std::size_t w = 0; w < e.num_workers(); ++w) {
+    if (pushed_[w] != 0) {
+      tel_push_bytes_ += inbox_[w].wire_bytes();
+      push_message(w);
     }
-  });
+  }
 }
 
 void KvBspSync::update_gib_selection() {
@@ -168,16 +279,19 @@ void KvBspSync::update_gib_selection() {
 }
 
 void KvBspSync::save_state(util::serde::Writer& w) const {
-  w.u8(1);  // KvBSP state version
+  w.u8(2);  // KvBSP state version (2: PS replication)
   w.u64(arrived_);
   pipeline_.save_state(w);
   w.bytes(gib_keep_);
+  w.u64(serving_);
+  w.u64(epoch_);
+  replica_.save_state(w);
   store_.save_state(w);
 }
 
 void KvBspSync::load_state(util::serde::Reader& r) {
   const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 1, "unsupported KvBSP state version");
+  OSP_CHECK(version == 2, "unsupported KvBSP state version");
   arrived_ = static_cast<std::size_t>(r.u64());
   pipeline_.load_state(r);
   gib_keep_ = r.bytes();
@@ -186,7 +300,16 @@ void KvBspSync::load_state(util::serde::Reader& r) {
               "KvBSP checkpoint GIB selection size mismatch");
     gib_->set_selection(gib_keep_);
   }
+  serving_ = static_cast<std::size_t>(r.u64());
+  epoch_ = r.u64();
+  replica_.load_state(r);
   store_.load_state(r);
+  // In-flight round bookkeeping is empty by construction at the drain
+  // barrier the snapshot was taken at.
+  std::fill(pushed_.begin(), pushed_.end(), std::uint8_t{0});
+  std::fill(arrived_bits_.begin(), arrived_bits_.end(), std::uint8_t{0});
+  std::fill(resp_pending_.begin(), resp_pending_.end(), std::uint8_t{0});
+  resp_outstanding_ = 0;
 }
 
 bool KvBspSync::drained() const { return arrived_ == 0; }

@@ -25,6 +25,7 @@
 
 #include "kv/filter.hpp"
 #include "kv/message.hpp"
+#include "kv/replication.hpp"
 #include "kv/store.hpp"
 #include "kv/transport.hpp"
 #include "runtime/sync_model.hpp"
@@ -56,6 +57,8 @@ class KvBspSync : public runtime::SyncModel {
   [[nodiscard]] std::string name() const override;
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void on_ps_crashed(std::size_t ps) override;
+  void on_ps_restarted(std::size_t ps) override;
   void save_state(util::serde::Writer& w) const override;
   void load_state(util::serde::Reader& r) override;
   [[nodiscard]] bool drained() const override;
@@ -74,10 +77,20 @@ class KvBspSync : public runtime::SyncModel {
   [[nodiscard]] const kv::KvMessage& inbox(std::size_t w) const {
     return inbox_[w];
   }
+  /// Introspection for tests: host currently serving the (single) shard.
+  [[nodiscard]] std::size_t serving_host() const { return serving_; }
+  [[nodiscard]] const kv::ReplicaTable& replicas() const { return replica_; }
 
  private:
-  void on_push_arrived();
+  /// Send worker w's (already encoded) inbox message to the serving host.
+  void push_message(std::size_t worker);
+  void on_push_arrived(std::size_t worker, std::uint64_t epoch);
   void aggregate_and_broadcast();
+  /// Schedule the model broadcast on the serving host.
+  void broadcast();
+  /// Serving host changed (crash or restart): catch the new host up and
+  /// re-drive whatever the old host still owed.
+  void repoint();
   /// Recompute the GIB keep mask from per-block mean |agg| under the
   /// byte budget (descending importance, always >= 1 block).
   void update_gib_selection();
@@ -89,12 +102,23 @@ class KvBspSync : public runtime::SyncModel {
   std::vector<std::uint8_t> gib_keep_;
   kv::Transport tx_;
   kv::KvStore store_;
+  kv::ReplicaTable replica_;
   std::vector<kv::KvMessage> inbox_;
   std::size_t arrived_ = 0;
   std::vector<float> agg_;
   std::uint64_t tel_rounds_ = 0;
   double tel_push_bytes_ = 0.0;
   double last_round_push_bytes_ = 0.0;
+  // ---- failover state (identity / all-zero on a healthy run). The model
+  // is one logical shard spanning the cluster's PS hosts: primary on host
+  // 0, ring-successor backup. ----
+  std::size_t serving_ = 0;                 // host serving the shard
+  std::uint64_t epoch_ = 0;                 // fences stale arrivals
+  std::vector<std::uint8_t> pushed_;        // per worker, this round
+  std::vector<std::uint8_t> arrived_bits_;  // per worker, this round
+  std::vector<std::uint8_t> resp_pending_;  // per worker
+  std::uint8_t resp_outstanding_ = 0;       // aggregated, not broadcast
+  std::size_t resp_host_ = 0;               // host the broadcast queued on
 };
 
 }  // namespace osp::sync

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/engine.hpp"
 #include "util/check.hpp"
 #include "util/serde.hpp"
 #include "util/vec_math.hpp"
@@ -27,10 +28,22 @@ void ShardedBspSync::attach(runtime::Engine& eng) {
     }
     store_.init(offsets, numels);
   }
+  replica_.init(part_, eng.all_block_bytes());
   shard_arrived_.assign(num_ps_, 0);
   worker_pending_.assign(eng.num_workers(), 0);
   agg_.assign(eng.global_params().size(), 0.0f);
   tel_shards_closed_ = 0;
+  serving_.resize(num_ps_);
+  for (std::size_t p = 0; p < num_ps_; ++p) serving_[p] = p;
+  shard_epoch_.assign(num_ps_, 0);
+  pushed_.assign(num_ps_,
+                 std::vector<std::uint8_t>(eng.num_workers(), 0));
+  arrived_.assign(num_ps_,
+                  std::vector<std::uint8_t>(eng.num_workers(), 0));
+  resp_pending_.assign(num_ps_,
+                       std::vector<std::uint8_t>(eng.num_workers(), 0));
+  resp_outstanding_.assign(num_ps_, 0);
+  resp_host_ = serving_;
 }
 
 std::vector<kv::Key> ShardedBspSync::shard_keys(std::size_t ps) const {
@@ -44,20 +57,37 @@ std::vector<kv::Key> ShardedBspSync::shard_keys(std::size_t ps) const {
 void ShardedBspSync::on_gradient_ready(std::size_t worker) {
   worker_pending_[worker] = num_ps_;
   for (std::size_t p = 0; p < num_ps_; ++p) {
-    // The push addresses the shard's key list; the gradient itself stays
-    // by-reference in the worker's buffer (the PS reads it at aggregate
-    // time), so the message carries accounting + addressing only.
-    kv::KvMessage m;
-    m.begin(kv::Op::kPush, static_cast<std::uint32_t>(worker),
-            tel_shards_closed_ / num_ps_ + 1, {});
-    m.keys = shard_keys(p);
-    m.set_accounting(shard_bytes_[p]);
-    tx_.push(worker, p, m, /*owned=*/false,
-             [this, p] { on_shard_push_arrived(p); });
+    pushed_[p][worker] = 1;
+    resp_pending_[p][worker] = 1;
+    push_shard(worker, p);
   }
 }
 
-void ShardedBspSync::on_shard_push_arrived(std::size_t ps) {
+void ShardedBspSync::push_shard(std::size_t worker, std::size_t p) {
+  const std::size_t host = serving_[p];
+  // Whole chain down: the push stays recorded in pushed_ and is issued
+  // when a restart repoints the shard.
+  if (host == kv::ReplicaTable::npos) return;
+  // The push addresses the shard's key list; the gradient itself stays
+  // by-reference in the worker's buffer (the PS reads it at aggregate
+  // time), so the message carries accounting + addressing only.
+  kv::KvMessage m;
+  m.begin(kv::Op::kPush, static_cast<std::uint32_t>(worker),
+          tel_shards_closed_ / num_ps_ + 1, {});
+  m.keys = shard_keys(p);
+  m.set_accounting(shard_bytes_[p]);
+  // The epoch fences deliveries against a failover: a flow addressed to a
+  // host that lost the shard in the meantime is void on arrival.
+  const std::uint64_t epoch = shard_epoch_[p];
+  tx_.push(worker, host, m, /*owned=*/false, [this, p, worker, epoch] {
+    on_shard_push_arrived(p, worker, epoch);
+  });
+}
+
+void ShardedBspSync::on_shard_push_arrived(std::size_t ps, std::size_t worker,
+                                           std::uint64_t epoch) {
+  if (epoch != shard_epoch_[ps]) return;  // landed at a deposed host
+  arrived_[ps][worker] = 1;
   if (++shard_arrived_[ps] < eng().num_workers()) return;
   shard_arrived_[ps] = 0;
   shard_aggregate(ps);
@@ -83,25 +113,49 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
   }
   e.apply_global_step_blocks(agg_, mask);
   for (std::size_t b = 0; b < e.num_blocks(); ++b) {
-    if (part_.owner[b] == ps) store_.bump(static_cast<kv::Key>(b));
+    if (part_.owner[b] != ps) continue;
+    const auto k = static_cast<kv::Key>(b);
+    store_.bump(k);
+    // Async replication trails the apply by one update per segment.
+    replica_.note_update(k, store_.version(k));
   }
+  std::fill(pushed_[ps].begin(), pushed_[ps].end(), std::uint8_t{0});
+  std::fill(arrived_[ps].begin(), arrived_[ps].end(), std::uint8_t{0});
   // The P shard closes of one logical barrier share a telemetry record;
   // the last shard's close stamps the final close time.
   ++tel_shards_closed_;
-  record_full_round((tel_shards_closed_ + num_ps_ - 1) / num_ps_, n);
+  runtime::SyncTelemetry& rec =
+      record_full_round((tel_shards_closed_ + num_ps_ - 1) / num_ps_, n);
+  rec.replica_lag = replica_.lag(store_);
+  resp_outstanding_[ps] = 1;
+  broadcast_shard(ps);
+}
+
+void ShardedBspSync::broadcast_shard(std::size_t ps) {
+  runtime::Engine& e = eng();
+  const std::size_t host = serving_[ps];
+  if (host == kv::ReplicaTable::npos) return;  // re-driven at repoint
+  resp_host_[ps] = host;
   e.ps_submit(
       e.ps_apply_delay(shard_bytes_[ps], 3.0),
-      [this, ps] {
+      [this, ps, host] {
         runtime::Engine& en = eng();
+        resp_outstanding_[ps] = 0;
         kv::KvMessage resp;
-        resp.begin(kv::Op::kPullResponse, static_cast<std::uint32_t>(ps),
+        resp.begin(kv::Op::kPullResponse, static_cast<std::uint32_t>(host),
                    tel_shards_closed_ / num_ps_, {});
         resp.keys = shard_keys(ps);
         store_.stamp_versions(resp);
         resp.set_accounting(shard_bytes_[ps]);
         for (std::size_t w = 0; w < en.num_workers(); ++w) {
-          tx_.respond(w, ps, resp, /*owned=*/false, [this, w, ps] {
+          if (resp_pending_[ps][w] == 0) continue;
+          tx_.respond(w, host, resp, /*owned=*/false, [this, w, ps] {
             runtime::Engine& e2 = eng();
+            // Duplicate delivery after a failover re-broadcast: the first
+            // copy already installed these (identical, version-stamped)
+            // blocks.
+            if (resp_pending_[ps][w] == 0) return;
+            resp_pending_[ps][w] = 0;
             // Install this shard's fresh blocks.
             for (std::size_t b = 0; b < e2.num_blocks(); ++b) {
               if (part_.owner[b] != ps) continue;
@@ -115,27 +169,97 @@ void ShardedBspSync::shard_aggregate(std::size_t ps) {
           });
         }
       },
-      ps);
+      host);
+}
+
+void ShardedBspSync::on_ps_crashed(std::size_t ps) {
+  replica_.set_alive(ps, false);
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (serving_[p] == ps) repoint_shard(p);
+  }
+}
+
+void ShardedBspSync::on_ps_restarted(std::size_t ps) {
+  replica_.set_alive(ps, true);
+  for (std::size_t p = 0; p < num_ps_; ++p) {
+    if (replica_.serving(p) != serving_[p]) repoint_shard(p);
+  }
+}
+
+void ShardedBspSync::repoint_shard(std::size_t p) {
+  runtime::Engine& e = eng();
+  const std::size_t target = replica_.serving(p);
+  if (target == serving_[p]) return;
+  serving_[p] = target;
+  ++shard_epoch_[p];  // arrivals addressed to the deposed host are void
+  if (target == kv::ReplicaTable::npos) return;  // wait for a restart
+  // Version-predicate catch-up: ship exactly the segments whose tail
+  // update had not reached the replica, and charge the new host's queue.
+  const double shipped = replica_.catch_up(p, store_);
+  e.record_ps_promotion(shipped);
+  {
+    runtime::SyncTelemetry& rec =
+        e.telemetry_round(tel_shards_closed_ / num_ps_ + 1);
+    ++rec.promotions;
+    rec.catch_up_bytes += shipped;
+  }
+  if (shipped > 0.0) {
+    e.ps_submit(e.ps_apply_delay(shipped, 1.0), [] {}, target);
+  }
+  // An aggregated round whose broadcast died with the old host's queue is
+  // re-broadcast from the new host — never re-applied (the segment
+  // versions were already bumped by the one aggregation).
+  if (resp_outstanding_[p] != 0 && !e.ps_alive(resp_host_[p])) {
+    broadcast_shard(p);
+  }
+  // Whatever the old host had collected for the open round is gone:
+  // workers that already pushed re-push to the new host (their original
+  // flows, if still in flight, are fenced by the epoch bump).
+  shard_arrived_[p] = 0;
+  std::fill(arrived_[p].begin(), arrived_[p].end(), std::uint8_t{0});
+  for (std::size_t w = 0; w < e.num_workers(); ++w) {
+    if (pushed_[p][w] != 0) push_shard(w, p);
+  }
 }
 
 void ShardedBspSync::save_state(util::serde::Writer& w) const {
-  w.u8(2);  // sharded-BSP state version (2: KV core)
+  w.u8(3);  // sharded-BSP state version (3: PS replication)
   w.u64(num_ps_);
   w.size_vec(shard_arrived_);
   w.size_vec(worker_pending_);
+  w.u64(tel_shards_closed_);
+  w.size_vec(serving_);
+  w.u64_vec(shard_epoch_);
+  w.size_vec(resp_host_);
+  replica_.save_state(w);
   store_.save_state(w);
 }
 
 void ShardedBspSync::load_state(util::serde::Reader& r) {
   const std::uint8_t version = r.u8();
-  OSP_CHECK(version == 2, "unsupported sharded-BSP state version");
+  OSP_CHECK(version == 3, "unsupported sharded-BSP state version");
   OSP_CHECK(r.u64() == num_ps_, "sharded-BSP checkpoint PS count mismatch");
   shard_arrived_ = r.size_vec();
   worker_pending_ = r.size_vec();
   OSP_CHECK(shard_arrived_.size() == num_ps_ &&
                 worker_pending_.size() == eng().num_workers(),
             "sharded-BSP checkpoint shape mismatch");
+  tel_shards_closed_ = r.u64();
+  serving_ = r.size_vec();
+  shard_epoch_ = r.u64_vec();
+  resp_host_ = r.size_vec();
+  OSP_CHECK(serving_.size() == num_ps_ && shard_epoch_.size() == num_ps_ &&
+                resp_host_.size() == num_ps_,
+            "sharded-BSP checkpoint failover state mismatch");
+  replica_.load_state(r);
   store_.load_state(r);
+  // In-flight round bookkeeping is empty by construction at the drain
+  // barrier the snapshot was taken at.
+  const std::size_t n = eng().num_workers();
+  pushed_.assign(num_ps_, std::vector<std::uint8_t>(n, 0));
+  arrived_.assign(num_ps_, std::vector<std::uint8_t>(n, 0));
+  resp_pending_.assign(num_ps_, std::vector<std::uint8_t>(n, 0));
+  resp_outstanding_.assign(num_ps_, 0);
 }
 
 bool ShardedBspSync::drained() const {

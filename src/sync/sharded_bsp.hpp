@@ -9,6 +9,18 @@
 // shard of the updated parameters as a version-stamped pull response. A
 // worker resumes when all P shard responses have landed. With P = 1
 // this is exactly BspSync.
+//
+// PS replication (kv/replication.hpp): each logical shard's key range is
+// primary on its own host with a ring-successor backup. On a healthy run
+// the replica table is pure bookkeeping (no flows, no extra events). When
+// the serving host crashes the shard is repointed at the first alive host
+// in its chain: the version-predicate catch-up ships the stale segments
+// onto the new host's queue, workers re-push the gradients the dead host
+// was collecting (arrivals from the old host are fenced by a per-shard
+// epoch), and an already-aggregated round whose broadcast died with the
+// queue is re-broadcast — never re-applied, so segment versions stay
+// monotone (+1 per shard round). A restart fails the shard back the same
+// way.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +28,7 @@
 
 #include "kv/message.hpp"
 #include "kv/partition.hpp"
+#include "kv/replication.hpp"
 #include "kv/store.hpp"
 #include "kv/transport.hpp"
 #include "runtime/sync_model.hpp"
@@ -27,13 +40,28 @@ class ShardedBspSync : public runtime::SyncModel {
   [[nodiscard]] std::string name() const override;
   void attach(runtime::Engine& eng) override;
   void on_gradient_ready(std::size_t worker) override;
+  void on_ps_crashed(std::size_t ps) override;
+  void on_ps_restarted(std::size_t ps) override;
   void save_state(util::serde::Writer& w) const override;
   void load_state(util::serde::Reader& r) override;
   [[nodiscard]] bool drained() const override;
 
+  /// Introspection for tests: host currently serving logical shard `p`.
+  [[nodiscard]] std::size_t serving_host(std::size_t p) const {
+    return serving_[p];
+  }
+  [[nodiscard]] const kv::ReplicaTable& replicas() const { return replica_; }
+
  private:
-  void on_shard_push_arrived(std::size_t ps);
+  void push_shard(std::size_t worker, std::size_t p);
+  void on_shard_push_arrived(std::size_t ps, std::size_t worker,
+                             std::uint64_t epoch);
   void shard_aggregate(std::size_t ps);
+  /// Schedule the shard's response broadcast on its serving host.
+  void broadcast_shard(std::size_t ps);
+  /// Serving host for shard `p` changed (crash or restart): catch the new
+  /// host up and re-drive whatever the old host still owed.
+  void repoint_shard(std::size_t p);
   /// Keys (= block ids) owned by PS `ps`, ascending.
   [[nodiscard]] std::vector<kv::Key> shard_keys(std::size_t ps) const;
 
@@ -42,10 +70,19 @@ class ShardedBspSync : public runtime::SyncModel {
   std::vector<double> shard_bytes_;            // per-PS wire size
   kv::Transport tx_;
   kv::KvStore store_;
-  std::vector<std::size_t> shard_arrived_;     // per PS
+  kv::ReplicaTable replica_;
+  std::vector<std::size_t> shard_arrived_;     // per PS, this round
   std::vector<std::size_t> worker_pending_;    // responses awaited
   std::vector<float> agg_;
   std::uint64_t tel_shards_closed_ = 0;        // telemetry: P closes = 1 round
+  // ---- failover state (all-zero / identity on a healthy run) ----
+  std::vector<std::size_t> serving_;           // logical shard → host
+  std::vector<std::uint64_t> shard_epoch_;     // fences stale arrivals
+  std::vector<std::vector<std::uint8_t>> pushed_;        // [p][w] this round
+  std::vector<std::vector<std::uint8_t>> arrived_;       // [p][w] this round
+  std::vector<std::vector<std::uint8_t>> resp_pending_;  // [p][w]
+  std::vector<std::uint8_t> resp_outstanding_;  // aggregated, not broadcast
+  std::vector<std::size_t> resp_host_;          // host the broadcast queued on
 };
 
 }  // namespace osp::sync

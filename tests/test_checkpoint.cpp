@@ -251,6 +251,10 @@ void expect_same_result(const runtime::RunResult& a,
   EXPECT_EQ(a.faults.timed_out_rounds, c.faults.timed_out_rounds);
   EXPECT_EQ(a.faults.ics_rounds_abandoned, c.faults.ics_rounds_abandoned);
   EXPECT_EQ(a.faults.catch_up_pulls, c.faults.catch_up_pulls);
+  EXPECT_EQ(a.faults.ps_crashes, c.faults.ps_crashes);
+  EXPECT_EQ(a.faults.ps_restarts, c.faults.ps_restarts);
+  EXPECT_EQ(a.faults.ps_promotions, c.faults.ps_promotions);
+  EXPECT_EQ(a.faults.replica_catchup_bytes, c.faults.replica_catchup_bytes);
   EXPECT_EQ(a.faults.worker_downtime_s, c.faults.worker_downtime_s);
   EXPECT_EQ(a.checkpoints_taken, c.checkpoints_taken);
   EXPECT_EQ(a.halted_at_checkpoint, c.halted_at_checkpoint);
@@ -259,7 +263,7 @@ void expect_same_result(const runtime::RunResult& a,
 /// Serde property: deserialize(file) → serialize must reproduce the file's
 /// payload byte for byte.
 void expect_byte_stable(const std::string& path) {
-  const auto file = util::serde::read_file(path, "OSPRUN01", 1);
+  const auto file = util::serde::read_file(path, "OSPRUN01", 2);
   util::serde::Reader r(file.payload);
   const runtime::RunCheckpoint ckpt = runtime::RunCheckpoint::deserialize(r);
   r.expect_done();

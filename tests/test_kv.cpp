@@ -219,7 +219,8 @@ TEST(KvMessage, BeginResetsEverythingButTheValueBuffer) {
   EXPECT_TRUE(m.keys.empty() && m.versions.empty() && m.indices.empty());
   EXPECT_FALSE(m.sparse || m.delta_encoded || m.compact);
   EXPECT_EQ(m.key_sig, 0u);
-  EXPECT_DOUBLE_EQ(m.wire_bytes(), 0.0);
+  // A freshly begun message still pays the fixed serialization frame.
+  EXPECT_DOUBLE_EQ(m.wire_bytes(), kv::kFrameOverheadBytes);
   EXPECT_EQ(m.values.size(), 2u);  // sender refills in place
 }
 
@@ -541,8 +542,8 @@ TEST(FilterCompositions, GibTopKQ8AccountingComposes) {
   EXPECT_DOUBLE_EQ(m.index_bytes,
                    4.0 + (kBlocks + 7) / 8 + kept * 4.0);
   EXPECT_DOUBLE_EQ(m.meta_bytes, 4.0);
-  EXPECT_DOUBLE_EQ(m.wire_bytes(),
-                   m.value_bytes + m.index_bytes + m.meta_bytes);
+  EXPECT_DOUBLE_EQ(m.wire_bytes(), m.value_bytes + m.index_bytes +
+                                       m.meta_bytes + kv::kFrameOverheadBytes);
 }
 
 }  // namespace

@@ -604,7 +604,8 @@ TEST(KvBspComposition, TelemetryMatchesComposedPipeline) {
       4.0 + static_cast<double>((engine.num_blocks() + 7) / 8);
   const double per_push = kept * 4.0 / 4.0    // values: top-k kept, int8'd
                           + bitmap + kept * 4.0  // GIB bitmap + indices
-                          + 4.0;                 // the fp32 quant scale
+                          + 4.0                  // the fp32 quant scale
+                          + kv::kFrameOverheadBytes;  // serialization frame
   ASSERT_FALSE(r.rounds.empty());
   for (const auto& rec : r.rounds) {
     EXPECT_DOUBLE_EQ(rec.important_bytes, 4.0 * per_push);
@@ -634,7 +635,8 @@ TEST(KvBspComposition, GibAloneChargesSelectedBlockBytes) {
   // Round 1 ships everything (first selection is all-important); later
   // rounds drop at least one block under the 50 % byte budget (greedy
   // always keeps the top block, so the floor stays above the bitmap).
-  EXPECT_DOUBLE_EQ(r.rounds.front().important_bytes, 2.0 * (dense + bitmap));
+  EXPECT_DOUBLE_EQ(r.rounds.front().important_bytes,
+                   2.0 * (dense + bitmap + kv::kFrameOverheadBytes));
   for (std::size_t i = 1; i < r.rounds.size(); ++i) {
     EXPECT_LT(r.rounds[i].important_bytes, r.rounds.front().important_bytes);
     EXPECT_GT(r.rounds[i].important_bytes, 2.0 * bitmap);
